@@ -1,0 +1,83 @@
+"""Design-choice ablations from DESIGN.md §5.
+
+* Quantization: w4a16 TP2 vs BF16 TP4 — per-GPU throughput and
+  single-stream speed.
+* Pipeline comms: Ethernet vs InfiniBand for the 405B deployment
+  (the paper's run 2 "was not using InfiniBand networking").
+* Engine scheduling: continuous batching vs single-sequence serving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.sharegpt import ShareGptSampler
+from repro.cluster.profiles import perf_profile
+from repro.experiments import (run_parallelism_ablation,
+                               run_quantization_ablation)
+from repro.hardware import gpu_spec
+from repro.models import llama4_scout
+from repro.models.weights import validate_fit
+from repro.simkernel import SimKernel
+from repro.vllm import EngineArgs, LLMEngine, PerfModel
+
+
+def test_quantization_ablation(benchmark):
+    result = benchmark.pedantic(run_quantization_ablation,
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    # Quantization more than halves the GPU count at comparable per-GPU
+    # throughput, and speeds up single-stream decode (fewer bytes).
+    assert result["w4a16_per_gpu"] > 0.5 * result["bf16_per_gpu"]
+    assert result["single_stream_w4a16"] > result["single_stream_bf16"]
+
+
+def test_parallelism_comm_ablation(benchmark):
+    result = benchmark.pedantic(run_parallelism_ablation,
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    # InfiniBand trims pipeline latency but is not transformative for
+    # decode (per-stage weight streaming dominates) — consistent with the
+    # paper's "performance is generally not improved by multi-node
+    # inference, rather it is used as a way to obtain additional memory."
+    assert 1.0 < result["latency_gain"] < 1.2
+
+
+def _throughput(max_num_seqs: int, n_requests: int = 200) -> float:
+    kernel = SimKernel(seed=17)
+    card = llama4_scout()
+    gpu = gpu_spec("H100-SXM-80G")
+    args = EngineArgs(model=card.name, tensor_parallel_size=4,
+                      max_model_len=65536, max_num_seqs=max_num_seqs)
+    kv = validate_fit(card, gpu, 4, max_model_len=65536)
+    engine = LLMEngine(kernel, card,
+                       PerfModel(card, gpu, 4,
+                                 profile=perf_profile("hops", "scout-bf16")),
+                       args, kv)
+    engine.start()
+    samples = ShareGptSampler(kernel.rng.stream("ab")).sample(n_requests)
+    queue = list(reversed(samples))
+    produced = [0]
+
+    def worker(env):
+        while queue:
+            s = queue.pop()
+            finished = yield engine.submit(s.prompt_tokens,
+                                           s.output_tokens).done
+            produced[0] += finished.tokens_generated
+
+    workers = [kernel.spawn(worker(kernel)) for _ in range(256)]
+    kernel.run(until=kernel.all_of(workers))
+    return produced[0] / kernel.now
+
+
+def test_continuous_batching_ablation(benchmark):
+    """Continuous batching is the whole point of vLLM: restricting the
+    engine to one running sequence collapses throughput."""
+    def run():
+        return {"batched": _throughput(1024), "serial": _throughput(1)}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: round(v, 1) for k, v in result.items()})
+    assert result["batched"] > 10 * result["serial"]

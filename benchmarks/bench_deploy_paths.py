@@ -1,0 +1,78 @@
+"""Deployment-path benchmarks: the end-to-end workflow stages.
+
+Measures the simulated cost of each Section 3 stage (download, S3 sync,
+staging, deploy) and of the unified deployer on every platform — the
+"same package, four targets" capability of the Section 4 tool.
+"""
+
+from __future__ import annotations
+
+from repro.core import CaseStudyWorkflow, Deployer, build_sandia_site, vllm_package
+
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+
+
+def _pipeline():
+    site = build_sandia_site(seed=51, hops_nodes=4, eldorado_nodes=2,
+                             goodall_nodes=2, cee_nodes=1)
+    wf = CaseStudyWorkflow(site)
+    timings = {}
+    t0 = site.kernel.now
+    wf.run(wf.download_model(QUANT, "hops"))
+    timings["download_s"] = site.kernel.now - t0
+    t0 = site.kernel.now
+    wf.run(wf.upload_model_to_s3(QUANT, "hops"))
+    timings["s3_upload_s"] = site.kernel.now - t0
+    t0 = site.kernel.now
+
+    def deploy(env):
+        d = yield from wf.deploy_model("hops", QUANT,
+                                       tensor_parallel_size=2)
+        return d
+
+    wf.run(deploy(site.kernel))
+    timings["deploy_s"] = site.kernel.now - t0
+    return {k: round(v, 1) for k, v in timings.items()}
+
+
+def test_end_to_end_pipeline_stages(benchmark):
+    timings = benchmark.pedantic(_pipeline, rounds=1, iterations=1)
+    benchmark.extra_info.update(timings)
+    # Deploy (weight load dominated) is the longest stage for this model.
+    assert timings["deploy_s"] > timings["s3_upload_s"]
+    assert all(v > 0 for v in timings.values())
+
+
+def _deploy_everywhere():
+    site = build_sandia_site(seed=52, hops_nodes=4, eldorado_nodes=4,
+                             goodall_nodes=2, cee_nodes=1)
+    wf = CaseStudyWorkflow(site)
+    deployer = Deployer(site)
+    pkg = vllm_package()
+    scout = "meta-llama/Llama-4-Scout-17B-16E-Instruct"
+    wf.admin_seed_model(QUANT, "hops")
+    wf.admin_seed_model(scout, "eldorado")
+    wf.admin_seed_s3(QUANT)
+
+    def go(env):
+        mechanisms = []
+        for platform, params in (
+                ("hops", {"model": QUANT, "tensor_parallel_size": 2,
+                          "max_model_len": 65536}),
+                ("eldorado", {"model": scout, "tensor_parallel_size": 4,
+                              "max_model_len": 65536}),
+                ("goodall", {"model": QUANT, "tensor_parallel_size": 2,
+                             "max_model_len": 65536})):
+            deployment = yield from deployer.deploy(pkg, platform, params)
+            mechanisms.append((platform, deployment.mechanism))
+        return mechanisms
+
+    return wf.run(go(site.kernel))
+
+
+def test_unified_deployer_all_platforms(benchmark):
+    mechanisms = benchmark.pedantic(_deploy_everywhere,
+                                    rounds=1, iterations=1)
+    benchmark.extra_info["deployments"] = mechanisms
+    assert dict(mechanisms) == {"hops": "podman", "eldorado": "podman",
+                                "goodall": "helm"}

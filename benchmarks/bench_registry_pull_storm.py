@@ -1,0 +1,21 @@
+"""Section 2.3 claim: "container registries become a bottleneck when
+multiple nodes simultaneously pull the same container image"; flattening
+to a single-file SIF on the parallel filesystem avoids it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_pull_storm
+
+
+@pytest.mark.parametrize("n_nodes", [4, 8, 16])
+def test_pull_storm_vs_sif(benchmark, n_nodes):
+    result = benchmark.pedantic(run_pull_storm, args=(n_nodes,),
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    # The storm scales ~linearly with node count on the registry link...
+    assert result["oci_slowdown"] == pytest.approx(n_nodes, rel=0.15)
+    # ...while the SIF path from the wide parallel FS stays far faster.
+    assert result["sif_speedup_over_oci_storm"] > n_nodes / 3

@@ -1,0 +1,43 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure (or ablation claim) by
+running the corresponding experiment driver once, records the simulated
+measurements in ``extra_info`` (the paper-vs-measured record), and lets
+pytest-benchmark time the harness itself.
+
+``--repro-full`` switches the figure benches to the paper's full protocol
+(1000 queries/point, full level sweep); default is a reduced-but-
+shape-preserving configuration so the suite completes in minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-full", action="store_true", default=False,
+                     help="run figure benches at full paper fidelity")
+
+
+@pytest.fixture
+def fidelity(request):
+    """(n_requests, levels, runs) for figure benches."""
+    full = request.config.getoption("--repro-full")
+    if full:
+        return {"n_requests": 1000,
+                "levels": (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+                "runs": 2}
+    return {"n_requests": 300,
+            "levels": (1, 4, 16, 64, 256, 1024),
+            "runs": 1}
+
+
+def record_series(benchmark, result) -> None:
+    """Stash every sweep series into the benchmark record."""
+    for sweep in result.series:
+        benchmark.extra_info[sweep.label] = sweep.series()
+        if sweep.terminated_early:
+            benchmark.extra_info[f"{sweep.label} (end)"] = \
+                sweep.terminated_early
+    benchmark.extra_info["notes"] = list(result.notes)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The complete Section 3 case study, every stage narrated.
+
+download (Fig. 2) -> S3 upload (Fig. 3) -> stage to El Dorado -> deploy on
+both HPC platforms (Podman CUDA / Podman ROCm) -> expose via CaL
+(Section 3.3) -> query (Fig. 7) -> mini benchmark sweep (Fig. 8).
+
+Run:  python examples/case_study_end_to_end.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CaseStudyWorkflow, build_sandia_site
+from repro.units import fmt_bytes, fmt_duration
+
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+SCOUT = "meta-llama/Llama-4-Scout-17B-16E-Instruct"
+
+
+def main() -> None:
+    site = build_sandia_site(seed=7)
+    wf = CaseStudyWorkflow(site)
+    kernel = site.kernel
+
+    print("[1] containerized model download (alpine/git, Fig. 2)")
+    files = wf.run(wf.download_model(QUANT, "hops"))
+    total = sum(files.values())
+    print(f"    cloned {len(files)} files, {fmt_bytes(total)} "
+          f"(incl. LICENSE and .git) at t={fmt_duration(kernel.now)}")
+
+    print("[2] store in site S3 (amazon/aws-cli, Fig. 3, --exclude .git*)")
+    objects = wf.run(wf.upload_model_to_s3(QUANT, "hops"))
+    print(f"    {len(objects)} objects in s3://huggingface.co/{QUANT}/")
+
+    print("[3] stage from S3 to El Dorado (models cross platforms via S3)")
+    wf.admin_seed_s3(SCOUT)  # BF16 variant was uploaded previously
+    staged = wf.run(wf.stage_model_from_s3(SCOUT, "eldorado"))
+    print(f"    staged {fmt_bytes(sum(staged.values()))} onto eldo-lustre")
+
+    print("[4] deploy on Hops (CUDA image) and El Dorado (ROCm image)")
+
+    def deploy_both(env):
+        hops_dep = yield from wf.deploy_model(
+            "hops", QUANT, tensor_parallel_size=2)
+        eldo_dep = yield from wf.deploy_model(
+            "eldorado", SCOUT, tensor_parallel_size=4)
+        return hops_dep, eldo_dep
+
+    hops_dep, eldo_dep = wf.run(deploy_both(kernel))
+    print(f"    hops:     {hops_dep.ready_endpoint}  "
+          f"image={hops_dep.container.image.ref}")
+    print(f"    eldorado: {eldo_dep.ready_endpoint}  "
+          f"image={eldo_dep.container.image.ref}")
+
+    print("[5] expose via Compute-as-Login (multi-user, Section 3.3)")
+    exposed = wf.expose(hops_dep, mode="cal", user="alice")
+    print(f"    external URL: {exposed.url} "
+          f"(lease on {exposed.detail.node})")
+
+    print("[6] query from the user workstation (Fig. 7)")
+
+    def ask(env):
+        response = yield from wf.query(
+            exposed, "How long to get from Earth to Mars?", QUANT)
+        return response
+
+    response = wf.run(ask(kernel))
+    print(f"    HTTP {response.status}, usage {response.json['usage']}")
+
+    print("[7] benchmark sweep (Fig. 8 methodology, reduced size)")
+
+    def bench(env):
+        sweep = yield from wf.benchmark(
+            hops_dep, QUANT, levels=(1, 16, 256), n_requests=120)
+        return sweep
+
+    sweep = wf.run(bench(kernel))
+    print("    " + sweep.table().replace("\n", "\n    "))
+    print(f"\nsimulated time elapsed: {fmt_duration(kernel.now)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Reproduce paper Figure 9: Hops (H100) vs El Dorado (MI300a).
+
+Quick mode (default): 2 runs per platform, 200 queries/point, 6 levels.
+Full fidelity (paper protocol):
+    python examples/fig09_hops_vs_eldorado.py --full
+(1000 queries/point, 11 levels — several minutes of real time).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import run_fig09
+from repro.experiments.fig09 import PAPER_LEVELS
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    result = run_fig09(
+        n_requests=1000 if full else 200,
+        runs=2,
+        levels=PAPER_LEVELS if full else (1, 4, 16, 64, 256, 1024),
+    )
+    print(result.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Reproduce paper Figure 10: Hops vs Goodall, quantized Scout on 2 GPUs.
+
+The identical container image deploys via a Podman command on Hops and via
+the vLLM Helm chart on Goodall; only the deployment mechanism differs
+(Section 3.4.2).
+
+Quick mode (default): 2+1 runs, 200 queries/point.
+Full fidelity: python examples/fig10_hops_vs_goodall.py --full
+(5 Hops runs + 2 Goodall runs, 1000 queries/point).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import run_fig10
+from repro.experiments.fig09 import PAPER_LEVELS
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    result = run_fig10(
+        n_requests=1000 if full else 200,
+        hops_runs=5 if full else 2,
+        goodall_runs=2 if full else 1,
+        levels=PAPER_LEVELS if full else (1, 4, 16, 64, 256, 1024),
+    )
+    print(result.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Reproduce paper Figure 12: multi-node Llama 3.1 405B on Hops.
+
+Four nodes x 4 H100s under Slurm; a Ray cluster boots per Figure 11, vLLM
+runs TP4 within nodes and PP4 across them.  Three runs show the paper's
+reliability story: run 1 crashes at the concurrency-512 point, run 2
+completes (12.5 -> ~1250 tok/s), run 3 is killed by scheduled maintenance.
+
+Quick mode (default): 150 queries/point.
+Full fidelity: python examples/fig12_multinode_405b.py --full
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import run_fig12
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    result = run_fig12(n_requests=1000 if full else 150)
+    print(result.report())
+
+
+if __name__ == "__main__":
+    main()

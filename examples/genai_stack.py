@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compose a GenAI application stack on the converged site.
+
+The paper's introduction motivates composing inference servers with vector
+databases, routers, and web UIs ("chatbot-style virtual subject matter
+experts informed by site-specific data").  This example deploys:
+
+* two vLLM backends on Hops compute nodes,
+* a Milvus-like vector DB with site documents,
+* a LiteLLM-like router balancing the backends (the paper's HPC
+  resilience recipe: a user-deployed request router),
+* a Chainlit-like chat UI doing RAG over the vector DB,
+
+then chats through the whole stack and kills one backend to show failover.
+
+Run:  python examples/genai_stack.py
+"""
+
+from __future__ import annotations
+
+from repro.containers import RunOpts
+from repro.core import CaseStudyWorkflow, build_sandia_site
+from repro.net.http import HttpClient
+from repro.services import router_image, vectordb_image, webui_image
+from repro.units import fmt_duration
+
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+
+SITE_DOCS = [
+    ("Mars transfer orbits take about nine months with chemical propulsion.",
+     "orbital-mechanics.md"),
+    ("Hops has four H100 GPUs per compute node and runs Slurm.",
+     "hops-user-guide.md"),
+    ("Compute-as-Login mode exposes compute nodes through an NGINX proxy.",
+     "cal-howto.md"),
+]
+
+
+def _embed(text: str, dim: int = 8) -> list[float]:
+    vec = [0.0] * dim
+    for ch in text.encode():
+        vec[ch % dim] += 1.0
+    return vec
+
+
+def main() -> None:
+    site = build_sandia_site(seed=13)
+    wf = CaseStudyWorkflow(site)
+    kernel = site.kernel
+    hops = site.hops
+    wf.admin_seed_model(QUANT, "hops")
+    for image in (vectordb_image(), router_image(), webui_image()):
+        site.gitlab.seed(image)
+
+    def build_stack(env):
+        # Two vLLM backends on separate nodes.
+        dep_a = yield from wf.deploy_model("hops", QUANT,
+                                           tensor_parallel_size=2,
+                                           node=hops.nodes[0])
+        dep_b = yield from wf.deploy_model("hops", QUANT,
+                                           tensor_parallel_size=2,
+                                           node=hops.nodes[1])
+        # Vector DB.
+        vdb = yield from hops.podman.run(
+            hops.nodes[2], "milvusdb/milvus:v2.4",
+            RunOpts(network_host=True, ipc_host=True))
+        yield vdb.ready
+        # Router over both backends.
+        router = yield from hops.podman.run(
+            hops.nodes[2], "berriai/litellm:main",
+            RunOpts(network_host=True, env={
+                "BACKENDS": f"{dep_a.endpoint[0]}:8000,"
+                            f"{dep_b.endpoint[0]}:8000"}))
+        yield router.ready
+        # Web UI talking to the router, RAG over the vector DB.
+        ui = yield from hops.podman.run(
+            hops.nodes[2], "chainlit/chainlit:1.0",
+            RunOpts(network_host=True, env={
+                "OPENAI_BASE": f"{hops.nodes[2].hostname}:4000",
+                "MODEL": QUANT,
+                "VECTORDB": f"{hops.nodes[2].hostname}:19530",
+                "RAG_COLLECTION": "site-docs"}))
+        yield ui.ready
+        return dep_a, dep_b, vdb, router, ui
+
+    dep_a, dep_b, vdb, router, ui = wf.run(build_stack(kernel))
+    svc_host = hops.nodes[2].hostname
+    print(f"stack up at t={fmt_duration(kernel.now)}:")
+    print(f"  vllm backends: {dep_a.endpoint[0]}, {dep_b.endpoint[0]}")
+    print(f"  vectordb/router/webui on {svc_host}")
+
+    client = HttpClient(site.fabric, hops.service_host)
+
+    def seed_docs(env):
+        yield from client.post(svc_host, 19530, "/collections",
+                               json={"name": "site-docs", "dim": 8})
+        response = yield from client.post(
+            svc_host, 19530, "/insert",
+            json={"collection": "site-docs",
+                  "vectors": [_embed(text) for text, _ in SITE_DOCS],
+                  "payloads": [{"text": text, "source": src}
+                               for text, src in SITE_DOCS]})
+        return response
+
+    wf.run(seed_docs(kernel))
+    print(f"  indexed {len(SITE_DOCS)} site documents")
+
+    def chat(env, message):
+        response = yield from client.post(
+            svc_host, 8080, "/chat",
+            json={"session": "demo", "message": message})
+        return response
+
+    response = wf.run(chat(kernel, "How long to get from Earth to Mars?"))
+    print(f"\nchat -> HTTP {response.status}, retrieved context docs: "
+          f"{response.json['retrieved']}")
+    print(f"  usage: {response.json['usage']}")
+
+    print("\nkilling backend A; the router fails over...")
+    dep_a.container.stop()
+    kernel.run(until=kernel.now + 60)  # health checks notice
+    response = wf.run(chat(kernel, "Still there?"))
+    print(f"chat -> HTTP {response.status} (served by the surviving "
+          f"backend)")
+    assert response.status == 200
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""A day in the life of the converged site: the paper's ops stories.
+
+1. Morning: service running on Hops behind a CaL lease.
+2. Lustre maintenance window — the PFS goes down, but models stay
+   available from S3 (Section 2.4's motivation), so the user stages to
+   El Dorado and redeploys there with the ROCm image.
+3. A Goodall node is drained for firmware; Kubernetes reschedules the
+   vLLM pod and ingress follows automatically (Section 3.3).
+4. Evening: scheduled downtime kills the Hops batch job at the
+   reservation start — exactly how Fig. 12 run 3 ended.
+
+Run:  python examples/operations_day.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CaseStudyWorkflow, build_sandia_site
+from repro.units import fmt_duration
+from repro.wlm.base import JobSpec
+
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+SCOUT = "meta-llama/Llama-4-Scout-17B-16E-Instruct"
+
+
+def main() -> None:
+    site = build_sandia_site(seed=23)
+    wf = CaseStudyWorkflow(site)
+    kernel = site.kernel
+    wf.admin_seed_model(QUANT, "hops")
+    wf.admin_seed_s3(SCOUT)
+
+    # -- 1. morning service on Hops ------------------------------------------
+    def morning(env):
+        deployment = yield from wf.deploy_model(
+            "hops", QUANT, tensor_parallel_size=2)
+        return deployment
+
+    hops_dep = wf.run(morning(kernel))
+    lease = wf.expose(hops_dep, mode="cal", user="alice")
+    resp = wf.run(wf.query(lease, "good morning", QUANT))
+    print(f"[{fmt_duration(kernel.now)}] hops service up via CaL "
+          f"({lease.url}) -> HTTP {resp.status}")
+
+    # -- 2. lustre maintenance: migrate via S3 -------------------------------
+    site.hops.filesystem.schedule_downtime(start=kernel.now + 60,
+                                           duration=45 * 60)
+    kernel.run(until=kernel.now + 120)
+    print(f"[{fmt_duration(kernel.now)}] hops-lustre down for maintenance; "
+          f"staging {SCOUT.split('/')[-1]} to El Dorado from S3...")
+    wf.run(wf.stage_model_from_s3(SCOUT, "eldorado"))
+
+    def eldo(env):
+        deployment = yield from wf.deploy_model(
+            "eldorado", SCOUT, tensor_parallel_size=4)
+        return deployment
+
+    eldo_dep = wf.run(eldo(kernel))
+    print(f"[{fmt_duration(kernel.now)}] El Dorado serving with "
+          f"{eldo_dep.container.image.ref} (ROCm variant, auto-selected)")
+
+    # -- 3. Goodall node drain ------------------------------------------------
+    wf.admin_seed_s3(QUANT)
+
+    def goodall(env):
+        deployment = yield from wf.deploy_model(
+            "goodall", QUANT, tensor_parallel_size=2)
+        return deployment
+
+    k8s_dep = wf.run(goodall(kernel))
+    pod = site.goodall.cluster.running_pods()[0]
+    print(f"[{fmt_duration(kernel.now)}] goodall pod on {pod.node_name}; "
+          "draining that node...")
+    site.goodall.cluster.drain(pod.node_name)
+    kernel.run(until=kernel.now + 3600)
+    moved = site.goodall.cluster.running_pods()[0]
+    resp = wf.run(wf.query(
+        type("E", (), {"host": k8s_dep.endpoint[0],
+                       "port": k8s_dep.endpoint[1]})(), "still there?",
+        QUANT))
+    print(f"[{fmt_duration(kernel.now)}] pod rescheduled to "
+          f"{moved.node_name}; ingress query -> HTTP {resp.status}")
+
+    # -- 4. evening downtime kills the batch job ------------------------------
+    # Alice winds down the interactive day service first.
+    site.hops.cal.release(lease.detail)
+    hops_dep.stop()
+    kernel.run(until=kernel.now + 10)
+
+    def service_job(ctx):
+        deployment = yield from wf.deploy_model(
+            "hops", QUANT, tensor_parallel_size=2, node=ctx.nodes[0])
+        ctx.defer(deployment.stop)
+        yield ctx.sleep(1e9)
+
+    job = site.hops.wlm.submit(JobSpec(
+        name="overnight-vllm", nodes=1, time_limit=7 * 24 * 3600,
+        script=service_job))
+    kernel.run(until=kernel.now + 60)
+    site.hops.wlm.add_reservation(start=kernel.now + 1800,
+                                  duration=12 * 3600,
+                                  reason="scheduled maintenance")
+
+    def wait_for_job(env):
+        try:
+            yield job.finished
+            return "completed"
+        except Exception as exc:
+            return str(exc)
+
+    outcome = kernel.run(until=kernel.spawn(wait_for_job(kernel)))
+    print(f"[{fmt_duration(kernel.now)}] overnight job: {outcome}")
+    assert "NODE_FAIL" in outcome
+    print("\n(the same failure mode that ended Fig. 12 run 3)")
+
+
+if __name__ == "__main__":
+    main()

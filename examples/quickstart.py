@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up the converged site and serve one model.
+
+Builds the Sandia-like converged computing environment (Hops, El Dorado,
+Goodall, CEE + S3 + registries), deploys the quantized Llama 4 Scout with
+the unified deployment tool on Hops via Podman, opens an SSH tunnel, and
+sends one chat-completion request — the paper's Figure 7 moment.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CaseStudyWorkflow, build_sandia_site
+from repro.core.translate import command_text
+from repro.units import fmt_duration
+
+MODEL = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+
+
+def main() -> None:
+    print("building converged site (Fig. 1)...")
+    site = build_sandia_site(seed=42)
+    print(f"  platforms: {', '.join(sorted(site.platforms))}")
+    print(f"  S3 sites: {[s.name for s in site.s3.sites]}")
+    print(f"  registries: {site.gitlab.name}, {site.quay.name}")
+
+    wf = CaseStudyWorkflow(site)
+    wf.admin_seed_model(MODEL, "hops")  # pretend staging already happened
+
+    def scenario(env):
+        print("\ndeploying with the unified tool (Podman on Hops)...")
+        deployment = yield from wf.deploy_model(
+            "hops", MODEL, tensor_parallel_size=2)
+        print(f"  endpoint: {deployment.ready_endpoint}")
+        print(f"  equivalent command (paper Fig. 4 style):\n")
+        print("    " + command_text(deployment.artifact).replace(
+            "\n", "\n    "))
+
+        exposed = wf.expose(deployment, mode="tunnel")
+        print(f"\n  SSH tunnel: {exposed.detail.command}")
+
+        print("\nsending one chat completion (paper Fig. 7)...")
+        response = yield from wf.query(
+            exposed, "How long to get from Earth to Mars?", MODEL,
+            max_tokens=128)
+        return deployment, response
+
+    deployment, response = wf.run(scenario(site.kernel))
+    print(f"  HTTP {response.status}")
+    print(f"  usage: {response.json['usage']}")
+    stats = response.json["repro_stats"]
+    print(f"  ttft {stats['ttft'] * 1000:.0f} ms, "
+          f"latency {fmt_duration(stats['latency'])}")
+    print(f"\nsimulated wall time: {fmt_duration(site.kernel.now)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The Section 4 contribution in action: one package, four deployments.
+
+The same ``vllm-openai`` AppPackage deploys via Podman on Hops, via
+Apptainer on Hops (automatically adapted flags), via Podman+ROCm on
+El Dorado, and via Helm on Goodall — with the hardware variant, runtime
+flags, and configuration profile all resolved from metadata.
+
+Run:  python examples/unified_deploy_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (CaseStudyWorkflow, Deployer, build_sandia_site,
+                        vllm_package)
+from repro.core.translate import command_text
+
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+SCOUT = "meta-llama/Llama-4-Scout-17B-16E-Instruct"
+
+
+def main() -> None:
+    site = build_sandia_site(seed=9)
+    wf = CaseStudyWorkflow(site)
+    deployer = Deployer(site)
+    pkg = vllm_package()
+    wf.admin_seed_model(QUANT, "hops")
+    wf.admin_seed_model(SCOUT, "eldorado")
+    wf.admin_seed_s3(QUANT)
+
+    plans = [
+        ("hops", "podman", {"model": QUANT, "tensor_parallel_size": 2,
+                            "max_model_len": 65536, "name": "vllm-podman"}),
+        ("hops", "apptainer", {"model": QUANT, "tensor_parallel_size": 2,
+                               "max_model_len": 65536,
+                               "name": "vllm-apptainer"}),
+        ("eldorado", None, {"model": SCOUT, "tensor_parallel_size": 4,
+                            "max_model_len": 65536, "name": "vllm-rocm"}),
+        ("goodall", None, {"model": QUANT, "tensor_parallel_size": 2,
+                           "max_model_len": 65536, "name": "vllm-k8s"}),
+    ]
+
+    def tour(env):
+        deployments = []
+        for platform_name, runtime_name, params in plans:
+            kwargs = {}
+            if runtime_name and platform_name in ("hops", "eldorado"):
+                kwargs["runtime_name"] = runtime_name
+            deployment = yield from deployer.deploy(
+                pkg, platform_name, params, **kwargs)
+            deployments.append(deployment)
+        return deployments
+
+    deployments = wf.run(tour(site.kernel))
+
+    for deployment in deployments:
+        print(f"== {deployment.platform_name} via {deployment.mechanism} ==")
+        print(f"   endpoint: {deployment.ready_endpoint}")
+        if deployment.mechanism == "helm":
+            cmd = " ".join(deployment.artifact["image"]["command"])
+            print(f"   chart image: "
+                  f"{deployment.artifact['image']['repository']}:"
+                  f"{deployment.artifact['image']['tag']}")
+            print(f"   chart command: {cmd}")
+        else:
+            print("   " + command_text(deployment.artifact).replace(
+                "\n", "\n   "))
+        print()
+
+    print("the same application package; all runtime/platform/site "
+          "differences were\nresolved from metadata "
+          "(ExecutionExpectations + HardwareVariant + ConfigProfile).")
+
+
+if __name__ == "__main__":
+    main()

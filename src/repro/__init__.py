@@ -1,0 +1,23 @@
+"""repro — reproduction of *Experience Deploying Containerized GenAI Services
+at an HPC Center* (Beltre, Ogden, Pedretti; SC Workshops '25).
+
+The library simulates a converged HPC/cloud computing environment — HPC
+platforms under Slurm/Flux, Kubernetes clusters, container registries,
+site-wide S3 object storage — and serves LLM inference with a vLLM-like
+continuous-batching engine, all on a deterministic discrete-event kernel.
+On top sits the paper's prospective contribution: a unified container
+deployment tool (:mod:`repro.core`) that deploys the same application
+package across Podman, Apptainer, and Kubernetes.
+
+Quickstart
+----------
+>>> from repro.core import build_sandia_site
+>>> site = build_sandia_site(seed=42)
+
+See ``examples/quickstart.py`` for an end-to-end deployment.
+"""
+
+__version__ = "1.0.0"
+
+from . import units  # noqa: F401  (re-exported convenience)
+from .errors import ReproError  # noqa: F401

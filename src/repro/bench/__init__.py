@@ -1,0 +1,22 @@
+"""Benchmark harness: the ``benchmark_serving.py`` equivalent.
+
+``repro.bench`` reproduces the paper's methodology (Section 3.4): stream
+1000 ShareGPT-sampled requests at a target endpoint with a bounded
+``--max-concurrency``, sweep that bound in powers of two from 1 to 1024,
+and report output-token throughput per level — the series plotted in
+Figures 9, 10, and 12.
+"""
+
+from .sharegpt import ShareGptSampler, SampledRequest
+from .client import BenchmarkClient, BenchmarkResult
+from .sweep import ConcurrencySweep, SweepPoint, SweepResult
+
+__all__ = [
+    "BenchmarkClient",
+    "BenchmarkResult",
+    "ConcurrencySweep",
+    "SampledRequest",
+    "ShareGptSampler",
+    "SweepPoint",
+    "SweepResult",
+]

@@ -1,0 +1,151 @@
+"""Closed-loop benchmark client with bounded request concurrency.
+
+Equivalent of ``benchmark_serving.py --max-concurrency N`` (paper Figure 8):
+N workers each keep one request in flight against the OpenAI endpoint; the
+stream of 1000 sampled requests is drained from a shared queue.  "A maximum
+request concurrency of 1 means that a single request at a time is sent...
+while a batch size of 16 means that up to 16 requests at a time are sent
+before waiting for a response completion."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import APIError, NetworkUnreachable, ReproError
+from ..net.http import HttpClient
+from .sharegpt import SampledRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.topology import Fabric
+    from ..simkernel import SimKernel
+
+#: Abort the run when this fraction of requests has errored (crash detect).
+ERROR_ABORT_FRACTION = 0.05
+
+
+@dataclass
+class BenchmarkResult:
+    """Metrics for one benchmark run at one concurrency level."""
+
+    concurrency: int
+    n_requests: int
+    completed: int = 0
+    errors: int = 0
+    duration: float = 0.0
+    total_output_tokens: int = 0
+    total_prompt_tokens: int = 0
+    ttfts: list[float] = field(default_factory=list)
+    latencies: list[float] = field(default_factory=list)
+    crashed: bool = False
+    error_sample: str = ""
+
+    @property
+    def output_throughput(self) -> float:
+        """Output tokens/second — the paper's y-axis."""
+        return self.total_output_tokens / self.duration \
+            if self.duration > 0 else 0.0
+
+    @property
+    def request_throughput(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def mean_ttft(self) -> float:
+        return float(np.mean(self.ttfts)) if self.ttfts else 0.0
+
+    @property
+    def p50_latency(self) -> float:
+        return float(np.percentile(self.latencies, 50)) if self.latencies \
+            else 0.0
+
+    @property
+    def p99_latency(self) -> float:
+        return float(np.percentile(self.latencies, 99)) if self.latencies \
+            else 0.0
+
+    def row(self) -> dict:
+        """One row of the paper-style report."""
+        return {
+            "max_concurrency": self.concurrency,
+            "completed": self.completed,
+            "errors": self.errors,
+            "duration_s": round(self.duration, 2),
+            "output_tok_per_s": round(self.output_throughput, 1),
+            "req_per_s": round(self.request_throughput, 3),
+            "mean_ttft_s": round(self.mean_ttft, 3),
+            "p50_latency_s": round(self.p50_latency, 3),
+            "p99_latency_s": round(self.p99_latency, 3),
+            "crashed": self.crashed,
+        }
+
+
+class BenchmarkClient:
+    """Drives one benchmark run from a client host on the fabric."""
+
+    def __init__(self, kernel: "SimKernel", fabric: "Fabric",
+                 client_host: str, endpoint_host: str, endpoint_port: int,
+                 model: str, api_path: str = "/v1/chat/completions"):
+        self.kernel = kernel
+        self.fabric = fabric
+        self.client_host = client_host
+        self.endpoint = (endpoint_host, endpoint_port)
+        self.model = model
+        self.api_path = api_path
+
+    def run(self, requests: list[SampledRequest], max_concurrency: int):
+        """Generator: returns a :class:`BenchmarkResult`."""
+        kernel = self.kernel
+        result = BenchmarkResult(concurrency=max_concurrency,
+                                 n_requests=len(requests))
+        queue = list(reversed(requests))  # pop() takes in order
+        started_at = kernel.now
+        abort_after = max(1, int(len(requests) * ERROR_ABORT_FRACTION))
+        http = HttpClient(self.fabric, self.client_host)
+
+        def worker(env):
+            while queue:
+                if result.errors >= abort_after:
+                    return
+                sample = queue.pop()
+                submit_time = env.now
+                try:
+                    response = yield from http.post(
+                        self.endpoint[0], self.endpoint[1], self.api_path,
+                        json={
+                            "model": self.model,
+                            "messages": [{"role": "user",
+                                          "content": "<sampled>"}],
+                            "repro_prompt_tokens": sample.prompt_tokens,
+                            "max_tokens": sample.output_tokens,
+                            "temperature": 0.7,
+                        })
+                except (APIError, NetworkUnreachable, ReproError) as exc:
+                    result.errors += 1
+                    result.error_sample = result.error_sample or str(exc)
+                    continue
+                if not response.ok:
+                    result.errors += 1
+                    result.error_sample = result.error_sample or str(
+                        (response.status, response.json))
+                    continue
+                usage = response.json["usage"]
+                stats = response.json.get("repro_stats", {})
+                result.completed += 1
+                result.total_output_tokens += usage["completion_tokens"]
+                result.total_prompt_tokens += usage["prompt_tokens"]
+                result.ttfts.append(stats.get("ttft", 0.0))
+                result.latencies.append(env.now - submit_time)
+
+        workers = [kernel.spawn(worker(kernel), name=f"bench-w{i}")
+                   for i in range(max_concurrency)]
+        yield kernel.all_of(workers)
+        result.duration = kernel.now - started_at
+        result.crashed = result.errors >= abort_after
+        kernel.trace.emit("bench.done", concurrency=max_concurrency,
+                          completed=result.completed, errors=result.errors,
+                          throughput=result.output_throughput)
+        return result

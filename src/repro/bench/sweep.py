@@ -1,0 +1,92 @@
+"""Concurrency sweeps: the outer loop around the benchmark client.
+
+"In our evaluations, we perform multiple runs of the benchmark sweeping the
+maximum request concurrency from 1 to 1024 in powers of two steps."  Each
+sweep point sends a fresh stream of sampled queries; a crash mid-sweep ends
+the run (Fig. 12 run 1 stops at 512 with the crash annotated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from .client import BenchmarkClient, BenchmarkResult
+from .sharegpt import ShareGptSampler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simkernel import SimKernel
+
+DEFAULT_LEVELS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass
+class SweepPoint:
+    concurrency: int
+    result: BenchmarkResult
+
+    @property
+    def throughput(self) -> float:
+        return self.result.output_throughput
+
+
+@dataclass
+class SweepResult:
+    """One curve of a paper figure (one run on one platform)."""
+
+    label: str
+    points: list[SweepPoint] = field(default_factory=list)
+    terminated_early: str | None = None
+
+    def series(self) -> list[tuple[int, float]]:
+        return [(p.concurrency, p.throughput) for p in self.points]
+
+    def throughput_at(self, concurrency: int) -> float:
+        for p in self.points:
+            if p.concurrency == concurrency:
+                return p.throughput
+        raise KeyError(f"no sweep point at concurrency {concurrency}")
+
+    def table(self) -> str:
+        """gnuplot-style data block like the paper's artifact files."""
+        lines = [f"# {self.label}",
+                 "# max_concurrency  output_tok_per_s  completed  "
+                 "errors  duration_s"]
+        for p in self.points:
+            r = p.result
+            lines.append(f"{p.concurrency:>6d}  {r.output_throughput:10.1f}  "
+                         f"{r.completed:5d}  {r.errors:3d}  {r.duration:9.1f}")
+        if self.terminated_early:
+            lines.append(f"# terminated early: {self.terminated_early}")
+        return "\n".join(lines)
+
+
+class ConcurrencySweep:
+    """Runs a client across concurrency levels with fresh request streams."""
+
+    def __init__(self, kernel: "SimKernel", client: BenchmarkClient,
+                 sampler: ShareGptSampler, n_requests: int = 1000,
+                 levels: tuple[int, ...] = DEFAULT_LEVELS,
+                 on_point: Callable[[SweepPoint], None] | None = None):
+        self.kernel = kernel
+        self.client = client
+        self.sampler = sampler
+        self.n_requests = n_requests
+        self.levels = levels
+        self.on_point = on_point
+
+    def run(self, label: str):
+        """Generator: returns a :class:`SweepResult`."""
+        sweep = SweepResult(label=label)
+        for level in self.levels:
+            requests = self.sampler.sample(self.n_requests)
+            result = yield from self.client.run(requests, level)
+            point = SweepPoint(concurrency=level, result=result)
+            sweep.points.append(point)
+            if self.on_point is not None:
+                self.on_point(point)
+            if result.crashed:
+                sweep.terminated_early = (
+                    f"crash at concurrency {level}: {result.error_sample}")
+                break
+        return sweep

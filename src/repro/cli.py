@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``quickstart``          deploy + one query on Hops, print the artifacts.
+``deploy``              unified deploy of the vLLM package on any platform.
+``bench fig09|fig10|fig12``  regenerate a paper figure; optionally write
+                        gnuplot artifacts with ``--out DIR``.
+``ablation <name>``     run one ablation (pull-storm, s3-routing,
+                        startup, quantization, parallelism).
+``site``                print the converged-site inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core import CaseStudyWorkflow, build_sandia_site
+from .core.translate import command_text
+from .units import fmt_duration
+
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+SCOUT = "meta-llama/Llama-4-Scout-17B-16E-Instruct"
+
+
+def _cmd_site(args: argparse.Namespace) -> int:
+    site = build_sandia_site(seed=args.seed)
+    print("converged site (paper Fig. 1):")
+    for name, platform in sorted(site.platforms.items()):
+        kind = "HPC" if hasattr(platform, "wlm") else "Kubernetes"
+        sched = platform.wlm.name if hasattr(platform, "wlm") else "k8s"
+        print(f"  {name:10s} {kind:10s} scheduler={sched:6s} "
+              f"nodes={len(platform.nodes):3d} "
+              f"gpu={platform.gpu_spec.name} x{platform.gpus_per_node}")
+    print(f"  S3: {site.s3.endpoint} "
+          f"({', '.join(s.name for s in site.s3.sites)})")
+    print(f"  registries: {site.gitlab.name} -> mirrors -> {site.quay.name}")
+    print(f"  models on hub: {len(site.hub.repos)}")
+    return 0
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    site = build_sandia_site(seed=args.seed)
+    wf = CaseStudyWorkflow(site)
+    out = wf.run_quick_demo()
+    print(f"HTTP {out['status']}; usage {out['response']['usage']}")
+    print(f"simulated time: {fmt_duration(site.kernel.now)}")
+    return 0 if out["status"] == 200 else 1
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    site = build_sandia_site(seed=args.seed)
+    wf = CaseStudyWorkflow(site)
+    model = args.model
+    if args.platform == "goodall":
+        wf.admin_seed_s3(model)
+    else:
+        wf.admin_seed_model(model, args.platform)
+
+    def go(env):
+        deployment = yield from wf.deploy_model(
+            args.platform, model, tensor_parallel_size=args.tp,
+            runtime_name=args.runtime)
+        return deployment
+
+    deployment = wf.run(go(site.kernel))
+    print(f"deployed {model}")
+    print(f"  platform:  {deployment.platform_name}")
+    print(f"  mechanism: {deployment.mechanism}")
+    print(f"  endpoint:  {deployment.ready_endpoint}")
+    if deployment.mechanism == "helm":
+        print("  values:")
+        print(json.dumps(deployment.artifact, indent=2, default=str))
+    else:
+        print("  equivalent command:")
+        print("    " + command_text(deployment.artifact).replace(
+            "\n", "\n    "))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments import run_fig09, run_fig10, run_fig12
+    runner = {"fig09": lambda: run_fig09(n_requests=args.requests, runs=2),
+              "fig10": lambda: run_fig10(n_requests=args.requests,
+                                         hops_runs=2, goodall_runs=1),
+              "fig12": lambda: run_fig12(n_requests=args.requests)}
+    result = runner[args.figure]()
+    print(result.report())
+    if args.out:
+        from .experiments.artifacts import write_figure_artifacts
+        paths = write_figure_artifacts(result, args.out)
+        print(f"\nwrote {len(paths)} artifact files to {args.out}")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from .experiments import (run_parallelism_ablation, run_pull_storm,
+                              run_quantization_ablation, run_s3_routing,
+                              run_startup_times)
+    runner = {
+        "pull-storm": lambda: run_pull_storm(args.nodes),
+        "s3-routing": run_s3_routing,
+        "startup": run_startup_times,
+        "quantization": run_quantization_ablation,
+        "parallelism": run_parallelism_ablation,
+    }
+    print(json.dumps(runner[args.name](), indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated converged HPC/K8s GenAI serving "
+                    "(SC-W'25 reproduction)")
+    parser.add_argument("--seed", type=int, default=42)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("site", help="print the converged-site inventory")
+    sub.add_parser("quickstart", help="deploy + one query")
+
+    deploy = sub.add_parser("deploy", help="unified deploy of vLLM")
+    deploy.add_argument("--platform", required=True,
+                        choices=["hops", "eldorado", "goodall", "cee"])
+    deploy.add_argument("--model", default=QUANT)
+    deploy.add_argument("--tp", type=int, default=2,
+                        help="tensor parallel size")
+    deploy.add_argument("--runtime", default=None,
+                        choices=[None, "podman", "apptainer"])
+
+    bench = sub.add_parser("bench", help="regenerate a paper figure")
+    bench.add_argument("figure", choices=["fig09", "fig10", "fig12"])
+    bench.add_argument("--requests", type=int, default=200,
+                       help="queries per sweep point (paper: 1000)")
+    bench.add_argument("--out", default=None,
+                       help="write gnuplot .dat artifacts to this dir")
+
+    ablation = sub.add_parser("ablation", help="run one ablation")
+    ablation.add_argument("name", choices=["pull-storm", "s3-routing",
+                                           "startup", "quantization",
+                                           "parallelism"])
+    ablation.add_argument("--nodes", type=int, default=8)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "site": _cmd_site,
+        "quickstart": _cmd_quickstart,
+        "deploy": _cmd_deploy,
+        "bench": _cmd_bench,
+        "ablation": _cmd_ablation,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Platform assembly: HPC platforms and Kubernetes platforms as units.
+
+``profiles.py`` carries the per-(platform, model) calibration constants
+anchored to the paper's reported numbers (DESIGN.md §3).
+"""
+
+from .platform import HPCPlatform, K8sPlatform
+from .profiles import PERF_PROFILES, perf_profile
+
+__all__ = ["HPCPlatform", "K8sPlatform", "PERF_PROFILES", "perf_profile"]

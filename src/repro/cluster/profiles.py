@@ -1,0 +1,61 @@
+"""Calibrated achieved-efficiency profiles per (platform, model variant).
+
+Anchors (paper Section 3.4):
+
+=====================  ==========  ===========
+deployment             c=1 tok/s   c=1024 tok/s
+=====================  ==========  ===========
+Hops Scout BF16 TP4        103        4313
+El Dorado Scout TP4         48        1899
+Hops 405B TP4xPP4         12.5        1256
+Goodall w4a16 TP2           n/a       ~1900 (slightly above Hops w4a16)
+=====================  ==========  ===========
+
+The derivations are straight roofline inversions (see DESIGN.md §3); tests
+in ``tests/calibration`` re-run the actual benchmark simulation and assert
+the anchors within tolerance.  The low MI300A efficiencies reflect the
+paper's observation that these were unoptimized early-days ROCm runs, not
+a hardware statement ("the vLLM community and vendors are achieving rapid
+performance gains").
+"""
+
+from __future__ import annotations
+
+from ..errors import NotFoundError
+from ..vllm.perf import PerfProfile
+
+PERF_PROFILES: dict[tuple[str, str], PerfProfile] = {
+    # Hops: H100-SXM-80G, CUDA, Scout BF16 TP4 (Fig. 9).
+    ("hops", "scout-bf16"): PerfProfile(
+        eff_mem=0.32, eff_flop=0.064, eff_prefill=0.45,
+        t_overhead=0.00156, t_pp_comm=0.001),
+    # El Dorado: MI300A, early ROCm stack, Scout BF16 TP4 (Fig. 9).
+    ("eldorado", "scout-bf16"): PerfProfile(
+        eff_mem=0.085, eff_flop=0.0285, eff_prefill=0.20,
+        t_overhead=0.0016, t_pp_comm=0.001),
+    # Hops: quantized Scout w4a16 TP2 (Fig. 10) — dequant overhead on FLOPs.
+    ("hops", "scout-w4a16"): PerfProfile(
+        eff_mem=0.32, eff_flop=0.044, eff_prefill=0.45,
+        t_overhead=0.00156, t_pp_comm=0.001),
+    # Goodall: H100-NVL-94G under OpenShift, w4a16 TP2 (Fig. 10).
+    ("goodall", "scout-w4a16"): PerfProfile(
+        eff_mem=0.32, eff_flop=0.053, eff_prefill=0.45,
+        t_overhead=0.00156, t_pp_comm=0.001),
+    # Hops multi-node: 405B TP4 x PP4 over Ethernet (Fig. 12).  The c=1024
+    # measurement is tail-dominated: the longest sampled request decodes
+    # at the batch-1 rate (which the 12.5 tok/s anchor pins), so measured
+    # peaks land 960-1280 tok/s across sampling seeds vs the paper's 1256;
+    # see EXPERIMENTS.md.
+    ("hops", "405b-multinode"): PerfProfile(
+        eff_mem=0.82, eff_flop=0.30, eff_prefill=0.45,
+        t_overhead=0.002, t_pp_comm=0.001),
+}
+
+
+def perf_profile(platform: str, variant: str) -> PerfProfile:
+    try:
+        return PERF_PROFILES[(platform, variant)]
+    except KeyError:
+        raise NotFoundError(
+            f"no calibrated profile for ({platform!r}, {variant!r}); "
+            f"known: {sorted(PERF_PROFILES)}") from None

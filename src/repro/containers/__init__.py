@@ -1,0 +1,41 @@
+"""Container substrate: images, registries, and runtimes.
+
+Models the three container paths the paper exercises — Podman and Apptainer
+on HPC platforms, CRI under Kubernetes — including their *different default
+execution-environment semantics* (the root cause of the vLLM-under-Apptainer
+startup crash in Section 3.2), OCI layer pulls with registry contention
+(Section 2.3), and flattening OCI images to single-file SIF images on a
+parallel filesystem.
+"""
+
+from .image import (IMAGE_APPS, ExecutionExpectations, ImageManifest, Layer,
+                    SifImage, flatten_to_sif, parse_ref, register_app)
+from .registry import ImageCache, Registry
+from .runtime import (Container, ContainerApp, ContainerContext,
+                      ContainerRuntime, EffectiveEnvironment, RunOpts)
+from .podman import PodmanRuntime
+from .apptainer import ApptainerRuntime
+from .cri import CriRuntime
+from . import apps  # noqa: F401  (registers generic app behaviors)
+
+__all__ = [
+    "ApptainerRuntime",
+    "Container",
+    "ContainerApp",
+    "ContainerContext",
+    "ContainerRuntime",
+    "CriRuntime",
+    "EffectiveEnvironment",
+    "ExecutionExpectations",
+    "IMAGE_APPS",
+    "ImageCache",
+    "ImageManifest",
+    "Layer",
+    "PodmanRuntime",
+    "Registry",
+    "RunOpts",
+    "SifImage",
+    "flatten_to_sif",
+    "parse_ref",
+    "register_app",
+]

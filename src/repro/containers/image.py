@@ -1,0 +1,225 @@
+"""OCI images, layers, execution-environment expectations, and SIF flattening.
+
+The paper's Section 4 proposal — *"Container metadata could be used to
+encode the execution environment expectations of containerized workloads,
+then a tool could use this information to automatically adapt the container
+for different container platforms"* — is realised here as
+:class:`ExecutionExpectations` attached to :class:`ImageManifest`; the
+deployer (``repro.core``) consumes it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..errors import ConfigurationError, NotFoundError
+from ..hardware.gpu import GpuArch
+from ..units import GiB
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One OCI layer: content-addressed blob of a given size."""
+
+    digest: str
+    size: int
+
+    @staticmethod
+    def make(seed: str, size: int) -> "Layer":
+        digest = "sha256:" + hashlib.sha256(seed.encode()).hexdigest()[:16]
+        return Layer(digest=digest, size=size)
+
+
+@dataclass(frozen=True)
+class ExecutionExpectations:
+    """What the containerized app assumes about its execution environment.
+
+    Each flag corresponds to a concrete failure mode observed in the paper's
+    case study when Apptainer's defaults diverge from Podman's.
+    """
+
+    run_as_root: bool = False       # app writes to /root (e.g. HF cache)
+    writable_rootfs: bool = False   # app writes outside mounted volumes
+    isolated_home: bool = False     # stray $HOME content breaks the app
+    clean_env: bool = False         # stray host env vars break the app
+    host_network: bool = False      # server binds host ports
+    host_ipc: bool = False          # NCCL/shared-memory for multi-GPU
+    needs_gpus: bool = False
+
+
+@dataclass(frozen=True)
+class ImageManifest:
+    """An OCI image: named reference, layers, arch variant, app binding.
+
+    ``app`` names a behavior registered via :func:`register_app`; when a
+    runtime starts a container from this image, that factory provides the
+    simulated application (e.g. the vLLM server).
+    ``gpu_arch`` is None for CPU-only images; otherwise the vendor stack the
+    image was built for — upstream vLLM ships CUDA, AMD ships ROCm builds.
+    """
+
+    repository: str
+    tag: str
+    layers: tuple[Layer, ...]
+    app: str = "noop"
+    gpu_arch: GpuArch | None = None
+    expectations: ExecutionExpectations = ExecutionExpectations()
+    entrypoint: str = ""
+    labels: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.layers:
+            raise ConfigurationError("image needs at least one layer")
+
+    @property
+    def ref(self) -> str:
+        return f"{self.repository}:{self.tag}"
+
+    @property
+    def size(self) -> int:
+        return sum(l.size for l in self.layers)
+
+    @property
+    def digest(self) -> str:
+        joined = ",".join(l.digest for l in self.layers)
+        return "sha256:" + hashlib.sha256(joined.encode()).hexdigest()[:16]
+
+    def retag(self, repository: str | None = None,
+              tag: str | None = None) -> "ImageManifest":
+        return replace(self, repository=repository or self.repository,
+                       tag=tag or self.tag)
+
+
+def parse_ref(ref: str) -> tuple[str, str]:
+    """Split ``repo/name:tag`` into (repository, tag); tag defaults latest."""
+    if ":" in ref.rsplit("/", 1)[-1]:
+        repo, tag = ref.rsplit(":", 1)
+    else:
+        repo, tag = ref, "latest"
+    if not repo:
+        raise ConfigurationError(f"bad image reference {ref!r}")
+    return repo, tag
+
+
+#: Compression win from flattening stacked OCI layers into one SquashFS/SIF
+#: file (dedup of whiteouts and shared files).
+SIF_COMPRESSION = 0.85
+
+
+@dataclass(frozen=True)
+class SifImage:
+    """A flattened single-file image (SquashFS/Singularity Image Format).
+
+    Stored on a filesystem path instead of a registry; avoids the registry
+    pull storm because the parallel FS serves all nodes at once.
+    """
+
+    path: str
+    size: int
+    source: ImageManifest
+
+    @property
+    def ref(self) -> str:
+        return self.path
+
+
+def flatten_to_sif(manifest: ImageManifest, path: str) -> SifImage:
+    """Flatten an OCI image to a SIF file (metadata only; the *build* time
+    and byte movement are charged where it happens — see ApptainerRuntime)."""
+    return SifImage(path=path, size=int(manifest.size * SIF_COMPRESSION),
+                    source=manifest)
+
+
+# -- app behavior registry -------------------------------------------------------
+
+IMAGE_APPS: dict[str, Callable] = {}
+
+
+def register_app(name: str):
+    """Decorator: bind an app factory to an image ``app`` key."""
+    def deco(factory: Callable):
+        IMAGE_APPS[name] = factory
+        return factory
+    return deco
+
+
+def app_factory(name: str) -> Callable:
+    try:
+        return IMAGE_APPS[name]
+    except KeyError:
+        raise NotFoundError(
+            f"no app behavior registered for {name!r}; "
+            f"known: {sorted(IMAGE_APPS)}") from None
+
+
+# -- stock image builders ----------------------------------------------------------
+
+
+def make_layers(seed: str, total_size: int, count: int = 8) -> tuple[Layer, ...]:
+    """Split ``total_size`` into ``count`` layers with a realistic skew
+    (one dominant CUDA/ROCm layer plus small config layers)."""
+    if count < 1:
+        raise ConfigurationError("need at least one layer")
+    if count == 1:
+        return (Layer.make(f"{seed}:0", total_size),)
+    big = int(total_size * 0.7)
+    rest = total_size - big
+    small = rest // (count - 1)
+    layers = [Layer.make(f"{seed}:0", big)]
+    for i in range(1, count - 1):
+        layers.append(Layer.make(f"{seed}:{i}", small))
+    layers.append(Layer.make(f"{seed}:{count-1}",
+                             total_size - big - small * (count - 2)))
+    return tuple(layers)
+
+
+def vllm_cuda_image(tag: str = "v0.9.1") -> ImageManifest:
+    """The upstream vLLM OpenAI server image (CUDA build, ~15 GiB)."""
+    return ImageManifest(
+        repository="vllm/vllm-openai",
+        tag=tag,
+        layers=make_layers(f"vllm-cuda:{tag}", 15 * GiB),
+        app="vllm-openai",
+        gpu_arch=GpuArch.CUDA,
+        expectations=ExecutionExpectations(
+            run_as_root=True, writable_rootfs=True, isolated_home=True,
+            clean_env=True, host_network=True, host_ipc=True,
+            needs_gpus=True),
+        entrypoint="vllm",
+        labels={"org.opencontainers.image.source":
+                "https://github.com/vllm-project/vllm"},
+    )
+
+
+def vllm_rocm_image(tag: str = "rocm6.4.1_vllm_0.9.1_20250702") -> ImageManifest:
+    """AMD's ROCm build of vLLM (paper Figure 8 uses this image)."""
+    return ImageManifest(
+        repository="rocm/vllm",
+        tag=tag,
+        layers=make_layers(f"vllm-rocm:{tag}", 18 * GiB),
+        app="vllm-openai",
+        gpu_arch=GpuArch.ROCM,
+        expectations=ExecutionExpectations(
+            run_as_root=True, writable_rootfs=True, isolated_home=True,
+            clean_env=True, host_network=True, host_ipc=True,
+            needs_gpus=True),
+        entrypoint="vllm",
+    )
+
+
+def alpine_git_image() -> ImageManifest:
+    """alpine/git used for containerized model downloads (paper Figure 2)."""
+    return ImageManifest(
+        repository="alpine/git", tag="latest",
+        layers=make_layers("alpine-git", 40 * 1024 * 1024, count=3),
+        app="git-clone", entrypoint="git")
+
+
+def aws_cli_image() -> ImageManifest:
+    """amazon/aws-cli used for S3 uploads (paper Figure 3)."""
+    return ImageManifest(
+        repository="amazon/aws-cli", tag="latest",
+        layers=make_layers("aws-cli", 400 * 1024 * 1024, count=4),
+        app="aws-cli", entrypoint="aws")

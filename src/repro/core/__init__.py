@@ -1,0 +1,34 @@
+"""The paper's contribution layer: converged site + unified deployment tool.
+
+* :mod:`~repro.core.site` — the Fig. 1 converged computing architecture as
+  one assembled object (HPC platforms, Kubernetes, registries, S3, network).
+* :mod:`~repro.core.package` — ``AppPackage``: the Section 4 proposal of a
+  *package manager for containerized applications*: execution-environment
+  expectations, per-hardware image variants, and high-level configuration
+  profiles, resolved per platform/site automatically.
+* :mod:`~repro.core.deployer` — ``Deployer.deploy(package, platform)``:
+  one call that adapts to Podman, Apptainer, or Helm/Kubernetes.
+* :mod:`~repro.core.workflow` — the end-to-end case study of Section 3.
+"""
+
+from .. import services  # noqa: F401  (registers git/aws-cli app behaviors)
+from .. import vllm as _vllm  # noqa: F401  (registers the vllm-openai app)
+from .site import ConvergedSite, build_sandia_site, apply_s3_routing_fix
+from .package import AppPackage, ConfigProfile, HardwareVariant, vllm_package
+from .deployer import Deployer, Deployment
+from .ingress import expose_service
+from .workflow import CaseStudyWorkflow
+
+__all__ = [
+    "AppPackage",
+    "CaseStudyWorkflow",
+    "ConfigProfile",
+    "ConvergedSite",
+    "Deployer",
+    "Deployment",
+    "HardwareVariant",
+    "apply_s3_routing_fix",
+    "build_sandia_site",
+    "expose_service",
+    "vllm_package",
+]

@@ -1,0 +1,64 @@
+"""Unified ingress: one call to expose a deployment externally.
+
+Section 3.3's three mechanisms behind one function:
+
+* ``mode="tunnel"`` — single-user SSH tunnel through the login node;
+* ``mode="cal"`` — Compute-as-Login via the platform NGINX proxy
+  (multi-user, persistent);
+* ``mode="ingress"`` — Kubernetes ingress (already provisioned by the
+  Helm chart; this just returns the URL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.platform import HPCPlatform, K8sPlatform
+from ..errors import ConfigurationError
+from ..net.ssh import SshTunnel
+from .deployer import Deployment
+from .site import ConvergedSite
+
+
+@dataclass
+class ExposedService:
+    """Where external clients reach the service."""
+
+    mode: str
+    host: str
+    port: int
+    detail: object = None  # tunnel / lease
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self.mode == "tunnel" and self.detail is not None:
+            self.detail.close()
+
+
+def expose_service(site: ConvergedSite, deployment: Deployment,
+                   mode: str = "auto", user: str = "user",
+                   local_port: int | None = None) -> ExposedService:
+    """Expose ``deployment`` to the external network."""
+    platform = site.platform(deployment.platform_name)
+    if isinstance(platform, K8sPlatform):
+        if mode not in ("auto", "ingress"):
+            raise ConfigurationError(
+                f"K8s deployments use ingress, not {mode!r}")
+        host, port = deployment.endpoint
+        return ExposedService(mode="ingress", host=host, port=port)
+    if not isinstance(platform, HPCPlatform):  # pragma: no cover
+        raise ConfigurationError(f"unknown platform {platform!r}")
+    node_host, svc_port = deployment.endpoint
+    if mode in ("auto", "cal"):
+        lease = platform.cal.provision(user, node_host, service_port=svc_port)
+        return ExposedService(mode="cal", host=platform.service_host,
+                              port=lease.external_port, detail=lease)
+    if mode == "tunnel":
+        tunnel = SshTunnel(site.fabric, site.user_host, platform.login_host,
+                           node_host, svc_port, local_port=local_port)
+        return ExposedService(mode="tunnel", host=site.user_host,
+                              port=tunnel.local_port, detail=tunnel)
+    raise ConfigurationError(f"unknown ingress mode {mode!r}")

@@ -1,0 +1,97 @@
+"""Artifact generation: the paper-figure commands from deployment intent.
+
+The deployer produces *runnable simulated deployments*; this module
+produces the *equivalent human artifacts* — the Podman/Apptainer command
+lines of Figures 4-5 and the Helm values of Figure 6 — so users can see
+exactly what the tool did on their behalf.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .package import AppPackage, ConfigProfile, HardwareVariant
+    from .site import ConvergedSite
+
+
+def helm_values_for(site: "ConvergedSite", package: "AppPackage",
+                    variant: "HardwareVariant", profile: "ConfigProfile",
+                    params: dict[str, Any]) -> dict[str, Any]:
+    """Build the vLLM chart values (paper Figure 6) from intent."""
+    model = params.get("model")
+    if not model:
+        raise ConfigurationError("k8s deployment needs a 'model' parameter")
+    repository, _, tag = variant.image_ref.rpartition(":")
+    gpus = int(params.get("tensor_parallel_size", 1))
+    command = ["vllm", "serve", "/data/",
+               "--host", "0.0.0.0", "--port",
+               str(package.service_port),
+               "--served-model-name", str(model),
+               f"--tensor-parallel-size={gpus}"]
+    if params.get("disable_log_requests", True):
+        command.append("--disable-log-requests")
+    max_len = params.get("max_model_len")
+    if max_len is not None:
+        command.append(f"--max-model-len={int(max_len)}")
+    env = [{"name": "HOME", "value": "/data"},
+           {"name": "HF_HOME", "value": "/data"}]
+    for key, value in profile.env.items():
+        env.append({"name": key, "value": value})
+    storage = int(params.get("storage_bytes", 300 * 1024**3))
+    values: dict[str, Any] = {
+        "image": {"repository": repository, "tag": tag, "command": command},
+        "env": env,
+        "resources": {"gpus": gpus},
+        "storage": {"size": storage},
+        "replicas": int(params.get("replicas", 1)),
+        "service": {"port": package.service_port},
+        "ingress": {"enabled": True,
+                    "host": params.get(
+                        "ingress_host",
+                        f"{params.get('name', package.name)}.apps.example")},
+        "modelDownload": {
+            "enabled": True,
+            "bucket": params.get("model_bucket", "huggingface.co"),
+            "prefix": f"{model}/",
+            **site.s3_env,
+        },
+    }
+    return values
+
+
+def command_text(argv: list[str]) -> str:
+    """Render an argv list as a readable multi-line command (paper style)."""
+    if not argv:
+        return ""
+    head, *rest = argv
+    lines = [head]
+    current = head
+    for token in rest:
+        if token.startswith("-") or current.startswith("-") is False:
+            lines.append("    " + token)
+            current = token
+        else:
+            lines[-1] += " " + token
+    return " \\\n".join([lines[0]] + [l.strip() for l in lines[1:]])
+
+
+def paper_figure4_command() -> list[str]:
+    """The literal Figure 4 Podman deployment (for artifact tests)."""
+    return [
+        "podman run", "--rm", "--name=vllm", "--network=host", "--ipc=host",
+        "--entrypoint=vllm", "--device nvidia.com/gpu=all",
+        '-e "OMP_NUM_THREADS=1"', '-e "HF_HUB_ENABLE_HF_TRANSFER=0"',
+        '-e "HF_HUB_DISABLE_TELEMETRY=1"', '-e "VLLM_NO_USAGE_STATS=1"',
+        '-e "DO_NOT_TRACK=1"', '-e "HF_DATASETS_OFFLINE=1"',
+        '-e "TRANSFORMERS_OFFLINE=1"', '-e "HF_HUB_OFFLINE=1"',
+        '-e "VLLM_DISABLE_COMPILE_CACHE=1"',
+        "--volume=./models:/vllm-workspace/models",
+        "--workdir=/vllm-workspace/models",
+        "${LOCAL_REGISTRY}vllm/vllm-openai:v0.9.1 serve",
+        "meta-llama/Llama-4-Scout-17B-16E-Instruct",
+        "--tensor_parallel_size=4", "--disable-log-requests",
+        "--max-model-len=65536",
+    ]

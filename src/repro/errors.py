@@ -1,0 +1,79 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch library failures without masking programming errors.  Exceptions that
+correspond to *simulated* failures (a container crashing, a job being killed
+by a maintenance reservation) derive from :class:`SimulatedFailure` and carry
+the simulated time at which they occurred.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration supplied by the caller (bad flags, units, specs)."""
+
+
+class CapacityError(ReproError):
+    """A resource request exceeds what the platform can provide."""
+
+
+class NotFoundError(ReproError):
+    """A named entity (image, object, node, model, route) does not exist."""
+
+
+class StateError(ReproError):
+    """Operation not valid in the entity's current lifecycle state."""
+
+
+class SimulatedFailure(ReproError):
+    """Base class for failures that occur *inside* the simulated world.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    sim_time:
+        Simulated time (seconds) at which the failure occurred, if known.
+    """
+
+    def __init__(self, message: str, sim_time: float | None = None):
+        super().__init__(message)
+        self.sim_time = sim_time
+
+
+class ContainerCrash(SimulatedFailure):
+    """A container exited abnormally (e.g. vLLM startup failure, memory leak)."""
+
+
+class JobKilled(SimulatedFailure):
+    """A workload-manager job was terminated (time limit, maintenance, scancel)."""
+
+
+class NetworkUnreachable(SimulatedFailure):
+    """No route exists between two hosts."""
+
+
+class TransferError(SimulatedFailure):
+    """A data transfer failed mid-flight."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not place a job/pod and the request is unsatisfiable."""
+
+
+class ImagePullError(SimulatedFailure):
+    """A container image pull failed (missing image, registry down)."""
+
+
+class APIError(ReproError):
+    """Simulated HTTP/OpenAI API error with a status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message

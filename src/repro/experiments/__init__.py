@@ -1,0 +1,29 @@
+"""Experiment drivers: one module per paper figure plus ablations.
+
+Each driver builds a fresh converged site, performs the paper's deployment
+flow, runs the benchmark sweep(s), and returns structured results.  The
+``examples/`` scripts print them; the ``benchmarks/`` suite measures and
+records them.  Request counts are parameters so quick runs stay quick while
+full-fidelity runs use the paper's 1000 queries per point.
+"""
+
+from .common import ascii_plot, format_series
+from .fig09 import run_fig09
+from .fig10 import run_fig10
+from .fig12 import run_fig12
+from .ablations import (run_parallelism_ablation, run_pull_storm,
+                        run_quantization_ablation, run_s3_routing,
+                        run_startup_times)
+
+__all__ = [
+    "ascii_plot",
+    "format_series",
+    "run_fig09",
+    "run_fig10",
+    "run_fig12",
+    "run_parallelism_ablation",
+    "run_pull_storm",
+    "run_quantization_ablation",
+    "run_s3_routing",
+    "run_startup_times",
+]

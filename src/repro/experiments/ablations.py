@@ -1,0 +1,170 @@
+"""Ablation experiments for the in-text claims and design choices.
+
+Each returns a small dict of measurements; benches record them, examples
+print them.
+"""
+
+from __future__ import annotations
+
+from ..containers import RunOpts
+from ..core import CaseStudyWorkflow, apply_s3_routing_fix, build_sandia_site
+from ..cluster.profiles import perf_profile
+from ..hardware import gpu_spec
+from ..models import llama4_scout, llama4_scout_quantized
+from ..units import GB
+from ..vllm import PerfModel
+
+SCOUT = "meta-llama/Llama-4-Scout-17B-16E-Instruct"
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+
+
+def run_pull_storm(n_nodes: int = 8) -> dict:
+    """Section 2.3: registry bottleneck under simultaneous pulls vs the
+    SIF-on-parallel-FS mitigation."""
+    site = build_sandia_site(seed=21, hops_nodes=max(n_nodes, 4),
+                             eldorado_nodes=2, goodall_nodes=2, cee_nodes=1)
+    kernel = site.kernel
+    hops = site.hops
+    nodes = hops.nodes[:n_nodes]
+    ref = "vllm/vllm-openai:v0.9.1"
+
+    # OCI pull storm: every node pulls from the GitLab registry at once.
+    def pull(env, node):
+        cache = hops.podman.cache_for(node)
+        yield from hops.podman.registry.pull(cache, ref)
+        return env.now
+
+    start = kernel.now
+    procs = [kernel.spawn(pull(kernel, n)) for n in nodes]
+    kernel.run(until=kernel.all_of(procs))
+    oci_storm = kernel.now - start
+
+    # One node pulling alone (for the per-node baseline).
+    site2 = build_sandia_site(seed=22, hops_nodes=4, eldorado_nodes=2,
+                              goodall_nodes=2, cee_nodes=1)
+    start = site2.kernel.now
+    p = site2.kernel.spawn(
+        _single_pull(site2.kernel, site2.hops, ref))
+    site2.kernel.run(until=p)
+    oci_single = site2.kernel.now - start
+
+    # SIF path: build once on one node, then every node reads from Lustre.
+    site3 = build_sandia_site(seed=23, hops_nodes=max(n_nodes, 4),
+                              eldorado_nodes=2, goodall_nodes=2, cee_nodes=1)
+    k3, hops3 = site3.kernel, site3.hops
+    build_node = hops3.nodes[0]
+
+    def build(env):
+        sif = yield from hops3.apptainer.build_sif(
+            build_node, ref, "/images/vllm-cuda.sif")
+        return sif
+
+    sif = k3.run(until=k3.spawn(build(k3)))
+    start = k3.now
+
+    def stage(env, node):
+        yield from hops3.apptainer.stage_image(node, sif)
+        return env.now
+
+    procs = [k3.spawn(stage(k3, n)) for n in hops3.nodes[:n_nodes]]
+    k3.run(until=k3.all_of(procs))
+    sif_storm = k3.now - start
+
+    return {
+        "n_nodes": n_nodes,
+        "oci_single_pull_s": round(oci_single, 1),
+        "oci_storm_s": round(oci_storm, 1),
+        "oci_slowdown": round(oci_storm / oci_single, 2),
+        "sif_storm_s": round(sif_storm, 1),
+        "sif_speedup_over_oci_storm": round(oci_storm / sif_storm, 2),
+    }
+
+
+def _single_pull(kernel, hops, ref):
+    cache = hops.podman.cache_for(hops.nodes[0])
+    result = yield from hops.podman.registry.pull(cache, ref)
+    return result
+
+
+def run_s3_routing(transfer_bytes: float = 200 * GB) -> dict:
+    """Section 2.4: the order-of-magnitude routing fix."""
+    site = build_sandia_site(seed=31, hops_nodes=4, eldorado_nodes=2,
+                             goodall_nodes=2, cee_nodes=1)
+    kernel = site.kernel
+    node = site.hops.nodes[0].hostname
+
+    def xfer(env):
+        flow = yield from site.fabric.transfer(node, "s3-abq", transfer_bytes)
+        return flow.mean_throughput
+
+    before = kernel.run(until=kernel.spawn(xfer(kernel)))
+    apply_s3_routing_fix(site)
+    after = kernel.run(until=kernel.spawn(xfer(kernel)))
+    return {
+        "before_GBps": round(before / 1e9, 2),
+        "after_GBps": round(after / 1e9, 2),
+        "improvement": round(after / before, 1),
+    }
+
+
+def run_startup_times() -> dict:
+    """Section 3.3: "startup ... can take 30 minutes or more for large
+    models" — measure startup by model across storage paths."""
+    out = {}
+    for model, tp in ((QUANT, 2), (SCOUT, 4)):
+        site = build_sandia_site(seed=41, hops_nodes=4, eldorado_nodes=2,
+                                 goodall_nodes=2, cee_nodes=1)
+        wf = CaseStudyWorkflow(site)
+        wf.admin_seed_model(model, "hops")
+        start = site.kernel.now
+
+        def go(env, wf=wf, model=model, tp=tp):
+            deployment = yield from wf.deploy_model(
+                "hops", model, tensor_parallel_size=tp)
+            return deployment
+
+        wf.run(go(site.kernel))
+        out[model.split("/")[-1]] = round(site.kernel.now - start, 1)
+    return out
+
+
+def run_quantization_ablation() -> dict:
+    """BF16 TP4 vs w4a16 TP2: steady-state per-GPU efficiency."""
+    bf16 = PerfModel(llama4_scout(), gpu_spec("H100-SXM-80G"), 4,
+                     profile=perf_profile("hops", "scout-bf16"))
+    quant = PerfModel(llama4_scout_quantized(), gpu_spec("H100-SXM-80G"), 2,
+                      profile=perf_profile("hops", "scout-w4a16"))
+    b = 512
+    tput_bf16 = b / bf16.decode_iteration_time(b, b * 330)
+    tput_quant = b / quant.decode_iteration_time(b, b * 330)
+    return {
+        "bf16_tp4_tok_s": round(tput_bf16),
+        "w4a16_tp2_tok_s": round(tput_quant),
+        "bf16_per_gpu": round(tput_bf16 / 4),
+        "w4a16_per_gpu": round(tput_quant / 2),
+        "single_stream_bf16": round(bf16.single_stream_rate(330), 1),
+        "single_stream_w4a16": round(quant.single_stream_rate(330), 1),
+    }
+
+
+def run_parallelism_ablation() -> dict:
+    """Ethernet vs InfiniBand pipeline comms for the 405B deployment —
+    the paper notes run 2 was "not using InfiniBand networking, which we
+    are still working on enabling"."""
+    from ..models import llama31_405b
+    from ..vllm.perf import PerfProfile
+    base = perf_profile("hops", "405b-multinode")
+    eth = PerfModel(llama31_405b(), gpu_spec("H100-SXM-80G"), 4, 4,
+                    profile=base)
+    ib_profile = PerfProfile(
+        eff_mem=base.eff_mem, eff_flop=base.eff_flop,
+        eff_prefill=base.eff_prefill, t_overhead=base.t_overhead,
+        t_pp_comm=0.00008)  # ~RDMA latency
+    ib = PerfModel(llama31_405b(), gpu_spec("H100-SXM-80G"), 4, 4,
+                   profile=ib_profile)
+    return {
+        "ethernet_single_stream": round(eth.single_stream_rate(330), 2),
+        "infiniband_single_stream": round(ib.single_stream_rate(330), 2),
+        "latency_gain": round(ib.single_stream_rate(330)
+                              / eth.single_stream_rate(330), 3),
+    }

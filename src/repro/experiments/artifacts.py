@@ -1,0 +1,69 @@
+"""Paper-style artifact files: gnuplot data blocks and plot scripts.
+
+The paper's artifact repository ships raw results as whitespace-separated
+``.dat`` files plus the gnuplot scripts that render Figures 9/10/12.  This
+module writes the same shapes from our sweep results, so a user can drop
+their own measurements alongside and replot — exactly the workflow the
+paper's appendix describes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from ..bench.sweep import SweepResult
+from .common import FigureResult
+
+
+def sweep_dat(sweep: SweepResult) -> str:
+    """One gnuplot data block: concurrency, throughput, completed, errors."""
+    lines = [f"# {sweep.label}",
+             "# max_concurrency  output_tok_per_s  completed  errors"]
+    for point in sweep.points:
+        r = point.result
+        lines.append(f"{point.concurrency:7d}  {r.output_throughput:12.2f}  "
+                     f"{r.completed:6d}  {r.errors:4d}")
+    if sweep.terminated_early:
+        lines.append(f"# terminated early: {sweep.terminated_early}")
+    return "\n".join(lines) + "\n"
+
+
+def write_figure_artifacts(result: FigureResult, out_dir: str) -> list[str]:
+    """Write one ``.dat`` per series plus a gnuplot script; returns paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths: list[str] = []
+    dat_names: list[tuple[str, str]] = []
+    for i, sweep in enumerate(result.series):
+        safe = sweep.label.lower().replace(" ", "_").replace(",", "") \
+            .replace("(", "").replace(")", "")
+        name = f"{safe or f'series_{i}'}.dat"
+        path = os.path.join(out_dir, name)
+        with open(path, "w") as fh:
+            fh.write(sweep_dat(sweep))
+        paths.append(path)
+        dat_names.append((name, sweep.label))
+    script = os.path.join(out_dir, "plot.gp")
+    with open(script, "w") as fh:
+        fh.write(gnuplot_script(result, dat_names))
+    paths.append(script)
+    return paths
+
+
+def gnuplot_script(result: FigureResult,
+                   dat_names: Iterable[tuple[str, str]]) -> str:
+    """A gnuplot script matching the paper's plot style (log-x, lines+points)."""
+    plots = ", \\\n     ".join(
+        f"'{name}' using 1:2 with linespoints title '{label}'"
+        for name, label in dat_names)
+    return (
+        f"# {result.figure}: {result.title}\n"
+        "set terminal pngcairo size 900,600\n"
+        f"set output '{result.figure.lower().replace(' ', '_')}.png'\n"
+        "set logscale x 2\n"
+        "set xlabel 'Maximum Request Concurrency'\n"
+        "set ylabel 'Output Token Throughput (tokens/s)'\n"
+        "set key top left\n"
+        "set grid\n"
+        f"plot {plots}\n"
+    )

@@ -1,0 +1,65 @@
+"""Figure 10: Hops vs Goodall (2 x H100 NVL), quantized Scout w4a16 TP2.
+
+Same protocol as Fig. 9 but with the RedHatAI w4a16 quantization on two
+GPUs (the max on a Goodall node), 5 Hops runs + 2 Goodall runs.  Expected
+shape: near-identical curves, Goodall slightly ahead at high concurrency
+(94 vs 80 GiB HBM), both peaking well below the 4-GPU BF16 results.
+"""
+
+from __future__ import annotations
+
+from ..core import CaseStudyWorkflow, build_sandia_site
+from .common import FigureResult
+from .fig09 import run_platform_sweeps
+
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+
+
+def run_goodall_sweeps(runs: int, n_requests: int, levels,
+                       seed: int = 300) -> list:
+    """Helm-deploy on Goodall and sweep through the ingress."""
+    sweeps = []
+    for run_idx in range(runs):
+        site = build_sandia_site(seed=seed + run_idx, hops_nodes=4,
+                                 eldorado_nodes=2, goodall_nodes=3,
+                                 cee_nodes=1)
+        wf = CaseStudyWorkflow(site)
+        wf.admin_seed_s3(QUANT)
+
+        def go(env, wf=wf, site=site, run_idx=run_idx):
+            deployment = yield from wf.deploy_model(
+                "goodall", QUANT, tensor_parallel_size=2)
+            pod = site.goodall.cluster.running_pods()[0]
+            sweep = yield from wf.benchmark(
+                deployment, QUANT, levels=levels, n_requests=n_requests,
+                label=f"Goodall K8s, Run {run_idx + 1} ({pod.node_name})",
+                seed_stream=f"bench-{run_idx}")
+            return sweep
+
+        sweeps.append(wf.run(go(site.kernel)))
+    return sweeps
+
+
+def run_fig10(n_requests: int = 1000, hops_runs: int = 5,
+              goodall_runs: int = 2,
+              levels=(1, 4, 16, 64, 256, 1024)) -> FigureResult:
+    """Reproduce Figure 10."""
+    result = FigureResult(
+        figure="Figure 10",
+        title="Hops vs. Goodall (H100-NVL), quantized Scout w4a16, TP2",
+    )
+    result.series += run_platform_sweeps(
+        "hops", hops_runs, n_requests, levels, model=QUANT,
+        tensor_parallel_size=2, seed=310)
+    result.series += run_goodall_sweeps(goodall_runs, n_requests, levels)
+    hops_peak = max(max(t for _, t in s.series())
+                    for s in result.series[:hops_runs])
+    goodall_peak = max(max(t for _, t in s.series())
+                       for s in result.series[hops_runs:])
+    result.notes.append(
+        "paper: similar performance; slight Goodall gain at high batch "
+        "(more HBM); lower peak than Fig. 9 (2 GPUs vs 4)")
+    result.notes.append(
+        f"measured peaks: Hops {hops_peak:.0f}, Goodall {goodall_peak:.0f} "
+        f"(Goodall/Hops = {goodall_peak / hops_peak:.3f})")
+    return result

@@ -1,0 +1,67 @@
+"""The paper's reported numbers, as structured reference data.
+
+Single source of truth for calibration targets and report comparisons;
+quoted directly from the paper's Section 3.4-3.5 text and appendix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperAnchor:
+    figure: str
+    platform: str
+    model: str
+    concurrency: int
+    tokens_per_second: float
+    quote: str
+
+
+PAPER_ANCHORS: tuple[PaperAnchor, ...] = (
+    PaperAnchor("Figure 9", "hops",
+                "meta-llama/Llama-4-Scout-17B-16E-Instruct", 1, 103.0,
+                "a single query (batch 1) generation rate of 103 "
+                "tokens/second"),
+    PaperAnchor("Figure 9", "hops",
+                "meta-llama/Llama-4-Scout-17B-16E-Instruct", 1024, 4313.0,
+                "a maximum throughput of 4313 tokens/second (batch 1024)"),
+    PaperAnchor("Figure 9", "eldorado",
+                "meta-llama/Llama-4-Scout-17B-16E-Instruct", 1, 48.0,
+                "a single query generation rate of 48 tokens/second"),
+    PaperAnchor("Figure 9", "eldorado",
+                "meta-llama/Llama-4-Scout-17B-16E-Instruct", 1024, 1899.0,
+                "maximum throughput of 1899 tokens/second (batch 1024)"),
+    PaperAnchor("Figure 12", "hops-multinode",
+                "meta-llama/Llama-3.1-405B-Instruct", 1, 12.5,
+                "a single query (batch 1) output generation rate of 12.5 "
+                "tokens/second"),
+    PaperAnchor("Figure 12", "hops-multinode",
+                "meta-llama/Llama-3.1-405B-Instruct", 1024, 1256.0,
+                "a maximum throughput of 1256 tokens/second for the single "
+                "successful run (run 2)"),
+)
+
+#: Other quantitative claims (section -> (value, unit, quote)).
+PAPER_CLAIMS = {
+    "scout_weight_gib": (200, "GiB",
+                         "approximately 200 GiB of model weights"),
+    "scout_per_gpu_gib": (54, "GiB/GPU",
+                          "approximately 54 GiB/GPU to store model weights"),
+    "405b_weight_tib": (1, "TiB", "approximately 1 TiB of model weights"),
+    "405b_gpus": (16, "GPUs", "which requires 16 GPUs"),
+    "bench_minutes_c1": (30, "minutes",
+                         "approximately 30 minutes to complete"),
+    "bench_minutes_c1024": (1, "minute",
+                            "runs in approximately 1 minute"),
+    "startup_minutes": (30, "minutes",
+                        "can take 30 minutes or more for large models"),
+    "s3_routing_factor": (10, "x", "improved by an order of magnitude"),
+    "s3_frontend_gbps": (400, "Gbps", "16 x 25 Gbps connection"),
+    "s3_capacity_pb": (30, "PB", "approximately 30 PB of S3 object storage"),
+}
+
+
+def anchors_for(figure: str) -> list[PaperAnchor]:
+    return [a for a in PAPER_ANCHORS if a.figure == figure]

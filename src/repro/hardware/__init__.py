@@ -1,0 +1,19 @@
+"""Hardware models: GPUs, nodes, and NICs.
+
+The catalog mirrors the hardware named in the paper: NVIDIA H100 SXM 80 GiB
+(Hops), AMD MI300A (El Dorado), NVIDIA H100 NVL 94 GiB (Goodall), and
+NVIDIA A100 (CEE-OpenShift).
+"""
+
+from .gpu import GPU_CATALOG, GpuArch, GpuSpec, gpu_spec
+from .node import NicSpec, Node, NodeSpec
+
+__all__ = [
+    "GPU_CATALOG",
+    "GpuArch",
+    "GpuSpec",
+    "NicSpec",
+    "Node",
+    "NodeSpec",
+    "gpu_spec",
+]

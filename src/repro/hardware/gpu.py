@@ -1,0 +1,114 @@
+"""GPU specifications.
+
+Peak numbers are vendor datasheet values; *achieved* performance in the
+inference simulator is peak scaled by calibrated per-platform efficiency
+factors (see ``repro.cluster.builders``), reflecting the paper's observation
+that these were "unoptimized runs using more or less default vLLM
+configurations".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import NotFoundError
+from ..units import GiB, tBps
+
+
+class GpuArch(enum.Enum):
+    """Vendor software ecosystem the GPU belongs to.
+
+    Matches the paper's container-variant problem: upstream vLLM ships CUDA
+    images; AMD ships ROCm builds separately.
+    """
+
+    CUDA = "cuda"
+    ROCM = "rocm"
+    ONEAPI = "oneapi"
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"H100-SXM-80G"``.
+    arch:
+        Software ecosystem (:class:`GpuArch`).
+    hbm_bytes:
+        On-package memory capacity in bytes.
+    hbm_bandwidth:
+        Peak memory bandwidth, bytes/second.
+    flops_dense16:
+        Peak dense 16-bit (BF16/FP16) FLOPs/second, without sparsity.
+    nvlink_bandwidth:
+        Intra-node GPU-to-GPU interconnect bandwidth, bytes/second
+        (NVLink / Infinity Fabric), per direction.
+    """
+
+    name: str
+    arch: GpuArch
+    hbm_bytes: int
+    hbm_bandwidth: float
+    flops_dense16: float
+    nvlink_bandwidth: float
+
+    @property
+    def hbm_gib(self) -> float:
+        return self.hbm_bytes / GiB
+
+
+GPU_CATALOG: dict[str, GpuSpec] = {
+    # Hops compute nodes: 4 x 80 GiB H100 (SXM5). 3.35 TB/s HBM3,
+    # ~990 TFLOPS dense BF16, 900 GB/s NVLink.
+    "H100-SXM-80G": GpuSpec(
+        name="H100-SXM-80G",
+        arch=GpuArch.CUDA,
+        hbm_bytes=80 * GiB,
+        hbm_bandwidth=tBps(3.35),
+        flops_dense16=990e12,
+        nvlink_bandwidth=900e9,
+    ),
+    # Goodall K8s nodes: 2 x 94 GiB H100 NVL. 3.9 TB/s HBM3, slightly lower
+    # clocks than SXM; NVLink bridge between the pair.
+    "H100-NVL-94G": GpuSpec(
+        name="H100-NVL-94G",
+        arch=GpuArch.CUDA,
+        hbm_bytes=94 * GiB,
+        hbm_bandwidth=tBps(3.9),
+        flops_dense16=835e12,
+        nvlink_bandwidth=600e9,
+    ),
+    # El Dorado compute nodes: 4 x MI300A APU. The paper quotes 120 GiB
+    # usable per accelerator; 5.3 TB/s HBM3, ~980 TFLOPS dense BF16 peak.
+    "MI300A-120G": GpuSpec(
+        name="MI300A-120G",
+        arch=GpuArch.ROCM,
+        hbm_bytes=120 * GiB,
+        hbm_bandwidth=tBps(5.3),
+        flops_dense16=980e12,
+        nvlink_bandwidth=384e9,  # Infinity Fabric
+    ),
+    # CEE-OpenShift production cluster GPUs.
+    "A100-SXM-80G": GpuSpec(
+        name="A100-SXM-80G",
+        arch=GpuArch.CUDA,
+        hbm_bytes=80 * GiB,
+        hbm_bandwidth=tBps(2.04),
+        flops_dense16=312e12,
+        nvlink_bandwidth=600e9,
+    ),
+}
+
+
+def gpu_spec(name: str) -> GpuSpec:
+    """Look up a GPU spec by catalog name."""
+    try:
+        return GPU_CATALOG[name]
+    except KeyError:
+        raise NotFoundError(
+            f"unknown GPU {name!r}; catalog has {sorted(GPU_CATALOG)}"
+        ) from None

@@ -1,0 +1,38 @@
+"""Kubernetes simulator.
+
+A real reconciliation system in miniature: a versioned object store with
+watches (:mod:`~repro.k8s.api`), a pod scheduler, a Deployment controller
+with crash-loop backoff, per-node kubelets driving the CRI runtime, a PVC
+binder, and an ingress controller that re-resolves backends per request —
+which is how the paper's observation that "Kubernetes automatically takes
+care of restarting the container and updating the ingress routes" emerges.
+
+Helm (:mod:`~repro.k8s.helm`) renders the vLLM chart from a values dict
+(paper Figure 6) into these objects.
+"""
+
+from .objects import (Deployment, Ingress, KContainerSpec, Namespace,
+                      PersistentVolumeClaim, Pod, PodPhase, PodSpec,
+                      ResourceQuota, Service)
+from .api import ApiServer, WatchEvent
+from .cluster import KubernetesCluster
+from .helm import HelmRelease, render_vllm_chart
+from . import kubectl
+
+__all__ = [
+    "ApiServer",
+    "Deployment",
+    "HelmRelease",
+    "Ingress",
+    "KContainerSpec",
+    "KubernetesCluster",
+    "Namespace",
+    "PersistentVolumeClaim",
+    "Pod",
+    "PodPhase",
+    "PodSpec",
+    "ResourceQuota",
+    "Service",
+    "WatchEvent",
+    "render_vllm_chart",
+]

@@ -1,0 +1,114 @@
+"""The API server: a versioned object store with watch streams.
+
+Controllers subscribe to kinds; every create/update/delete notifies them
+(after the current event completes, preserving determinism).  This is the
+declarative control loop substrate the paper credits for Kubernetes'
+self-healing behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ..errors import ConfigurationError, NotFoundError, StateError
+from .objects import KObject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simkernel import SimKernel
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    type: str  # ADDED | MODIFIED | DELETED
+    obj: KObject
+
+
+class ApiServer:
+    """Object store keyed by (kind, namespace, name)."""
+
+    def __init__(self, kernel: "SimKernel"):
+        self.kernel = kernel
+        self._objects: dict[tuple[str, str, str], KObject] = {}
+        self._watchers: dict[str, list[Callable[[WatchEvent], None]]] = {}
+        self._version = 0
+
+    # -- CRUD -------------------------------------------------------------------
+
+    def create(self, obj: KObject) -> KObject:
+        key = (obj.kind, obj.meta.namespace, obj.meta.name)
+        if key in self._objects:
+            raise StateError(f"{obj.kind} {obj.meta.name!r} already exists "
+                             f"in namespace {obj.meta.namespace!r}")
+        self._version += 1
+        obj.meta.resource_version = self._version
+        obj.meta.uid = f"uid-{self._version}"
+        obj.meta.created_at = self.kernel.now
+        self._objects[key] = obj
+        self._notify(WatchEvent("ADDED", obj))
+        return obj
+
+    def update(self, obj: KObject) -> KObject:
+        key = (obj.kind, obj.meta.namespace, obj.meta.name)
+        if key not in self._objects:
+            raise NotFoundError(f"{obj.kind} {obj.meta.name!r} not found")
+        self._version += 1
+        obj.meta.resource_version = self._version
+        self._objects[key] = obj
+        self._notify(WatchEvent("MODIFIED", obj))
+        return obj
+
+    def delete(self, kind: str, name: str,
+               namespace: str = "default") -> None:
+        key = (kind, namespace, name)
+        obj = self._objects.pop(key, None)
+        if obj is None:
+            raise NotFoundError(f"{kind} {name!r} not found in {namespace!r}")
+        if hasattr(obj, "deleted"):
+            obj.deleted = True  # type: ignore[attr-defined]
+        self._version += 1
+        self._notify(WatchEvent("DELETED", obj))
+
+    def get(self, kind: str, name: str, namespace: str = "default") -> Any:
+        obj = self._objects.get((kind, namespace, name))
+        if obj is None:
+            raise NotFoundError(f"{kind} {name!r} not found in {namespace!r}")
+        return obj
+
+    def try_get(self, kind: str, name: str,
+                namespace: str = "default") -> Any | None:
+        return self._objects.get((kind, namespace, name))
+
+    def list(self, kind: str, namespace: str | None = None,
+             selector: dict[str, str] | None = None) -> list[Any]:
+        out = []
+        for (k, ns, _), obj in sorted(self._objects.items()):
+            if k != kind:
+                continue
+            if namespace is not None and ns != namespace:
+                continue
+            if selector is not None and not obj.matches(selector):
+                continue
+            out.append(obj)
+        return out
+
+    # -- watches -----------------------------------------------------------------
+
+    def watch(self, kind: str,
+              callback: Callable[[WatchEvent], None]) -> None:
+        self._watchers.setdefault(kind, []).append(callback)
+
+    def _notify(self, event: WatchEvent) -> None:
+        watchers = self._watchers.get(event.obj.kind, [])
+        if not watchers:
+            return
+        # Deliver asynchronously (next kernel tick) so controllers always
+        # observe a settled store, and cascades stay deterministic.
+        tick = self.kernel.event()
+        tick.succeed()
+
+        def deliver(_ev):
+            for cb in list(watchers):
+                cb(event)
+
+        tick.add_callback(deliver)

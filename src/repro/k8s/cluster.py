@@ -1,0 +1,100 @@
+"""Cluster assembly: nodes + API server + control plane components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..containers.cri import CriRuntime
+from ..containers.registry import Registry
+from ..errors import NotFoundError
+from ..hardware.node import Node
+from ..net.topology import Fabric
+from ..storage.mounts import VolumeMount
+from .api import ApiServer
+from .controllers import DeploymentController, PvcBinder
+from .ingress import IngressController
+from .kubelet import Kubelet
+from .objects import PodPhase
+from .scheduler import PodScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simkernel import SimKernel
+
+
+@dataclass
+class KNode:
+    """A Kubernetes worker: hardware node + K8s labels."""
+
+    node: Node
+    labels: dict[str, str] = field(default_factory=dict)
+
+
+class KubernetesCluster:
+    """A complete simulated cluster (OpenShift-like).
+
+    Parameters
+    ----------
+    frontend_host:
+        Externally reachable host running the ingress frontend (the
+        OpenShift router).
+    storage_backend_host:
+        Fabric host backing persistent volumes (ODF/Ceph service).
+    """
+
+    def __init__(self, kernel: "SimKernel", fabric: Fabric, name: str,
+                 nodes: list[Node], registry: Registry,
+                 frontend_host: str, storage_backend_host: str,
+                 node_labels: dict[str, dict[str, str]] | None = None):
+        self.kernel = kernel
+        self.fabric = fabric
+        self.name = name
+        self.api = ApiServer(kernel)
+        self.cri = CriRuntime(kernel, fabric, registry)
+        self.storage_backend_host = storage_backend_host
+        self.volumes: dict[tuple[str, str], VolumeMount] = {}
+        labels = node_labels or {}
+        self.nodes = [KNode(n, labels.get(n.hostname, {})) for n in nodes]
+        self.scheduler = PodScheduler(self)
+        self.deployments = DeploymentController(self)
+        self.pvc_binder = PvcBinder(self)
+        self.ingress = IngressController(self, frontend_host)
+        self.kubelets = [Kubelet(self, kn) for kn in self.nodes]
+
+    # -- lookups -----------------------------------------------------------------
+
+    def volume_for(self, namespace: str, claim: str) -> VolumeMount:
+        mount = self.volumes.get((namespace, claim))
+        if mount is None:
+            raise NotFoundError(
+                f"PVC {claim!r} in namespace {namespace!r} is not bound")
+        return mount
+
+    def knode(self, hostname: str) -> KNode:
+        for kn in self.nodes:
+            if kn.node.hostname == hostname:
+                return kn
+        raise NotFoundError(f"node {hostname!r} not in cluster {self.name!r}")
+
+    def pods(self, namespace: str | None = None):
+        return self.api.list("Pod", namespace)
+
+    def running_pods(self, namespace: str | None = None):
+        return [p for p in self.pods(namespace)
+                if p.phase is PodPhase.RUNNING and not p.deleted]
+
+    # -- operations --------------------------------------------------------------------
+
+    def drain(self, hostname: str) -> None:
+        """Evict all pods from a node (maintenance); controllers replace
+        them elsewhere, and ingress follows automatically."""
+        knode = self.knode(hostname)
+        knode.node.up = False
+        for pod in self.pods():
+            if pod.node_name == hostname and not pod.deleted:
+                self.api.delete("Pod", pod.meta.name, pod.meta.namespace)
+        self.kernel.trace.emit("k8s.drain", node=hostname)
+
+    def uncordon(self, hostname: str) -> None:
+        self.knode(hostname).node.up = True
+        self.kernel.trace.emit("k8s.uncordon", node=hostname)

@@ -1,0 +1,85 @@
+"""Deployment controller and PVC binder."""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from ..storage.mounts import VolumeMount
+from .api import WatchEvent
+from .objects import (Deployment, ObjectMeta, PersistentVolumeClaim, Pod,
+                      PodPhase)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import KubernetesCluster
+
+
+class DeploymentController:
+    """Keeps |live pods| == replicas for every Deployment."""
+
+    def __init__(self, cluster: "KubernetesCluster"):
+        self.cluster = cluster
+        self.api = cluster.api
+        self._suffix = itertools.count(1)
+        self.api.watch("Deployment", self._on_event)
+        self.api.watch("Pod", self._on_event)
+
+    def _on_event(self, event: WatchEvent) -> None:
+        for dep in self.api.list("Deployment"):
+            self._reconcile(dep)
+
+    def _live_pods(self, dep: Deployment) -> list[Pod]:
+        return [p for p in self.api.list("Pod", dep.meta.namespace)
+                if p.owner == dep.meta.name and not p.deleted
+                and p.phase is not PodPhase.FAILED
+                and p.phase is not PodPhase.SUCCEEDED]
+
+    def _reconcile(self, dep: Deployment) -> None:
+        live = self._live_pods(dep)
+        missing = dep.replicas - len(live)
+        for _ in range(missing):
+            name = f"{dep.meta.name}-{next(self._suffix):04d}"
+            pod = Pod(ObjectMeta(name=name, namespace=dep.meta.namespace,
+                                 labels=dict(dep.selector)),
+                      spec=dep.template)
+            pod.owner = dep.meta.name
+            self.api.create(pod)
+            self.cluster.kernel.trace.emit("k8s.deploy.scale_up",
+                                           deployment=dep.meta.name, pod=name)
+        for pod in live[dep.replicas:] if missing < 0 else []:
+            self.api.delete("Pod", pod.meta.name, pod.meta.namespace)
+            self.cluster.kernel.trace.emit("k8s.deploy.scale_down",
+                                           deployment=dep.meta.name,
+                                           pod=pod.meta.name)
+
+
+class PvcBinder:
+    """Binds PersistentVolumeClaims to volumes on the storage backend."""
+
+    def __init__(self, cluster: "KubernetesCluster"):
+        self.cluster = cluster
+        self.api = cluster.api
+        self._vol_ids = itertools.count(1)
+        self.api.watch("PersistentVolumeClaim", self._on_event)
+
+    def _on_event(self, event: WatchEvent) -> None:
+        if event.type == "DELETED":
+            claim = event.obj
+            self.cluster.volumes.pop(
+                (claim.meta.namespace, claim.meta.name), None)
+            return
+        for claim in self.api.list("PersistentVolumeClaim"):
+            if not claim.bound:
+                self._bind(claim)
+
+    def _bind(self, claim: PersistentVolumeClaim) -> None:
+        vol_name = f"pv-{next(self._vol_ids):04d}"
+        mount = VolumeMount(self.cluster.fabric,
+                            self.cluster.storage_backend_host, vol_name)
+        self.cluster.volumes[(claim.meta.namespace, claim.meta.name)] = mount
+        claim.bound = True
+        claim.volume_name = vol_name
+        self.api.update(claim)
+        self.cluster.kernel.trace.emit("k8s.pvc.bound", claim=claim.meta.name,
+                                       volume=vol_name,
+                                       size=claim.size_bytes)

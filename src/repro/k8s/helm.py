@@ -1,0 +1,156 @@
+"""Helm-like chart rendering; includes the upstream vLLM chart.
+
+The paper (Section 3.2) migrated from hand-written deployment files to the
+vLLM project's Helm chart: *"This chart takes care of the details of
+provisioning storage via a persistent volume claim, downloading the model
+from object storage (using the same AWS client container as Figure 3), and
+deploying the vLLM container."*  ``render_vllm_chart`` reproduces exactly
+that: PVC + model-download init container + Deployment + Service + Ingress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ConfigurationError
+from ..units import GiB
+from .objects import (Deployment, Ingress, KContainerSpec, KObject,
+                      ObjectMeta, PersistentVolumeClaim, PodSpec, Service)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import KubernetesCluster
+
+
+def _env_list_to_dict(env: list[dict[str, str]]) -> dict[str, str]:
+    out = {}
+    for item in env:
+        try:
+            out[item["name"]] = str(item["value"])
+        except KeyError as exc:
+            raise ConfigurationError(f"bad env entry {item!r}") from exc
+    return out
+
+
+def render_vllm_chart(release: str, values: dict[str, Any],
+                      namespace: str = "default") -> list[KObject]:
+    """Render the vLLM chart from a values dict shaped like paper Figure 6.
+
+    Recognised values (defaults in parentheses)::
+
+        image.repository ("vllm/vllm-openai"), image.tag, image.command
+        env: [{name, value}, ...]
+        resources.gpus (1)
+        storage.size ("300Gi" equivalent bytes)
+        modelDownload.enabled/bucket/prefix/endpoint  (init container)
+        service.port (8000)
+        ingress.enabled/host/path
+        replicas (1)
+    """
+    image = values.get("image", {})
+    repository = image.get("repository", "vllm/vllm-openai")
+    tag = image.get("tag", "latest")
+    command = tuple(image.get("command", ()))
+    env = _env_list_to_dict(values.get("env", []))
+    gpus = int(values.get("resources", {}).get("gpus", 1))
+    storage_bytes = int(values.get("storage", {}).get("size", 300 * GiB))
+    port = int(values.get("service", {}).get("port", 8000))
+    replicas = int(values.get("replicas", 1))
+
+    labels = {"app": release}
+    objects: list[KObject] = []
+
+    claim_name = f"{release}-model-storage"
+    objects.append(PersistentVolumeClaim(
+        ObjectMeta(name=claim_name, namespace=namespace, labels=labels),
+        size_bytes=storage_bytes))
+
+    init_containers = []
+    dl = values.get("modelDownload", {})
+    if dl.get("enabled", True):
+        init_env = dict(env)
+        init_env.update({
+            "MODEL_BUCKET": dl.get("bucket", "huggingface.co"),
+            "MODEL_PREFIX": dl.get("prefix", ""),
+            "MOUNT_PATH": "/data",
+        })
+        for key in ("AWS_ACCESS_KEY_ID", "AWS_SECRET_ACCESS_KEY",
+                    "AWS_ENDPOINT_URL", "AWS_REQUEST_CHECKSUM_CALCULATION",
+                    "AWS_MAX_ATTEMPTS"):
+            if key in dl:
+                init_env[key] = str(dl[key])
+        init_containers.append(KContainerSpec(
+            name="model-download",
+            image=dl.get("image", "amazon/aws-cli:latest"),
+            command=("s3", "sync",
+                     f"s3://{dl.get('bucket', 'huggingface.co')}/"
+                     f"{dl.get('prefix', '')}", "/data"),
+            env=init_env,
+            volume_mounts={claim_name: "/data"},
+        ))
+
+    main = KContainerSpec(
+        name="vllm",
+        image=f"{repository}:{tag}",
+        command=command,
+        env=env,
+        gpus=gpus,
+        volume_mounts={claim_name: "/data"},
+        port=port,
+    )
+    template = PodSpec(containers=[main], init_containers=init_containers,
+                       restart_policy="Always")
+    objects.append(Deployment(
+        ObjectMeta(name=release, namespace=namespace, labels=labels),
+        replicas=replicas, template=template, selector=labels))
+
+    objects.append(Service(
+        ObjectMeta(name=f"{release}-svc", namespace=namespace, labels=labels),
+        selector=labels, port=port))
+
+    ingress = values.get("ingress", {})
+    if ingress.get("enabled", True):
+        objects.append(Ingress(
+            ObjectMeta(name=f"{release}-ingress", namespace=namespace,
+                       labels=labels),
+            host=ingress.get("host", f"{release}.apps.cluster.example"),
+            service_name=f"{release}-svc",
+            service_port=port,
+            path=ingress.get("path", "/")))
+
+    return objects
+
+
+@dataclass
+class HelmRelease:
+    """An installed chart: tracks created objects for uninstall."""
+
+    name: str
+    namespace: str = "default"
+    objects: list[KObject] = field(default_factory=list)
+
+    @classmethod
+    def install(cls, cluster: "KubernetesCluster", name: str,
+                values: dict[str, Any],
+                namespace: str = "default") -> "HelmRelease":
+        """``helm install <name> vllm/vllm -f values.yaml`` equivalent."""
+        rendered = render_vllm_chart(name, values, namespace)
+        release = cls(name=name, namespace=namespace)
+        for obj in rendered:
+            cluster.api.create(obj)
+            release.objects.append(obj)
+        cluster.kernel.trace.emit("helm.install", release=name,
+                                  objects=[o.kind for o in rendered])
+        return release
+
+    def uninstall(self, cluster: "KubernetesCluster") -> None:
+        # Delete dependents first (pods go away via Deployment deletion).
+        for obj in reversed(self.objects):
+            try:
+                cluster.api.delete(obj.kind, obj.meta.name, obj.meta.namespace)
+            except Exception:
+                pass
+        for pod in list(cluster.pods(self.namespace)):
+            if pod.meta.labels.get("app") == self.name and not pod.deleted:
+                cluster.api.delete("Pod", pod.meta.name, pod.meta.namespace)
+        cluster.kernel.trace.emit("helm.uninstall", release=self.name)

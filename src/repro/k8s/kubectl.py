@@ -1,0 +1,78 @@
+"""kubectl-style human-readable views of cluster state.
+
+Formatting only — handy in examples, operator runbooks, and debugging
+(`print(kubectl.get_pods(cluster))`).
+"""
+
+from __future__ import annotations
+
+from ..units import fmt_duration
+from .cluster import KubernetesCluster
+from .objects import Pod, PodPhase
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    for row in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def get_pods(cluster: KubernetesCluster, namespace: str | None = None) -> str:
+    """``kubectl get pods`` equivalent."""
+    now = cluster.kernel.now
+    rows = []
+    for pod in cluster.pods(namespace):
+        if pod.deleted:
+            continue
+        ready = "1/1" if pod.ready else "0/1"
+        status = pod.phase.value
+        if "CrashLoopBackOff" in pod.message:
+            status = "CrashLoopBackOff"
+        rows.append([pod.meta.name, ready, status, str(pod.restarts),
+                     fmt_duration(now - pod.meta.created_at),
+                     pod.node_name or "<none>"])
+    return _table(["NAME", "READY", "STATUS", "RESTARTS", "AGE", "NODE"],
+                  rows)
+
+
+def get_deployments(cluster: KubernetesCluster,
+                    namespace: str | None = None) -> str:
+    """``kubectl get deployments`` equivalent."""
+    rows = []
+    for dep in cluster.api.list("Deployment", namespace):
+        live = [p for p in cluster.pods(dep.meta.namespace)
+                if p.owner == dep.meta.name and not p.deleted]
+        ready = sum(1 for p in live if p.ready)
+        rows.append([dep.meta.name, f"{ready}/{dep.replicas}",
+                     str(len(live)), str(dep.template.total_gpus)])
+    return _table(["NAME", "READY", "PODS", "GPUS/POD"], rows)
+
+
+def describe_pod(cluster: KubernetesCluster, name: str,
+                 namespace: str = "default") -> str:
+    """``kubectl describe pod`` (abridged)."""
+    pod: Pod = cluster.api.get("Pod", name, namespace)
+    main = pod.spec.main
+    lines = [
+        f"Name:         {pod.meta.name}",
+        f"Namespace:    {pod.meta.namespace}",
+        f"Node:         {pod.node_name or '<pending>'}",
+        f"Status:       {pod.phase.value}",
+        f"Ready:        {pod.ready}",
+        f"Restarts:     {pod.restarts}",
+        f"Labels:       {pod.meta.labels}",
+        f"Image:        {main.image}",
+        f"GPUs:         {main.gpus}",
+        f"Message:      {pod.message or '<none>'}",
+    ]
+    if pod.spec.init_containers:
+        lines.append("Init containers: " + ", ".join(
+            c.name for c in pod.spec.init_containers))
+    if main.volume_mounts:
+        lines.append("Mounts:       " + ", ".join(
+            f"{claim} -> {path}"
+            for claim, path in main.volume_mounts.items()))
+    return "\n".join(lines)

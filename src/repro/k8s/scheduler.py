@@ -1,0 +1,85 @@
+"""Pod scheduler: resource-fit placement with namespace GPU quotas."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .api import ApiServer, WatchEvent
+from .objects import Pod, PodPhase, ResourceQuota
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import KNode, KubernetesCluster
+
+
+class PodScheduler:
+    """Assigns pending pods to nodes.
+
+    Placement: filter by node selector and free GPUs/memory (counting
+    GPUs already *committed* to scheduled-but-not-yet-terminal pods), then
+    spread across the least-committed node.  Namespace ResourceQuota GPU
+    limits are enforced before placement.
+    """
+
+    def __init__(self, cluster: "KubernetesCluster"):
+        self.cluster = cluster
+        self.api = cluster.api
+        self.api.watch("Pod", self._on_pod_event)
+        self.api.watch("ResourceQuota", lambda ev: self._kick())
+
+    def _on_pod_event(self, event: WatchEvent) -> None:
+        self._kick()
+
+    def _kick(self) -> None:
+        for pod in self.api.list("Pod"):
+            if (pod.phase is PodPhase.PENDING and pod.node_name is None
+                    and not pod.deleted):
+                self._try_schedule(pod)
+
+    def _committed_gpus(self, node_name: str) -> int:
+        return sum(
+            p.spec.total_gpus for p in self.api.list("Pod")
+            if p.node_name == node_name and not p.deleted
+            and p.phase in (PodPhase.PENDING, PodPhase.RUNNING))
+
+    def _namespace_gpus_in_use(self, namespace: str) -> int:
+        return sum(
+            p.spec.total_gpus for p in self.api.list("Pod", namespace)
+            if not p.deleted and p.node_name is not None
+            and p.phase in (PodPhase.PENDING, PodPhase.RUNNING))
+
+    def _quota_allows(self, pod: Pod) -> bool:
+        quotas: list[ResourceQuota] = self.api.list(
+            "ResourceQuota", pod.meta.namespace)
+        if not quotas:
+            return True
+        in_use = self._namespace_gpus_in_use(pod.meta.namespace)
+        limit = min(q.gpu_limit for q in quotas)
+        return in_use + pod.spec.total_gpus <= limit
+
+    def _try_schedule(self, pod: Pod) -> None:
+        if not self._quota_allows(pod):
+            pod.message = ("FailedScheduling: namespace GPU quota exceeded")
+            return
+        candidates: list[tuple[int, "KNode"]] = []
+        for knode in self.cluster.nodes:
+            if not knode.node.up:
+                continue
+            if not all(knode.labels.get(k) == v
+                       for k, v in pod.spec.node_selector.items()):
+                continue
+            committed = self._committed_gpus(knode.node.hostname)
+            free = knode.node.spec.gpu_count - committed
+            if free < pod.spec.total_gpus:
+                continue
+            candidates.append((committed, knode))
+        if not candidates:
+            pod.message = ("FailedScheduling: 0/%d nodes have enough free "
+                           "GPUs" % len(self.cluster.nodes))
+            return
+        candidates.sort(key=lambda pair: (pair[0], pair[1].node.hostname))
+        chosen = candidates[0][1]
+        pod.node_name = chosen.node.hostname
+        pod.message = f"Scheduled to {pod.node_name}"
+        self.api.update(pod)
+        self.cluster.kernel.trace.emit("k8s.schedule", pod=pod.meta.name,
+                                       node=pod.node_name)

@@ -1,0 +1,27 @@
+"""GenAI model metadata: cards, hub repositories, and sharding math.
+
+Serving performance depends only on model *geometry* (parameter counts,
+bytes per parameter, KV-cache bytes per token), never on actual weights —
+so the catalog carries exactly that, for the three models of the case
+study: Llama 4 Scout (BF16 and w4a16-quantized) and Llama 3.1 405B.
+"""
+
+from .catalog import (MODEL_CATALOG, ModelCard, llama31_405b, llama4_scout,
+                      llama4_scout_quantized, model_card)
+from .repository import ModelHub
+from .weights import (kv_capacity_tokens, per_gpu_weight_bytes,
+                      required_gpus, validate_fit)
+
+__all__ = [
+    "MODEL_CATALOG",
+    "ModelCard",
+    "ModelHub",
+    "kv_capacity_tokens",
+    "llama31_405b",
+    "llama4_scout",
+    "llama4_scout_quantized",
+    "model_card",
+    "per_gpu_weight_bytes",
+    "required_gpus",
+    "validate_fit",
+]

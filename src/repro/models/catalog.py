@@ -1,0 +1,121 @@
+"""Model cards for the paper's case-study models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import NotFoundError
+from ..units import GiB
+
+
+@dataclass(frozen=True)
+class ModelCard:
+    """Serving-relevant geometry of an LLM.
+
+    ``active_params`` differs from ``total_params`` for mixture-of-experts
+    models (Scout activates 17B of 109B per token) — decode bandwidth cost
+    follows *active* bytes, resident memory follows *total* bytes.
+    ``kv_bytes_per_token`` is the per-token KV-cache footprint across all
+    layers (2 x layers x kv_heads x head_dim x dtype, with the model's
+    attention layout folded in).
+    """
+
+    name: str
+    family: str
+    total_params: float
+    active_params: float
+    n_layers: int
+    kv_bytes_per_token: int
+    weight_bytes_per_param: float  # 2.0 = BF16, ~0.56 = w4a16 + overhead
+    max_context: int
+    license_file: str = "LICENSE"
+
+    @property
+    def weight_bytes(self) -> int:
+        return int(self.total_params * self.weight_bytes_per_param)
+
+    @property
+    def active_weight_bytes(self) -> int:
+        return int(self.active_params * self.weight_bytes_per_param)
+
+    @property
+    def weight_gib(self) -> float:
+        return self.weight_bytes / GiB
+
+    def repo_files(self, shard_bytes: int = 5 * 10**9) -> dict[str, int]:
+        """Hugging Face style repository contents (shards + metadata)."""
+        files: dict[str, int] = {
+            "config.json": 2_048,
+            "generation_config.json": 256,
+            "tokenizer.json": 17_000_000,
+            "tokenizer_config.json": 4_096,
+            self.license_file: 15_000,
+            "README.md": 40_000,
+            ".gitattributes": 1_200,
+        }
+        total = self.weight_bytes
+        n_shards = max(1, -(-total // shard_bytes))
+        base = total // n_shards
+        for i in range(1, n_shards + 1):
+            size = base if i < n_shards else total - base * (n_shards - 1)
+            files[f"model-{i:05d}-of-{n_shards:05d}.safetensors"] = size
+        index_size = 80 * n_shards + 1024
+        files["model.safetensors.index.json"] = index_size
+        return files
+
+
+def llama4_scout() -> ModelCard:
+    """Llama 4 Scout: 17B active / 109B total, 16 experts, 10M context.
+
+    BF16 weights ~= 203 GiB ("approximately 200 GiB of model weights",
+    ~54 GiB/GPU over TP4 in the paper)."""
+    return ModelCard(
+        name="meta-llama/Llama-4-Scout-17B-16E-Instruct",
+        family="llama4",
+        total_params=109e9,
+        active_params=17e9,
+        n_layers=48,
+        kv_bytes_per_token=196_608,  # 2*48*8*128*2 bytes (GQA, BF16)
+        weight_bytes_per_param=2.0,
+        max_context=10_000_000,
+    )
+
+
+def llama4_scout_quantized() -> ModelCard:
+    """RedHatAI w4a16 quantization of Scout: fits on two GPUs."""
+    base = llama4_scout()
+    return replace(
+        base,
+        name="RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16",
+        weight_bytes_per_param=0.56,  # 4-bit weights + scales/zeros + embeds
+    )
+
+
+def llama31_405b() -> ModelCard:
+    """Llama 3.1 405B: dense, ~810 GB BF16 ("approximately 1 TiB" with
+    runtime overheads in the paper), needs 16 x 80 GiB GPUs."""
+    return ModelCard(
+        name="meta-llama/Llama-3.1-405B-Instruct",
+        family="llama3",
+        total_params=405e9,
+        active_params=405e9,
+        n_layers=126,
+        kv_bytes_per_token=258_048,  # 2*126*8*128*2 bytes (GQA, BF16)
+        weight_bytes_per_param=2.0,
+        max_context=131_072,
+    )
+
+
+MODEL_CATALOG: dict[str, ModelCard] = {
+    card.name: card
+    for card in (llama4_scout(), llama4_scout_quantized(), llama31_405b())
+}
+
+
+def model_card(name: str) -> ModelCard:
+    try:
+        return MODEL_CATALOG[name]
+    except KeyError:
+        raise NotFoundError(
+            f"unknown model {name!r}; catalog: {sorted(MODEL_CATALOG)}"
+        ) from None

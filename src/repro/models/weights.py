@@ -1,0 +1,87 @@
+"""Weight sharding and memory-fit math under tensor/pipeline parallelism."""
+
+from __future__ import annotations
+
+from ..errors import CapacityError, ConfigurationError
+from ..hardware.gpu import GpuSpec
+from ..units import GiB
+from .catalog import ModelCard
+
+#: Fraction of GPU memory vLLM manages (weights + KV); the rest is
+#: activations/workspace.  vLLM's --gpu-memory-utilization default.
+DEFAULT_GPU_MEMORY_UTILIZATION = 0.90
+
+#: Non-KV runtime overhead per GPU (CUDA context, graphs, NCCL buffers).
+RUNTIME_OVERHEAD_BYTES = int(2.5 * GiB)
+
+
+def per_gpu_weight_bytes(card: ModelCard, tensor_parallel: int,
+                         pipeline_parallel: int = 1) -> int:
+    """Resident weight bytes per GPU under TP x PP sharding."""
+    if tensor_parallel < 1 or pipeline_parallel < 1:
+        raise ConfigurationError("parallel degrees must be >= 1")
+    return int(card.weight_bytes / (tensor_parallel * pipeline_parallel))
+
+
+def kv_capacity_tokens(card: ModelCard, gpu: GpuSpec, tensor_parallel: int,
+                       pipeline_parallel: int = 1,
+                       gpu_memory_utilization: float =
+                       DEFAULT_GPU_MEMORY_UTILIZATION) -> int:
+    """How many KV-cache tokens fit across the whole deployment.
+
+    Per GPU: util*HBM - weights/GPU - overhead; KV for one token is spread
+    over the TP group within each PP stage, and each PP stage holds KV for
+    its own layers (1/PP of the total).
+    """
+    budget = (gpu.hbm_bytes * gpu_memory_utilization
+              - per_gpu_weight_bytes(card, tensor_parallel, pipeline_parallel)
+              - RUNTIME_OVERHEAD_BYTES)
+    if budget <= 0:
+        raise CapacityError(
+            f"{card.name} does not fit on {gpu.name} with TP="
+            f"{tensor_parallel}, PP={pipeline_parallel}: weights alone need "
+            f"{per_gpu_weight_bytes(card, tensor_parallel, pipeline_parallel) / GiB:.1f} GiB")
+    kv_per_token_per_gpu = card.kv_bytes_per_token / (
+        tensor_parallel * pipeline_parallel)
+    return int(budget / kv_per_token_per_gpu)
+
+
+def required_gpus(card: ModelCard, gpu: GpuSpec,
+                  gpu_memory_utilization: float =
+                  DEFAULT_GPU_MEMORY_UTILIZATION,
+                  kv_headroom: float = 0.15) -> int:
+    """Minimum power-of-two GPU count for weights + headroom to fit."""
+    for n in (1, 2, 4, 8, 16, 32, 64):
+        per_gpu = card.weight_bytes / n
+        budget = gpu.hbm_bytes * gpu_memory_utilization - RUNTIME_OVERHEAD_BYTES
+        if per_gpu <= budget * (1 - kv_headroom):
+            return n
+    raise CapacityError(f"{card.name} needs more than 64 x {gpu.name}")
+
+
+def validate_fit(card: ModelCard, gpu: GpuSpec, tensor_parallel: int,
+                 pipeline_parallel: int = 1,
+                 max_model_len: int | None = None,
+                 gpu_memory_utilization: float =
+                 DEFAULT_GPU_MEMORY_UTILIZATION) -> int:
+    """Check the deployment fits and can hold at least one full-length
+    sequence; returns total KV token capacity.
+
+    This is where the paper's ``--max-model-len`` requirement bites:
+    Scout's 10M-token default context cannot be reserved on a single node,
+    so deployments must constrain it.
+    """
+    capacity = kv_capacity_tokens(card, gpu, tensor_parallel,
+                                  pipeline_parallel, gpu_memory_utilization)
+    effective_len = max_model_len if max_model_len is not None \
+        else card.max_context
+    if effective_len > card.max_context:
+        raise ConfigurationError(
+            f"max_model_len {effective_len} exceeds the model's context "
+            f"window {card.max_context}")
+    if capacity < effective_len:
+        raise CapacityError(
+            f"KV cache can hold {capacity} tokens but max_model_len is "
+            f"{effective_len}; reduce --max-model-len (the paper sets 65536 "
+            "for Scout) or add GPUs")
+    return capacity

@@ -1,0 +1,37 @@
+"""Flow-level network simulation.
+
+Data movement (container pulls, S3 transfers, model loads) is modeled as
+fluid *flows* over capacitated links with **max-min fair** bandwidth sharing
+— the standard abstraction for TCP-like fair sharing at the timescales that
+matter here (seconds to hours).  On top sit:
+
+* :mod:`~repro.net.topology` — hosts, links, route tables (including the
+  paper's S3 routing-fix scenario);
+* :mod:`~repro.net.http` — a simulated HTTP layer for service APIs;
+* :mod:`~repro.net.ssh` / :mod:`~repro.net.proxy` /
+  :mod:`~repro.net.cal` — the three ingress mechanisms of Section 3.3:
+  SSH tunnels, NGINX reverse proxy, and Compute-as-Login mode.
+"""
+
+from .flows import Flow, FlowNetwork, Link, max_min_fair_rates
+from .topology import Fabric, Host
+from .http import HttpClient, HttpRequest, HttpResponse, HttpService
+from .ssh import SshTunnel
+from .proxy import NginxProxy
+from .cal import ComputeAsLogin
+
+__all__ = [
+    "ComputeAsLogin",
+    "Fabric",
+    "Flow",
+    "FlowNetwork",
+    "Host",
+    "HttpClient",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpService",
+    "Link",
+    "max_min_fair_rates",
+    "NginxProxy",
+    "SshTunnel",
+]

@@ -1,0 +1,94 @@
+"""Compute-as-Login (CaL) mode.
+
+The paper's mechanism for multi-user / persistent access on HPC platforms:
+a system operator reconfigures a compute node to act like a login node and
+routes a port of the platform's NGINX proxy to it.  Once provisioned, the
+*user* can re-deploy services behind the lease without operator involvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, NotFoundError, StateError
+from .proxy import NginxProxy, Upstream
+from .topology import Fabric
+
+
+@dataclass
+class CaLLease:
+    """A provisioned CaL allocation for one user on one compute node."""
+
+    user: str
+    node: str
+    external_port: int
+    upstream: Upstream
+    active: bool = True
+    history: list[tuple[float, str]] = field(default_factory=list)
+
+    @property
+    def url(self) -> str:
+        return self.upstream.url
+
+
+class ComputeAsLogin:
+    """Operator-facing manager of CaL leases on one HPC platform.
+
+    ``provision`` is the operator action; ``retarget`` (pointing the lease
+    at a new service port / node after the user redeploys) is self-service.
+    """
+
+    def __init__(self, fabric: Fabric, proxy: NginxProxy,
+                 port_range: tuple[int, int] = (9000, 9100)):
+        self.fabric = fabric
+        self.proxy = proxy
+        self.port_range = port_range
+        self.leases: dict[tuple[str, str], CaLLease] = {}
+        self._next_port = port_range[0]
+
+    def _allocate_port(self) -> int:
+        while self._next_port < self.port_range[1]:
+            port = self._next_port
+            self._next_port += 1
+            if port not in self.proxy.upstreams:
+                return port
+        raise ConfigurationError("CaL port range exhausted")
+
+    def provision(self, user: str, node: str,
+                  service_port: int = 8000) -> CaLLease:
+        """Operator provisions a CaL resource routing to ``node``."""
+        if node not in self.fabric.hosts:
+            raise NotFoundError(f"unknown node {node!r}")
+        key = (user, node)
+        if key in self.leases and self.leases[key].active:
+            raise StateError(f"user {user!r} already holds a CaL lease on {node}")
+        port = self._allocate_port()
+        upstream = self.proxy.add_upstream(port, node, service_port)
+        lease = CaLLease(user=user, node=node, external_port=port,
+                         upstream=upstream)
+        lease.history.append((self.fabric.kernel.now, f"provisioned->{node}"))
+        self.leases[key] = lease
+        self.fabric.kernel.trace.emit("cal.provision", user=user, node=node,
+                                      port=port)
+        return lease
+
+    def retarget(self, lease: CaLLease, node: str,
+                 service_port: int = 8000) -> None:
+        """User redeploys their service; lease follows without operator."""
+        if not lease.active:
+            raise StateError("lease has been released")
+        lease.upstream = self.proxy.retarget(lease.external_port, node,
+                                             service_port)
+        lease.node = node
+        lease.history.append((self.fabric.kernel.now, f"retargeted->{node}"))
+        self.fabric.kernel.trace.emit("cal.retarget", user=lease.user,
+                                      node=node, port=lease.external_port)
+
+    def release(self, lease: CaLLease) -> None:
+        if not lease.active:
+            return
+        self.proxy.remove_upstream(lease.external_port)
+        lease.active = False
+        lease.history.append((self.fabric.kernel.now, "released"))
+        self.fabric.kernel.trace.emit("cal.release", user=lease.user,
+                                      node=lease.node)

@@ -1,0 +1,65 @@
+"""NGINX-style reverse proxy on a platform service node.
+
+Used by Compute-as-Login mode: external traffic arriving at
+``proxy_host:port`` is routed through the cluster's internal network to the
+compute node running the target GenAI service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .http import HttpService, forwarding_handler
+from .topology import Fabric
+
+
+@dataclass
+class Upstream:
+    listen_port: int
+    target_host: str
+    target_port: int
+    service: HttpService
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.service.host}:{self.listen_port}"
+
+
+class NginxProxy:
+    """A reverse proxy bound to one (externally reachable) host."""
+
+    def __init__(self, fabric: Fabric, host: str):
+        if host not in fabric.hosts:
+            raise ConfigurationError(f"unknown proxy host {host!r}")
+        self.fabric = fabric
+        self.host = host
+        self.upstreams: dict[int, Upstream] = {}
+
+    def add_upstream(self, listen_port: int, target_host: str,
+                     target_port: int) -> Upstream:
+        """Route proxy_host:listen_port -> target_host:target_port."""
+        if listen_port in self.upstreams:
+            raise ConfigurationError(
+                f"proxy port {listen_port} already routed")
+        handler = forwarding_handler(self.fabric, self.host,
+                                     target_host, target_port)
+        service = HttpService(self.fabric, self.host, listen_port, handler,
+                              name=f"nginx->{target_host}:{target_port}")
+        upstream = Upstream(listen_port, target_host, target_port, service)
+        self.upstreams[listen_port] = upstream
+        self.fabric.kernel.trace.emit(
+            "nginx.upstream.add", proxy=self.host, port=listen_port,
+            target=f"{target_host}:{target_port}")
+        return upstream
+
+    def remove_upstream(self, listen_port: int) -> None:
+        upstream = self.upstreams.pop(listen_port, None)
+        if upstream is not None:
+            upstream.service.close()
+
+    def retarget(self, listen_port: int, target_host: str,
+                 target_port: int) -> Upstream:
+        """Point an existing listen port at a new backend (pod moved)."""
+        self.remove_upstream(listen_port)
+        return self.add_upstream(listen_port, target_host, target_port)

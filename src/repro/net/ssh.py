@@ -1,0 +1,66 @@
+"""SSH tunnels — single-user ingress to HPC compute nodes.
+
+Models ``ssh -L <local>:<compute>:<port> -N -f <login-node>`` from the
+paper: a service appears at (user_host, local_port) that forwards through
+the login node to the compute node.  Only the tunnel owner's host gains
+access; other external users still cannot reach the service (the paper's
+motivation for Compute-as-Login mode).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .http import HttpRequest, HttpService, forwarding_handler
+from .topology import Fabric
+
+
+class SshTunnel:
+    """An active port-forward: user_host:local_port -> target_host:port."""
+
+    def __init__(self, fabric: Fabric, user_host: str, login_host: str,
+                 target_host: str, target_port: int,
+                 local_port: int | None = None):
+        for h in (user_host, login_host, target_host):
+            if h not in fabric.hosts:
+                raise ConfigurationError(f"unknown host {h!r}")
+        login = fabric.hosts[login_host]
+        if not login.externally_reachable and \
+                fabric.hosts[user_host].zone == "external":
+            raise ConfigurationError(
+                f"login node {login_host!r} is not reachable from outside; "
+                "cannot establish tunnel")
+        self.fabric = fabric
+        self.user_host = user_host
+        self.login_host = login_host
+        self.target_host = target_host
+        self.target_port = target_port
+        self.local_port = local_port if local_port is not None else target_port
+
+        inner = forwarding_handler(fabric, login_host, target_host, target_port)
+
+        def handler(request: HttpRequest):
+            # Requests traverse user -> login (SSH) -> compute; restrict to
+            # the tunnel owner (an SSH -L bind listens on localhost).
+            if request.client_host != self.user_host:
+                from ..errors import APIError
+                raise APIError(403, "tunnel is bound to localhost")
+            response = yield from inner(request)
+            return response
+
+        self._service = HttpService(fabric, user_host, self.local_port,
+                                    handler, name=f"ssh-tunnel->{target_host}")
+        fabric.kernel.trace.emit(
+            "ssh.tunnel.open", user=user_host, login=login_host,
+            target=f"{target_host}:{target_port}", local_port=self.local_port)
+
+    @property
+    def command(self) -> str:
+        """The equivalent interactive command (paper Section 3.3)."""
+        return (f"ssh -L {self.local_port}:{self.target_host}:"
+                f"{self.target_port} -N -f {self.login_host}")
+
+    def close(self) -> None:
+        self._service.close()
+        self.fabric.kernel.trace.emit("ssh.tunnel.close",
+                                      user=self.user_host,
+                                      target=self.target_host)

@@ -1,0 +1,13 @@
+"""Ray-like distributed runtime for multi-node inference.
+
+vLLM "relies on Ray ... to implement multi-node inference.  Users first
+instantiate a Ray cluster on top of their underlying computing resources,
+and then start up vLLM inside the Ray cluster" (Section 3.5).  This package
+models exactly that control flow: a head node with a GCS registry, workers
+that join it, placement groups that reserve GPU bundles across nodes, and
+remote actors pinned to bundles.
+"""
+
+from .cluster import PlacementGroup, RayActor, RayCluster, RayNode
+
+__all__ = ["PlacementGroup", "RayActor", "RayCluster", "RayNode"]

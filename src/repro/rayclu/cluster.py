@@ -1,0 +1,173 @@
+"""Ray cluster: head/worker bootstrap, GCS, placement groups, actors."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from ..errors import CapacityError, ConfigurationError, StateError
+from ..hardware.node import Node
+from ..simkernel import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simkernel import SimKernel
+
+#: Worker registration handshake time (GCS heartbeat interval-ish).
+JOIN_DELAY = 2.0
+#: Head bootstrap (GCS + dashboard + raylet startup).
+HEAD_BOOT_DELAY = 5.0
+
+
+@dataclass
+class RayNode:
+    """One raylet: a node contributing GPUs to the cluster."""
+
+    node: Node
+    is_head: bool = False
+    joined_at: float = 0.0
+    gpus_reserved: int = 0
+
+    @property
+    def gpus_total(self) -> int:
+        return self.node.spec.gpu_count
+
+    @property
+    def gpus_available(self) -> int:
+        return self.gpus_total - self.gpus_reserved
+
+
+@dataclass
+class PlacementGroup:
+    """A reservation of GPU bundles across raylets (STRICT_SPREAD-ish:
+    one bundle per node, as vLLM uses for pipeline stages)."""
+
+    bundles: list[tuple[RayNode, int]] = field(default_factory=list)
+    ready: bool = False
+
+    @property
+    def nodes(self) -> list[Node]:
+        return [rn.node for rn, _ in self.bundles]
+
+
+class RayActor:
+    """A remote actor bound to a bundle; runs generator methods remotely."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, cluster: "RayCluster", ray_node: RayNode,
+                 name: str = ""):
+        self.id = next(RayActor._ids)
+        self.cluster = cluster
+        self.ray_node = ray_node
+        self.name = name or f"actor-{self.id}"
+        self.alive = True
+
+    def remote(self, fn: Callable[..., Generator], *args: Any):
+        """Invoke a generator on the actor's node; returns its value.
+        Adds the cluster's internode RPC latency."""
+        if not self.alive:
+            raise StateError(f"actor {self.name} is dead")
+        kernel = self.cluster.kernel
+        yield kernel.timeout(self.cluster.rpc_latency)
+        result = yield from fn(self.ray_node.node, *args)
+        return result
+
+    def kill(self) -> None:
+        self.alive = False
+
+
+class RayCluster:
+    """A Ray cluster over a set of hardware nodes."""
+
+    def __init__(self, kernel: "SimKernel", rpc_latency: float = 0.0005):
+        self.kernel = kernel
+        self.rpc_latency = rpc_latency
+        self.head: RayNode | None = None
+        self.workers: list[RayNode] = []
+        self.started: Event = kernel.event()
+        self.actors: list[RayActor] = []
+        self._down = False
+
+    # -- bootstrap (paper Figure 11 flow) ----------------------------------------
+
+    @property
+    def nodes(self) -> list[RayNode]:
+        return ([self.head] if self.head else []) + self.workers
+
+    def start_head(self, node: Node):
+        """``ray start --head`` on a node (generator)."""
+        if self.head is not None:
+            raise StateError("head already started")
+        yield self.kernel.timeout(HEAD_BOOT_DELAY)
+        self.head = RayNode(node=node, is_head=True,
+                            joined_at=self.kernel.now)
+        if not self.started.triggered:
+            self.started.succeed(self)
+        self.kernel.trace.emit("ray.head.up", node=node.hostname)
+        return self.head
+
+    def join_worker(self, node: Node):
+        """``ray start --address=<head>`` on a worker node (generator)."""
+        if self.head is None:
+            # Workers retry until the head's GCS answers.
+            while self.head is None:
+                yield self.kernel.timeout(1.0)
+        yield self.kernel.timeout(JOIN_DELAY)
+        worker = RayNode(node=node, joined_at=self.kernel.now)
+        self.workers.append(worker)
+        self.kernel.trace.emit("ray.worker.join", node=node.hostname,
+                               cluster_size=len(self.nodes))
+        return worker
+
+    def wait_for_size(self, n: int):
+        """Block until the cluster has ``n`` raylets (generator)."""
+        while len(self.nodes) < n:
+            yield self.kernel.timeout(1.0)
+        return self
+
+    # -- resources ---------------------------------------------------------------------
+
+    def create_placement_group(self, gpus_per_bundle: int,
+                               n_bundles: int) -> PlacementGroup:
+        """Reserve one GPU bundle on each of ``n_bundles`` distinct nodes."""
+        if self._down:
+            raise StateError("ray cluster is shut down")
+        eligible = [rn for rn in self.nodes
+                    if rn.gpus_available >= gpus_per_bundle]
+        if len(eligible) < n_bundles:
+            raise CapacityError(
+                f"placement group wants {n_bundles} bundles of "
+                f"{gpus_per_bundle} GPUs; only {len(eligible)} nodes "
+                "have capacity")
+        group = PlacementGroup()
+        for rn in eligible[:n_bundles]:
+            rn.gpus_reserved += gpus_per_bundle
+            group.bundles.append((rn, gpus_per_bundle))
+        group.ready = True
+        self.kernel.trace.emit("ray.pg.ready", bundles=n_bundles,
+                               gpus_per_bundle=gpus_per_bundle)
+        return group
+
+    def release_placement_group(self, group: PlacementGroup) -> None:
+        for rn, gpus in group.bundles:
+            rn.gpus_reserved -= gpus
+        group.bundles.clear()
+        group.ready = False
+
+    def spawn_actor(self, group: PlacementGroup, bundle_index: int,
+                    name: str = "") -> RayActor:
+        if not group.ready:
+            raise ConfigurationError("placement group not ready")
+        ray_node, _ = group.bundles[bundle_index]
+        actor = RayActor(self, ray_node, name=name)
+        self.actors.append(actor)
+        return actor
+
+    def shutdown(self) -> None:
+        self._down = True
+        for actor in self.actors:
+            actor.kill()
+        self.head = None
+        self.workers.clear()
+        self.kernel.trace.emit("ray.shutdown")

@@ -1,0 +1,26 @@
+"""Containerized support services and additional GenAI services.
+
+* :mod:`~repro.services.cli_apps` — behaviors for the workflow's utility
+  containers: ``alpine/git`` (model download, paper Figure 2) and
+  ``amazon/aws-cli`` (S3 sync, paper Figure 3).
+* :mod:`~repro.services.vectordb` — a Milvus-like vector database.
+* :mod:`~repro.services.router` — a LiteLLM-like OpenAI-API router.
+* :mod:`~repro.services.webui` — a Chainlit-like chat front end.
+
+The paper names Milvus, LiteLLM, and Chainlit as the kinds of GenAI
+services users compose with inference servers (Sections 1 and 4).
+"""
+
+from . import cli_apps  # noqa: F401  (registers app behaviors)
+from .vectordb import VectorDbService, vectordb_image
+from .router import LlmRouter, router_image
+from .webui import ChatWebUi, webui_image
+
+__all__ = [
+    "ChatWebUi",
+    "LlmRouter",
+    "VectorDbService",
+    "router_image",
+    "vectordb_image",
+    "webui_image",
+]

@@ -1,0 +1,131 @@
+"""A LiteLLM-like router: one OpenAI endpoint fanning out to backends.
+
+The paper notes users can recreate Kubernetes-style resilience on HPC
+platforms "with techniques like using cron jobs and deploying their own
+request routers" — this is that router: it health-checks its backends and
+fails over, giving HPC deployments K8s-like behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..containers.image import (ExecutionExpectations, ImageManifest,
+                                make_layers, register_app)
+from ..containers.runtime import ContainerApp, ContainerContext
+from ..errors import APIError, NetworkUnreachable, ReproError
+from ..net.http import HttpClient, HttpResponse, HttpService
+from ..units import MiB
+
+
+def router_image(tag: str = "main") -> ImageManifest:
+    return ImageManifest(
+        repository="berriai/litellm", tag=tag,
+        layers=make_layers(f"litellm:{tag}", 600 * MiB, count=4),
+        app="llm-router",
+        expectations=ExecutionExpectations(host_network=True),
+        entrypoint="litellm")
+
+
+@dataclass
+class Backend:
+    host: str
+    port: int
+    healthy: bool = True
+    consecutive_failures: int = 0
+
+
+@register_app("llm-router")
+class LlmRouter(ContainerApp):
+    """Round-robin with failover across vLLM backends.
+
+    Env: ``ROUTER_PORT`` (default 4000), ``BACKENDS`` =
+    ``host1:port1,host2:port2,...``.
+    """
+
+    UNHEALTHY_AFTER = 2
+    HEALTH_INTERVAL = 15.0
+
+    def __init__(self):
+        self.backends: list[Backend] = []
+        self.service: HttpService | None = None
+        self._rr = 0
+        self._client: HttpClient | None = None
+
+    def startup(self, ctx: ContainerContext):
+        ctx.check_expectations()
+        spec = ctx.env.get("BACKENDS", "")
+        for entry in filter(None, spec.split(",")):
+            host, _, port = entry.partition(":")
+            self.backends.append(Backend(host, int(port or 8000)))
+        if not self.backends:
+            from ..errors import ContainerCrash
+            raise ContainerCrash("router: no BACKENDS configured",
+                                 sim_time=ctx.kernel.now)
+        self._client = HttpClient(ctx.fabric, ctx.hostname)
+        port = int(ctx.env.get("ROUTER_PORT", "4000"))
+        self.service = HttpService(ctx.fabric, ctx.hostname, port,
+                                   self._handle, name="litellm")
+        yield ctx.kernel.timeout(3.0)
+
+    def run(self, ctx: ContainerContext):
+        # Periodic health checks run alongside request serving.
+        while not ctx.stop_event.triggered:
+            done = yield ctx.kernel.any_of(
+                [ctx.stop_event, ctx.kernel.timeout(self.HEALTH_INTERVAL)])
+            if ctx.stop_event.triggered:
+                return
+            yield from self._health_pass()
+
+    def shutdown(self, ctx: ContainerContext) -> None:
+        if self.service is not None:
+            self.service.close()
+            self.service = None
+
+    # -- health ---------------------------------------------------------------------
+
+    def _health_pass(self):
+        for backend in self.backends:
+            try:
+                response = yield from self._client.get(
+                    backend.host, backend.port, "/health")
+                ok = response.ok
+            except (APIError, NetworkUnreachable, ReproError):
+                ok = False
+            if ok:
+                backend.healthy = True
+                backend.consecutive_failures = 0
+            else:
+                backend.consecutive_failures += 1
+                if backend.consecutive_failures >= self.UNHEALTHY_AFTER:
+                    backend.healthy = False
+
+    # -- routing ----------------------------------------------------------------------
+
+    def _pick(self) -> list[Backend]:
+        healthy = [b for b in self.backends if b.healthy]
+        pool = healthy or list(self.backends)
+        # Rotate round-robin.
+        order = pool[self._rr % len(pool):] + pool[:self._rr % len(pool)]
+        self._rr += 1
+        return order
+
+    def _handle(self, request):
+        last_error: HttpResponse | None = None
+        for backend in self._pick():
+            try:
+                response = yield from self._client.request(
+                    request.method, backend.host, backend.port, request.path,
+                    json=request.json, headers=request.headers)
+            except (APIError, NetworkUnreachable, ReproError) as exc:
+                backend.consecutive_failures += 1
+                if backend.consecutive_failures >= self.UNHEALTHY_AFTER:
+                    backend.healthy = False
+                last_error = HttpResponse(502, json={"error": str(exc)})
+                continue
+            if response.status >= 500:
+                last_error = response
+                continue
+            return response
+        return last_error or HttpResponse(503, json={
+            "error": "no healthy backends"})

@@ -1,0 +1,189 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence with an optional value or
+exception.  Processes wait on events by yielding them.  Combinators
+:class:`AnyOf` / :class:`AllOf` wait on groups.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ..errors import StateError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import SimKernel
+
+# Event priorities: lower runs first among events scheduled at the same time.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Lifecycle: *pending* -> *triggered* (scheduled on the heap) ->
+    *processed* (callbacks ran).  ``succeed``/``fail`` trigger the event;
+    both are errors on an already-triggered event.
+    """
+
+    __slots__ = ("kernel", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+
+    def __init__(self, kernel: "SimKernel"):
+        self.kernel = kernel
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._ok: bool | None = None
+        self._scheduled = False
+        self._processed = False
+
+    # -- state inspection --------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool | None:
+        """True if succeeded, False if failed, None if still pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._scheduled:
+            raise StateError("event value not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None, *, delay: float = 0.0) -> "Event":
+        """Mark the event successful, scheduling callbacks after ``delay``."""
+        if self._scheduled:
+            raise StateError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._scheduled = True
+        self.kernel._schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, *, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiting processes receive ``exception``."""
+        if self._scheduled:
+            raise StateError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self._scheduled = True
+        self.kernel._schedule(self, delay=delay)
+        return self
+
+    # -- internal ------------------------------------------------------------
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks or ():
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb`` to run when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (synchronously).
+        """
+        if self.callbacks is None:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else (
+            "triggered" if self._scheduled else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, kernel: "SimKernel", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(kernel)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._scheduled = True
+        kernel._schedule(self, delay=delay)
+
+
+class Interrupted(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries the interrupter-supplied reason.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf: completes based on child event outcomes."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, kernel: "SimKernel", events: Iterable[Event]):
+        super().__init__(kernel)
+        self.events = tuple(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _results(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.processed and ev.ok}
+
+
+class AnyOf(_Condition):
+    """Succeeds when the first child event succeeds (or fails if it failed)."""
+
+    __slots__ = ()
+
+    def _on_child(self, ev: Event) -> None:
+        if self._scheduled:
+            return
+        if ev.ok:
+            self.succeed(self._results())
+        else:
+            self.fail(ev._value)
+
+
+class AllOf(_Condition):
+    """Succeeds when all child events have succeeded.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, ev: Event) -> None:
+        if self._scheduled:
+            return
+        if not ev.ok:
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._results())

@@ -1,0 +1,223 @@
+"""The simulation kernel: virtual clock, event heap, and processes."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from ..errors import StateError
+from .events import PRIORITY_NORMAL, PRIORITY_URGENT, AllOf, AnyOf, Event, Interrupted, Timeout
+from .rng import RngRegistry
+from .tracing import Tracer
+
+ProcGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A Process is itself an :class:`Event` that triggers when the generator
+    returns (success, value = return value) or raises (failure).  Processes
+    may be interrupted; the waiting process receives :class:`Interrupted`.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, kernel: "SimKernel", generator: ProcGen, name: str = ""):
+        super().__init__(kernel)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Bootstrap: resume the generator at the current time.
+        boot = Event(kernel)
+        boot.succeed()
+        boot.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time.
+
+        Interrupting a finished process is a no-op (mirrors real job-kill
+        races: the kill may arrive after completion).
+        """
+        if self.triggered:
+            return
+        kernel = self.kernel
+        target = self._waiting_on
+
+        def deliver(_ev: Event) -> None:
+            if self.triggered:
+                return
+            # Detach from whatever we were waiting on so its later
+            # callback doesn't double-resume us.
+            if target is not None and target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._waiting_on = None
+            self._step(throw=Interrupted(cause))
+
+        tick = Event(kernel)
+        tick.succeed()
+        tick.add_callback(deliver)
+
+    # -- generator driving ---------------------------------------------------
+
+    def _resume(self, ev: Event) -> None:
+        self._waiting_on = None
+        if ev.ok:
+            self._step(send=ev._value)
+        else:
+            self._step(throw=ev._value)
+
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
+        kernel = self.kernel
+        kernel._active_process = self
+        try:
+            if throw is not None:
+                nxt = self.generator.throw(throw)
+            else:
+                nxt = self.generator.send(send)
+        except StopIteration as stop:
+            kernel._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            kernel._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        kernel._active_process = None
+        if not isinstance(nxt, Event):
+            # Programming error inside the process: fail loudly.
+            self.generator.close()
+            self.fail(TypeError(
+                f"process {self.name!r} yielded non-event {nxt!r}"))
+            return
+        self._waiting_on = nxt
+        nxt.add_callback(self._resume)
+
+
+class SimKernel:
+    """Deterministic discrete-event simulator.
+
+    The kernel owns the virtual clock (:attr:`now`, seconds), the pending
+    event heap, named RNG streams (:attr:`rng`), and a trace recorder
+    (:attr:`trace`).  All simulation components hold a reference to their
+    kernel, conventionally named ``env``.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+        self.rng = RngRegistry(seed)
+        self.trace = Tracer(self)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, *, delay: float = 0.0,
+                  priority: int = PRIORITY_NORMAL) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    # -- public factory helpers ----------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: ProcGen, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise StateError("no more events")
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        if t < self.now:  # pragma: no cover - defensive
+            raise StateError(f"time went backwards: {t} < {self.now}")
+        self.now = t
+        event._run_callbacks()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None``: run until the heap is empty.
+        * ``until=<float>``: run until virtual time reaches the given time
+          (events at exactly ``until`` are processed).
+        * ``until=<Event>``: run until the event is processed; returns its
+          value, or raises its exception if it failed.
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._heap:
+                    raise StateError(
+                        "simulation ran out of events before target event fired")
+                self.step()
+            if target.ok:
+                return target._value
+            raise target._value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self.now:
+                raise ValueError(f"until={horizon} is in the past (now={self.now})")
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+            self.now = horizon
+            return None
+        while self._heap:
+            self.step()
+        return None
+
+    def peek(self) -> float:
+        """Time of the next pending event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # -- convenience ------------------------------------------------------------
+
+    def process_sleep(self, delay: float) -> Timeout:
+        """Alias of :meth:`timeout`, reads better inside processes."""
+        return self.timeout(delay)
+
+    def urgent_event(self) -> Event:
+        """An event whose callbacks run before normal events at the same time."""
+        ev = Event(self)
+        orig_succeed = ev.succeed
+
+        def succeed(value: Any = None, *, delay: float = 0.0) -> Event:
+            if ev._scheduled:
+                raise StateError("event already triggered")
+            ev._ok = True
+            ev._value = value
+            ev._scheduled = True
+            self._schedule(ev, delay=delay, priority=PRIORITY_URGENT)
+            return ev
+
+        ev.succeed = succeed  # type: ignore[method-assign]
+        del orig_succeed
+        return ev

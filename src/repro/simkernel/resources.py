@@ -1,0 +1,140 @@
+"""Shared resources for simulation processes.
+
+:class:`Resource` models a counted resource (e.g. GPU slots, CaL ports) with
+FIFO queuing.  :class:`Store` models a FIFO item queue (e.g. request queues,
+message channels) with blocking get.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ConfigurationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import SimKernel
+
+
+class Resource:
+    """Counted resource with FIFO request queue.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ... hold the resource ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, kernel: "SimKernel", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires when a unit is granted."""
+        ev = Event(self.kernel)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Release one held unit, granting the oldest live waiter if any."""
+        if self.in_use <= 0:
+            raise ConfigurationError(f"release of idle resource {self.name!r}")
+        # Hand the unit to the next waiter whose request wasn't cancelled.
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if ev.triggered:  # cancelled request
+                continue
+            ev.succeed(self)
+            return
+        self.in_use -= 1
+
+    def cancel(self, request: Event) -> None:
+        """Withdraw a queued (not yet granted) request."""
+        if not request.triggered:
+            request.fail(ConfigurationError("request cancelled"))
+
+
+class Store:
+    """Unbounded-or-bounded FIFO item store.
+
+    ``put`` succeeds immediately unless the store is bounded and full, in
+    which case the put blocks (event pending) until space frees up.
+    ``get`` blocks until an item is available.
+    """
+
+    def __init__(self, kernel: "SimKernel", capacity: int | None = None,
+                 name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.name = name
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.kernel)
+        # Direct hand-off to a blocked getter, if any.
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            ev.succeed(None)
+            return ev
+        if self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.kernel)
+        if self.items:
+            item = self.items.popleft()
+            ev.succeed(item)
+            # Space freed: admit the oldest blocked putter.
+            while self._putters:
+                putter, pitem = self._putters.popleft()
+                if putter.triggered:
+                    continue
+                self.items.append(pitem)
+                putter.succeed(None)
+                break
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Any | None:
+        """Non-blocking get: return an item or None."""
+        if not self.items:
+            return None
+        ev = self.get()
+        return ev.value

@@ -1,0 +1,70 @@
+"""Structured event tracing for simulations.
+
+Components emit trace records (``tracer.emit("vllm.step", engine="hops15",
+batch=32)``); tests and benches filter them to assert on behaviour without
+coupling to internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import SimKernel
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event at a simulated time."""
+
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getattr__(self, item: str) -> Any:
+        try:
+            return self.fields[item]
+        except KeyError as exc:  # pragma: no cover - debug aid
+            raise AttributeError(item) from exc
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects; optionally filtered.
+
+    Tracing is enabled by default but can be limited with
+    :meth:`set_filter` to keep long benches light.  Subscribers can react
+    to records as they are emitted (used by live monitors in examples).
+    """
+
+    def __init__(self, kernel: "SimKernel"):
+        self.kernel = kernel
+        self.records: list[TraceRecord] = []
+        self.enabled = True
+        self._filter: Callable[[str], bool] | None = None
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self._filter is not None and not self._filter(kind):
+            return
+        rec = TraceRecord(self.kernel.now, kind, fields)
+        self.records.append(rec)
+        for sub in self._subscribers:
+            sub(rec)
+
+    def set_filter(self, predicate: Callable[[str], bool] | None) -> None:
+        self._filter = predicate
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        self._subscribers.append(callback)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def matching(self, prefix: str) -> Iterator[TraceRecord]:
+        return (r for r in self.records if r.kind.startswith(prefix))
+
+    def clear(self) -> None:
+        self.records.clear()

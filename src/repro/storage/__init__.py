@@ -1,0 +1,27 @@
+"""Storage substrates: site-wide S3 object storage and parallel filesystems.
+
+Mirrors Section 2.4 of the paper: ~30 PB of S3 split across two sites with
+cross-site replication and a 16 x 25 Gbps frontend; HPC parallel filesystems
+that are *not* mounted off-platform (hence object storage as the universal
+data substrate); and the aws-cli client nuances the paper calls out
+(checksum-calculation env vars, retry counts).
+"""
+
+from .object_store import Bucket, ObjectMeta, ObjectStore, S3Site
+from .s3_client import S3Client, S3ClientConfig
+from .filesystem import ParallelFilesystem
+from .mounts import LocalDirMount, MountHandle, PfsMount, VolumeMount
+
+__all__ = [
+    "Bucket",
+    "LocalDirMount",
+    "MountHandle",
+    "ObjectMeta",
+    "ObjectStore",
+    "ParallelFilesystem",
+    "PfsMount",
+    "S3Client",
+    "S3ClientConfig",
+    "S3Site",
+    "VolumeMount",
+]

@@ -1,0 +1,275 @@
+"""The continuous-batching engine loop.
+
+Mechanics mirror vLLM's scheduler at the fidelity that matters for the
+paper's curves: FCFS admission from a waiting queue while KV blocks are
+available, one token per running sequence per iteration, LIFO
+recompute-preemption when the cache fills, and iteration times from the
+calibrated :class:`~repro.vllm.perf.PerfModel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import APIError, ContainerCrash
+from ..models.catalog import ModelCard
+from ..simkernel import Event, Interrupted
+from .config import EngineArgs
+from .kvcache import BlockManager
+from .perf import PerfModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simkernel import SimKernel
+    from .faults import FaultPlan
+
+
+class EngineCrash(ContainerCrash):
+    """The engine died (e.g. the memory-leak crash of Fig. 12 run 1)."""
+
+
+@dataclass
+class RequestStats:
+    """Final accounting for one completed request."""
+
+    prompt_tokens: int
+    output_tokens: int
+    ttft: float          # time to first token
+    latency: float       # submit -> finish
+    preemptions: int
+
+    @property
+    def decode_rate(self) -> float:
+        """Output tokens/second over the full request lifetime."""
+        return self.output_tokens / self.latency if self.latency > 0 else 0.0
+
+
+class Request:
+    """One generation request inside the engine."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, kernel: "SimKernel", prompt_tokens: int,
+                 max_new_tokens: int):
+        self.id = next(Request._ids)
+        self.prompt_tokens = prompt_tokens
+        self.max_new_tokens = max_new_tokens
+        self.submitted_at = kernel.now
+        self.first_token_at: float | None = None
+        self.finished_at: float | None = None
+        self.tokens_generated = 0
+        self.preemptions = 0
+        self.needs_prefill = True
+        self.first_token: Event = kernel.event()
+        self.done: Event = kernel.event()
+
+    def stats(self) -> RequestStats:
+        assert self.finished_at is not None and self.first_token_at is not None
+        return RequestStats(
+            prompt_tokens=self.prompt_tokens,
+            output_tokens=self.tokens_generated,
+            ttft=self.first_token_at - self.submitted_at,
+            latency=self.finished_at - self.submitted_at,
+            preemptions=self.preemptions,
+        )
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.tokens_generated
+
+
+class LLMEngine:
+    """Continuous-batching engine bound to a KV budget and a cost model."""
+
+    def __init__(self, kernel: "SimKernel", card: ModelCard,
+                 perf: PerfModel, args: EngineArgs,
+                 kv_capacity_tokens: int,
+                 fault_plan: "FaultPlan | None" = None,
+                 name: str = "vllm"):
+        self.kernel = kernel
+        self.card = card
+        self.perf = perf
+        self.args = args
+        self.name = name
+        self.blocks = BlockManager(kv_capacity_tokens)
+        self.waiting: deque[Request] = deque()
+        self.running: list[Request] = []
+        self.fault_plan = fault_plan
+        self.completed: list[Request] = []
+        self.total_output_tokens = 0
+        self.total_requests = 0
+        self.iterations = 0
+        self.crashed: EngineCrash | None = None
+        self._wake: Event | None = None
+        self._proc = None
+
+    # -- public API -------------------------------------------------------------------
+
+    @property
+    def max_model_len(self) -> int:
+        return self.args.max_model_len or self.card.max_context
+
+    def submit(self, prompt_tokens: int, max_new_tokens: int) -> Request:
+        """Enqueue a request; returns it (wait on ``request.done``)."""
+        if self.crashed is not None:
+            raise APIError(503, f"engine {self.name} has crashed")
+        if prompt_tokens < 1 or max_new_tokens < 1:
+            raise APIError(400, "prompt and max_tokens must be positive")
+        if prompt_tokens + max_new_tokens > self.max_model_len:
+            raise APIError(
+                400, f"requested {prompt_tokens}+{max_new_tokens} tokens "
+                     f"exceeds max_model_len={self.max_model_len}")
+        request = Request(self.kernel, prompt_tokens, max_new_tokens)
+        self.waiting.append(request)
+        self.total_requests += 1
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+        return request
+
+    def start(self):
+        """Spawn the engine loop; returns the process."""
+        self._proc = self.kernel.spawn(self._loop(), name=f"engine:{self.name}")
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("engine stop")
+
+    @property
+    def kv_tokens_in_use(self) -> int:
+        return sum(r.total_tokens for r in self.running)
+
+    def metrics(self) -> dict:
+        """Prometheus-style snapshot (vLLM's /metrics equivalent)."""
+        import numpy as np
+        latencies = [r.stats().latency for r in self.completed[-500:]]
+        return {
+            "num_requests_running": len(self.running),
+            "num_requests_waiting": len(self.waiting),
+            "gpu_cache_usage_perc": round(
+                self.blocks.used_blocks / self.blocks.total_blocks, 4),
+            "num_requests_total": self.total_requests,
+            "num_requests_completed": len(self.completed),
+            "generation_tokens_total": self.total_output_tokens,
+            "iterations_total": self.iterations,
+            "num_preemptions_total": sum(
+                r.preemptions for r in self.completed)
+            + sum(r.preemptions for r in self.running),
+            "request_latency_p50": float(np.percentile(latencies, 50))
+            if latencies else 0.0,
+            "crashed": self.crashed is not None,
+        }
+
+    # -- engine loop -------------------------------------------------------------------
+
+    def _loop(self):
+        try:
+            while True:
+                if not self.running and not self.waiting:
+                    self._wake = self.kernel.event()
+                    yield self._wake
+                    self._wake = None
+                self._check_faults()
+                prefill_tokens = self._admit()
+                if not self.running:
+                    continue
+                batch = len(self.running)
+                step = self.perf.decode_iteration_time(
+                    batch, self.kv_tokens_in_use)
+                if prefill_tokens:
+                    step += self.perf.prefill_time(prefill_tokens)
+                yield self.kernel.timeout(step)
+                self.iterations += 1
+                self._advance_all()
+        except Interrupted:
+            self._fail_outstanding(APIError(503, "engine stopped"))
+        except EngineCrash as crash:
+            self.crashed = crash
+            self._fail_outstanding(crash)
+            raise
+
+    def _check_faults(self) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.check(self)
+
+    def _admit(self) -> int:
+        """FCFS admission while KV blocks allow; returns prefill tokens."""
+        prefill = 0
+        while self.waiting and len(self.running) < self.args.max_num_seqs:
+            nxt = self.waiting[0]
+            needed = nxt.total_tokens  # includes recompute after preemption
+            if not self.blocks.can_allocate(needed):
+                break
+            self.waiting.popleft()
+            self.blocks.allocate(nxt.id, needed)
+            nxt.needs_prefill = True
+            prefill += needed
+            self.running.append(nxt)
+        return prefill
+
+    def _advance_all(self) -> None:
+        now = self.kernel.now
+        finished: list[Request] = []
+        for request in list(self.running):
+            if request not in self.running:
+                continue  # got preempted while advancing others
+            if not self._ensure_appendable(request):
+                # Cache completely full with this sequence alone: cap it.
+                finished.append(request)
+                continue
+            if request not in self.running:
+                continue
+            self.blocks.append_token(request.id)
+            request.tokens_generated += 1
+            self.total_output_tokens += 1
+            if request.needs_prefill:
+                request.needs_prefill = False
+                if request.first_token_at is None:
+                    request.first_token_at = now
+                    request.first_token.succeed(now)
+            if request.tokens_generated >= request.max_new_tokens:
+                finished.append(request)
+        for request in finished:
+            self.running.remove(request)
+            self.blocks.free(request.id)
+            request.finished_at = now
+            if request.first_token_at is None:
+                request.first_token_at = now
+                request.first_token.succeed(now)
+            self.completed.append(request)
+            request.done.succeed(request)
+
+    def _ensure_appendable(self, request: Request) -> bool:
+        """Preempt (LIFO, recompute-style) until ``request`` can grow.
+        Returns False if the cache is full with no preemptable victim."""
+        while not self.blocks.can_append(request.id):
+            victim = None
+            for candidate in reversed(self.running):
+                if candidate is not request:
+                    victim = candidate
+                    break
+            if victim is None:
+                return False
+            self._preempt(victim)
+        return True
+
+    def _preempt(self, victim: Request) -> None:
+        self.running.remove(victim)
+        self.blocks.free(victim.id)
+        victim.preemptions += 1
+        victim.needs_prefill = True  # recompute on readmission
+        self.waiting.appendleft(victim)
+        self.kernel.trace.emit("vllm.preempt", engine=self.name,
+                               request=victim.id)
+
+    def _fail_outstanding(self, exc: Exception) -> None:
+        for request in list(self.running) + list(self.waiting):
+            if not request.done.triggered:
+                request.done.fail(exc)
+        for request in self.running:
+            if self.blocks.holds(request.id):
+                self.blocks.free(request.id)
+        self.running.clear()
+        self.waiting.clear()

@@ -1,0 +1,67 @@
+"""Fault injection for the engine.
+
+Reproduces the paper's reliability observations: Fig. 12 run 1 "crashed
+with a batch size of 512 queries" (a memory-leak style failure after
+enough load), and containers that "crash (e.g., due to a memory leak bug)"
+under Kubernetes get restarted automatically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from .engine import EngineCrash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import LLMEngine
+
+
+class FaultPlan:
+    """A set of triggers checked at every engine iteration."""
+
+    def __init__(self, *triggers: Callable[["LLMEngine"], str | None]):
+        self.triggers = list(triggers)
+        self.fired: list[str] = []
+
+    def add(self, trigger: Callable[["LLMEngine"], str | None]) -> None:
+        self.triggers.append(trigger)
+
+    def check(self, engine: "LLMEngine") -> None:
+        for trigger in self.triggers:
+            reason = trigger(engine)
+            if reason:
+                self.fired.append(reason)
+                raise EngineCrash(reason, sim_time=engine.kernel.now)
+
+
+def CrashAfterRequests(n: int, reason: str = "memory leak: engine OOM"
+                       ) -> Callable[["LLMEngine"], str | None]:
+    """Crash once ``n`` requests have been accepted (cumulative load
+    trigger — how run 1's crash at the batch-512 sweep point manifests)."""
+    def trigger(engine: "LLMEngine") -> str | None:
+        if engine.total_requests >= n:
+            return f"{reason} (after {engine.total_requests} requests)"
+        return None
+    return trigger
+
+
+def CrashAtTime(t: float, reason: str = "injected failure"
+                ) -> Callable[["LLMEngine"], str | None]:
+    """Crash at the first iteration after simulated time ``t``."""
+    def trigger(engine: "LLMEngine") -> str | None:
+        if engine.kernel.now >= t:
+            return f"{reason} (at t={engine.kernel.now:.0f}s)"
+        return None
+    return trigger
+
+
+def CrashOnConcurrency(threshold: int,
+                       reason: str = "NCCL collective timeout"
+                       ) -> Callable[["LLMEngine"], str | None]:
+    """Crash when the running batch first reaches ``threshold``."""
+    def trigger(engine: "LLMEngine") -> str | None:
+        if len(engine.running) >= threshold:
+            return (f"{reason} (running batch {len(engine.running)} >= "
+                    f"{threshold})")
+        return None
+    return trigger

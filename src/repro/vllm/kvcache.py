@@ -1,0 +1,101 @@
+"""Paged KV-cache block manager (PagedAttention's bookkeeping half).
+
+vLLM's core idea — virtual-memory-style paging of the KV cache — shows up
+here as fixed-size token blocks allocated per sequence, enabling the
+scheduler to admit, grow, free, and preempt sequences without
+fragmentation.  Invariants (no leaks, no double frees, capacity respected)
+are property-tested.
+"""
+
+from __future__ import annotations
+
+from ..errors import CapacityError, ConfigurationError, StateError
+
+BLOCK_SIZE = 16  # tokens per block, vLLM's default
+
+
+def blocks_needed(n_tokens: int, block_size: int = BLOCK_SIZE) -> int:
+    if n_tokens < 0:
+        raise ConfigurationError("negative token count")
+    return -(-n_tokens // block_size) if n_tokens else 0
+
+
+class BlockManager:
+    """Allocates KV blocks to sequence ids."""
+
+    def __init__(self, capacity_tokens: int, block_size: int = BLOCK_SIZE):
+        if capacity_tokens <= 0:
+            raise ConfigurationError("KV capacity must be positive")
+        if block_size < 1:
+            raise ConfigurationError("block size must be >= 1")
+        self.block_size = block_size
+        self.total_blocks = capacity_tokens // block_size
+        self.free_blocks = self.total_blocks
+        self._held: dict[int, int] = {}    # seq id -> blocks
+        self._tokens: dict[int, int] = {}  # seq id -> logical tokens
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def used_blocks(self) -> int:
+        return self.total_blocks - self.free_blocks
+
+    def holds(self, seq_id: int) -> bool:
+        return seq_id in self._held
+
+    def tokens_of(self, seq_id: int) -> int:
+        return self._tokens.get(seq_id, 0)
+
+    def can_allocate(self, n_tokens: int) -> bool:
+        return blocks_needed(n_tokens, self.block_size) <= self.free_blocks
+
+    def can_append(self, seq_id: int) -> bool:
+        """Would appending one token to ``seq_id`` need a new block, and
+        if so is one free?"""
+        tokens = self._tokens[seq_id]
+        if tokens % self.block_size != 0:
+            return True  # room in the current block
+        return self.free_blocks >= 1
+
+    # -- mutations ------------------------------------------------------------------
+
+    def allocate(self, seq_id: int, n_tokens: int) -> None:
+        """Allocate blocks for a sequence's prompt."""
+        if seq_id in self._held:
+            raise StateError(f"sequence {seq_id} already has blocks")
+        need = blocks_needed(n_tokens, self.block_size)
+        if need > self.free_blocks:
+            raise CapacityError(
+                f"need {need} blocks, {self.free_blocks} free")
+        self.free_blocks -= need
+        self._held[seq_id] = need
+        self._tokens[seq_id] = n_tokens
+
+    def append_token(self, seq_id: int) -> None:
+        """Grow a sequence by one generated token."""
+        if seq_id not in self._held:
+            raise StateError(f"sequence {seq_id} has no blocks")
+        tokens = self._tokens[seq_id]
+        if tokens % self.block_size == 0:
+            if self.free_blocks < 1:
+                raise CapacityError("KV cache exhausted")
+            self.free_blocks -= 1
+            self._held[seq_id] += 1
+        self._tokens[seq_id] = tokens + 1
+
+    def free(self, seq_id: int) -> None:
+        if seq_id not in self._held:
+            raise StateError(f"sequence {seq_id} has no blocks")
+        self.free_blocks += self._held.pop(seq_id)
+        del self._tokens[seq_id]
+
+    # -- invariant check (used by property tests) --------------------------------------
+
+    def check_invariants(self) -> None:
+        held = sum(self._held.values())
+        assert held + self.free_blocks == self.total_blocks, \
+            "block accounting leak"
+        for seq_id, blocks in self._held.items():
+            assert blocks >= blocks_needed(self._tokens[seq_id],
+                                           self.block_size), \
+                f"sequence {seq_id} under-allocated"

@@ -1,0 +1,195 @@
+"""Multi-node inference: Ray cluster under a WLM job, then vLLM on top.
+
+Section 3.5 of the paper: *"we achieve this by deploying a multi-node job
+running one vLLM container per node, executing the Ray cluster startup
+command as its entry point.  Once the Ray cluster is established, we exec
+into one of the vLLM containers (any works) and start the vLLM server."*
+Tensor parallelism runs within each node, pipeline parallelism between
+nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..containers.image import ImageManifest, register_app
+from ..containers.runtime import (Container, ContainerApp, ContainerContext,
+                                  ContainerRuntime, RunOpts)
+from ..errors import CapacityError, ConfigurationError, ContainerCrash
+from ..hardware.node import Node
+from ..models.catalog import ModelCard
+from ..models.weights import validate_fit
+from ..net.http import HttpResponse, HttpService
+from ..rayclu import RayCluster
+from ..simkernel import Event
+from .config import EngineArgs
+from .engine import LLMEngine
+from .perf import PerfModel, PerfProfile
+from .server import ENGINE_INIT_SECONDS, VllmOpenAIServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simkernel import SimKernel
+    from ..storage.mounts import MountHandle
+
+
+@register_app("ray-node")
+class RayNodeApp(ContainerApp):
+    """The per-node vLLM container whose entrypoint starts Ray
+    (``run-cluster.sh --head|--worker`` in paper Figure 11)."""
+
+    def startup(self, ctx: ContainerContext):
+        ctx.check_expectations()
+        cluster: RayCluster = ctx.opts.extras["ray_cluster"]
+        role = ctx.env.get("RAY_ROLE", "worker")
+        if role == "head":
+            yield from cluster.start_head(ctx.node)
+        else:
+            yield from cluster.join_worker(ctx.node)
+
+    def run(self, ctx: ContainerContext):
+        yield ctx.stop_event
+
+
+@dataclass
+class MultiNodeDeployment:
+    """A running multi-node vLLM service."""
+
+    engine: LLMEngine
+    ray: RayCluster
+    containers: list[Container]
+    head_node: Node
+    service: HttpService | None = None
+    failed: Event | None = None
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return (self.head_node.hostname, self.engine.args.port)
+
+    def stop(self) -> None:
+        self.engine.stop()
+        if self.service is not None:
+            self.service.close()
+            self.service = None
+        for container in self.containers:
+            if container.running:
+                container.stop()
+        self.ray.shutdown()
+
+
+class MultiNodeEngineLauncher:
+    """Brings up Ray + a TP x PP engine over a node allocation."""
+
+    def __init__(self, kernel: "SimKernel", fabric, runtime: ContainerRuntime,
+                 image: ImageManifest | str, card: ModelCard,
+                 args: EngineArgs, model_mount: "MountHandle",
+                 profile: PerfProfile | None = None,
+                 fault_plan=None):
+        if args.pipeline_parallel_size < 2:
+            raise ConfigurationError(
+                "use the single-node server for pipeline_parallel_size=1")
+        self.kernel = kernel
+        self.fabric = fabric
+        self.runtime = runtime
+        self.image = image
+        self.card = card
+        self.args = args
+        self.model_mount = model_mount
+        self.profile = profile or PerfProfile()
+        self.fault_plan = fault_plan
+
+    def launch(self, nodes: list[Node]):
+        """Generator: returns a ready :class:`MultiNodeDeployment`."""
+        args = self.args
+        if len(nodes) != args.pipeline_parallel_size:
+            raise ConfigurationError(
+                f"pipeline_parallel_size={args.pipeline_parallel_size} "
+                f"needs exactly that many nodes, got {len(nodes)}")
+        kernel = self.kernel
+        ray = RayCluster(kernel)
+
+        # One vLLM container per node; entrypoint = Ray bootstrap.
+        containers: list[Container] = []
+        for i, node in enumerate(nodes):
+            opts = RunOpts(
+                name=f"vllm-ray-{node.hostname}",
+                env={"RAY_ROLE": "head" if i == 0 else "worker",
+                     "HF_HUB_OFFLINE": "1", "TRANSFORMERS_OFFLINE": "1",
+                     "HF_DATASETS_OFFLINE": "1"},
+                network_host=True, ipc_host=True, gpus="all",
+                apptainer_fakeroot=True, apptainer_writable_tmpfs=True,
+                apptainer_cleanenv=True, apptainer_no_home=True,
+                apptainer_nv=True,
+                entrypoint="run-cluster.sh",
+                extras={"ray_cluster": ray, "app_override": "ray-node"},
+            )
+            container = yield from self.runtime.run(node, self.image, opts)
+            containers.append(container)
+        for container in containers:
+            yield container.ready
+        yield from ray.wait_for_size(len(nodes))
+
+        # vLLM allocates GPU bundles through Ray placement groups.
+        group = ray.create_placement_group(
+            gpus_per_bundle=args.tensor_parallel_size,
+            n_bundles=args.pipeline_parallel_size)
+
+        head = nodes[0]
+        gpu = head.spec.gpus[0]
+        kv_capacity = validate_fit(
+            self.card, gpu, args.tensor_parallel_size,
+            args.pipeline_parallel_size, max_model_len=args.max_model_len,
+            gpu_memory_utilization=args.gpu_memory_utilization)
+
+        # Every pipeline stage loads its weight shard in parallel.
+        shard = self.card.weight_bytes / args.pipeline_parallel_size
+        loaders = [
+            kernel.spawn(self.model_mount.read_bytes(n.hostname, int(shard)),
+                         name=f"shard:{n.hostname}")
+            for n in nodes]
+        yield kernel.all_of(loaders)
+        # Deserialize + upload to HBM (each node processes its shard).
+        from .server import WEIGHT_LOAD_RATE_PER_NODE
+        yield kernel.timeout(shard / WEIGHT_LOAD_RATE_PER_NODE)
+        yield kernel.timeout(ENGINE_INIT_SECONDS)
+
+        perf = PerfModel(self.card, gpu, args.tensor_parallel_size,
+                         args.pipeline_parallel_size, profile=self.profile)
+        engine = LLMEngine(kernel, self.card, perf, args, kv_capacity,
+                           fault_plan=self.fault_plan,
+                           name=f"{head.hostname}-multinode")
+        deployment = MultiNodeDeployment(engine=engine, ray=ray,
+                                         containers=containers,
+                                         head_node=head)
+        deployment.failed = kernel.event()
+
+        # Bind the OpenAI API on the head node, reusing the single-node
+        # server's HTTP handlers.
+        front = VllmOpenAIServer()
+        front.engine = engine
+        front.args = args
+        deployment.service = HttpService(
+            self.fabric, head.hostname, args.port, front._handle,
+            name=f"vllm-multinode@{head.hostname}")
+
+        engine_proc = engine.start()
+
+        def watch(env):
+            try:
+                yield engine_proc
+            except ContainerCrash as crash:
+                if deployment.failed is not None and \
+                        not deployment.failed.triggered:
+                    deployment.failed.succeed(crash)
+                for container in containers:
+                    if container.running:
+                        container.stop()
+                env.trace.emit("vllm.multinode.crash",
+                               head=head.hostname, reason=str(crash))
+
+        kernel.spawn(watch(kernel), name="multinode-watch")
+        kernel.trace.emit("vllm.multinode.ready", head=head.hostname,
+                          nodes=[n.hostname for n in nodes],
+                          tp=args.tensor_parallel_size,
+                          pp=args.pipeline_parallel_size)
+        return deployment

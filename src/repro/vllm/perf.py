@@ -1,0 +1,132 @@
+"""Calibrated step-cost model for prefill and decode.
+
+Decode is modeled as a roofline over the TP x PP GPU group:
+
+* weight streaming — every decode iteration reads the *active* weights
+  once per pipeline microbatch (memory-bandwidth bound; dominates at
+  batch 1);
+* KV streaming — each running sequence's cache is read every iteration
+  (grows with batch and context);
+* FLOPs — scales with batch (dominates at high concurrency, sets the
+  throughput ceiling);
+* fixed overhead and, for multi-node, per-stage pipeline communication.
+
+Peak hardware numbers come from the GPU catalog; *achieved* fractions are
+per-(platform, model) calibration constants carried in a
+:class:`PerfProfile` (see DESIGN.md §3 for the anchor table).  The paper's
+platform gaps (H100 vs MI300A, BF16 vs w4a16, single- vs multi-node) are
+expressed entirely through these profiles; the curve *shapes* emerge from
+the engine mechanics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..hardware.gpu import GpuSpec
+from ..models.catalog import ModelCard
+
+
+@dataclass(frozen=True)
+class PerfProfile:
+    """Achieved-efficiency calibration for one (platform, model) pair.
+
+    eff_mem:
+        Achieved fraction of HBM bandwidth during decode streaming.
+    eff_flop:
+        Achieved fraction of peak dense FLOPs during batched decode.
+    eff_prefill:
+        Achieved FLOPs fraction during prefill (usually higher: big GEMMs).
+    t_overhead:
+        Fixed per-iteration overhead, seconds (scheduler, kernel launches,
+        sampling, Python).
+    t_pp_comm:
+        Per-stage pipeline send/recv time, seconds (inter-node activations;
+        the paper's runs used Ethernet, not InfiniBand).
+    """
+
+    eff_mem: float = 0.35
+    eff_flop: float = 0.04
+    eff_prefill: float = 0.30
+    t_overhead: float = 0.0025
+    t_pp_comm: float = 0.001
+
+    def __post_init__(self):
+        for name in ("eff_mem", "eff_flop", "eff_prefill"):
+            v = getattr(self, name)
+            if not (0.0 < v <= 1.0):
+                raise ConfigurationError(f"{name}={v} must be in (0, 1]")
+        if self.t_overhead < 0 or self.t_pp_comm < 0:
+            raise ConfigurationError("negative time constants")
+
+
+class PerfModel:
+    """Step costs for a concrete deployment (model x GPU x TP x PP)."""
+
+    def __init__(self, card: ModelCard, gpu: GpuSpec, tensor_parallel: int,
+                 pipeline_parallel: int = 1,
+                 profile: PerfProfile | None = None):
+        if tensor_parallel < 1 or pipeline_parallel < 1:
+            raise ConfigurationError("parallel degrees must be >= 1")
+        self.card = card
+        self.gpu = gpu
+        self.tp = tensor_parallel
+        self.pp = pipeline_parallel
+        self.profile = profile or PerfProfile()
+
+    # -- derived rates -------------------------------------------------------------
+
+    @property
+    def _bw_eff(self) -> float:
+        """Achieved bytes/s per GPU."""
+        return self.gpu.hbm_bandwidth * self.profile.eff_mem
+
+    @property
+    def _flops_eff(self) -> float:
+        """Achieved FLOPs/s per GPU during decode."""
+        return self.gpu.flops_dense16 * self.profile.eff_flop
+
+    # -- prefill -----------------------------------------------------------------------
+
+    def prefill_time(self, prompt_tokens: int) -> float:
+        """Time to prefill ``prompt_tokens`` (FLOPs-bound large GEMMs),
+        spread over all GPUs."""
+        if prompt_tokens <= 0:
+            return 0.0
+        flops = 2.0 * self.card.active_params * prompt_tokens
+        rate = (self.gpu.flops_dense16 * self.profile.eff_prefill
+                * self.tp * self.pp)
+        return flops / rate + self.profile.t_overhead
+
+    # -- decode ------------------------------------------------------------------------
+
+    def decode_iteration_time(self, batch_size: int,
+                              kv_tokens_total: int) -> float:
+        """One engine iteration: every running sequence advances a token.
+
+        With PP stages, the batch splits into PP microbatches that flow
+        through the pipe; each stage re-reads its weight shard per
+        microbatch, so the full iteration costs PP x stage time (weights
+        are *not* amortized by pipelining — why multi-node inference adds
+        memory, not speed; Section 3.5).
+        """
+        if batch_size <= 0:
+            return 0.0
+        p = self.profile
+        microbatch = max(1.0, batch_size / self.pp)
+        # Per-stage, per-microbatch costs (per GPU within the TP group):
+        weight_read = (self.card.active_weight_bytes / (self.pp * self.tp)
+                       ) / self._bw_eff
+        kv_read = ((kv_tokens_total / batch_size) * microbatch
+                   * (self.card.kv_bytes_per_token / self.pp) / self.tp
+                   ) / self._bw_eff
+        flops = (2.0 * self.card.active_params / self.pp * microbatch
+                 ) / (self.tp * self._flops_eff)
+        stage = (weight_read + kv_read + flops
+                 + p.t_overhead / self.pp + p.t_pp_comm * (self.pp > 1))
+        return stage * self.pp
+
+    def single_stream_rate(self, context_tokens: int = 512) -> float:
+        """Tokens/second for one request (batch 1) — sanity helper."""
+        return 1.0 / self.decode_iteration_time(1, context_tokens)

@@ -1,0 +1,218 @@
+"""The ``vllm-openai`` container app: startup, weight loading, OpenAI API.
+
+Startup sequence (each stage can fail the way the paper describes):
+
+1. validate execution-environment expectations (Apptainer-defaults crash);
+2. validate offline environment — without the ``HF_HUB_OFFLINE`` family of
+   flags the server tries to reach huggingface.co, which on an air-gapped
+   platform fails;
+3. resolve the model card and check the deployment fits GPU memory
+   (Scout's 10M default context forces ``--max-model-len``);
+4. load weights from the model mount (parallel FS / PVC / local dir) —
+   "startup ... can take 30 minutes or more for large models";
+5. initialize the engine (CUDA graphs, warmup) and bind the API port.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import (APIError, CapacityError, ConfigurationError,
+                      ContainerCrash, NetworkUnreachable, NotFoundError)
+from ..containers.image import register_app
+from ..containers.runtime import ContainerApp, ContainerContext
+from ..models.catalog import model_card
+from ..models.weights import validate_fit
+from ..net.http import HttpResponse, HttpService
+from .config import EngineArgs, is_offline_env, parse_serve_command
+from .engine import LLMEngine
+from .perf import PerfModel, PerfProfile
+
+#: Engine initialization after weights are resident (graph capture, warmup).
+ENGINE_INIT_SECONDS = 90.0
+
+#: safetensors deserialization + HBM upload rate per node, bytes/second.
+#: Far below network line rate (host-memory staging, format parsing,
+#: PCIe) — a large share of the paper's "30 minutes or more" startup for
+#: big models.
+WEIGHT_LOAD_RATE_PER_NODE = 250e6
+
+#: Crude tokenizer: ~4 characters per token.
+CHARS_PER_TOKEN = 4
+
+
+def estimate_tokens(text: str) -> int:
+    return max(1, len(text) // CHARS_PER_TOKEN)
+
+
+@register_app("vllm-openai")
+class VllmOpenAIServer(ContainerApp):
+    """Simulated vLLM OpenAI-compatible server."""
+
+    def __init__(self):
+        self.engine: LLMEngine | None = None
+        self.args: EngineArgs | None = None
+        self.service: HttpService | None = None
+        self.startup_finished_at: float | None = None
+
+    # -- startup ------------------------------------------------------------------
+
+    def startup(self, ctx: ContainerContext):
+        ctx.check_expectations()
+        kernel = ctx.kernel
+        try:
+            self.args = parse_serve_command(ctx.opts.command)
+        except ConfigurationError as exc:
+            raise ContainerCrash(f"vllm: bad arguments: {exc}",
+                                 sim_time=kernel.now) from exc
+        args = self.args
+
+        # Offline-mode contract (paper Figures 4/5): without the offline
+        # flags the server phones home to the Hub at startup.
+        if not is_offline_env(ctx.env):
+            try:
+                ctx.fabric.vertex_path(ctx.hostname, "huggingface.co")
+                yield kernel.timeout(5.0)  # hub metadata round trip
+            except (NetworkUnreachable, NotFoundError) as exc:
+                raise ContainerCrash(
+                    "vllm: failed to reach huggingface.co and offline mode "
+                    "is not enabled (set HF_HUB_OFFLINE=1, "
+                    "TRANSFORMERS_OFFLINE=1, HF_DATASETS_OFFLINE=1)",
+                    sim_time=kernel.now) from exc
+
+        # Model card + memory fit.
+        model_name = args.public_model_name
+        try:
+            card = model_card(model_name)
+        except NotFoundError as exc:
+            raise ContainerCrash(str(exc), sim_time=kernel.now) from exc
+        tp = args.tensor_parallel_size
+        if len(ctx.gpu_indices) < tp:
+            raise ContainerCrash(
+                f"vllm: tensor_parallel_size={tp} but only "
+                f"{len(ctx.gpu_indices)} GPUs visible", sim_time=kernel.now)
+        gpu = ctx.node.spec.gpus[ctx.gpu_indices[0]]
+        try:
+            kv_capacity = validate_fit(
+                card, gpu, tp, args.pipeline_parallel_size,
+                max_model_len=args.max_model_len,
+                gpu_memory_utilization=args.gpu_memory_utilization)
+        except (CapacityError, ConfigurationError) as exc:
+            raise ContainerCrash(f"vllm: {exc}", sim_time=kernel.now) from exc
+
+        # Locate and stream the weights.
+        yield from self._load_weights(ctx, card, args)
+
+        # Engine init: graph capture + warmup.
+        yield kernel.timeout(ENGINE_INIT_SECONDS)
+
+        profile: PerfProfile = ctx.opts.extras.get(
+            "perf_profile", PerfProfile())
+        perf = PerfModel(card, gpu, tp, args.pipeline_parallel_size,
+                         profile=profile)
+        self.engine = LLMEngine(
+            kernel, card, perf, args, kv_capacity,
+            fault_plan=ctx.opts.extras.get("fault_plan"),
+            name=f"{ctx.hostname}:{args.port}")
+        self.service = HttpService(ctx.fabric, ctx.hostname, args.port,
+                                   self._handle, name=f"vllm@{ctx.hostname}")
+        self.startup_finished_at = kernel.now
+        kernel.trace.emit("vllm.ready", node=ctx.hostname,
+                          model=model_name, port=args.port)
+
+    def _load_weights(self, ctx: ContainerContext, card, args: EngineArgs):
+        """Stream model weights from whichever mount provides them."""
+        model_ref = args.model
+        if model_ref.startswith("/"):
+            mount = ctx.mount(model_ref)
+            prefix = ""
+        else:
+            base = ctx.opts.workdir or "/vllm-workspace/models"
+            mount = ctx.mount(base)
+            prefix = f"{model_ref}/"
+        found = mount.total_bytes(prefix)
+        if found < card.weight_bytes * 0.99:
+            raise ContainerCrash(
+                f"vllm: model files for {card.name!r} not found under "
+                f"{model_ref!r} (found {found} bytes, expected "
+                f"~{card.weight_bytes})", sim_time=ctx.kernel.now)
+        yield from mount.read_all(ctx.hostname, prefix)
+        # Deserialize + upload the node's full shard set to HBM.
+        yield ctx.kernel.timeout(card.weight_bytes
+                                 / WEIGHT_LOAD_RATE_PER_NODE)
+
+    # -- serving -------------------------------------------------------------------
+
+    def run(self, ctx: ContainerContext):
+        assert self.engine is not None
+        engine_proc = self.engine.start()
+        outcome = yield ctx.kernel.any_of([ctx.stop_event, engine_proc])
+        if engine_proc.triggered and not engine_proc.ok:
+            raise engine_proc.value  # engine crash -> container exit 1
+        return
+
+    def shutdown(self, ctx: ContainerContext) -> None:
+        if self.engine is not None:
+            self.engine.stop()
+        if self.service is not None:
+            self.service.close()
+            self.service = None
+
+    # -- HTTP handlers -----------------------------------------------------------------
+
+    def _handle(self, request):
+        if request.path == "/health":
+            return HttpResponse(200, json={"status": "ok"})
+        if request.path == "/metrics":
+            return HttpResponse(200, json=self.engine.metrics()
+                                if self.engine else {})
+        if request.path == "/v1/models":
+            return HttpResponse(200, json={"data": [
+                {"id": self.args.public_model_name, "object": "model"}]})
+        if request.path in ("/v1/chat/completions", "/v1/completions"):
+            response = yield from self._completions(request)
+            return response
+        return HttpResponse(404, json={"error": f"no route {request.path}"})
+
+    def _completions(self, request):
+        assert self.engine is not None and self.args is not None
+        body = request.json or {}
+        model = body.get("model")
+        if model and model != self.args.public_model_name:
+            return HttpResponse(404, json={
+                "error": f"model {model!r} not served here"})
+        prompt_tokens = body.get("repro_prompt_tokens")
+        if prompt_tokens is None:
+            if "messages" in body:
+                text = " ".join(str(m.get("content", ""))
+                                for m in body["messages"])
+            else:
+                text = str(body.get("prompt", ""))
+            prompt_tokens = estimate_tokens(text)
+        max_tokens = int(body.get("max_tokens", 1024))
+        try:
+            handle = self.engine.submit(int(prompt_tokens), max_tokens)
+        except APIError as exc:
+            return HttpResponse(exc.status, json={"error": exc.message})
+        try:
+            finished = yield handle.done
+        except APIError as exc:
+            return HttpResponse(exc.status, json={"error": exc.message})
+        except ContainerCrash as exc:
+            return HttpResponse(500, json={"error": f"engine crashed: {exc}"})
+        stats = finished.stats()
+        return HttpResponse(200, json={
+            "id": f"chatcmpl-{finished.id}",
+            "object": "chat.completion",
+            "model": self.args.public_model_name,
+            "choices": [{"index": 0,
+                         "message": {"role": "assistant",
+                                     "content": "<generated>"},
+                         "finish_reason": "length"}],
+            "usage": {"prompt_tokens": stats.prompt_tokens,
+                      "completion_tokens": stats.output_tokens,
+                      "total_tokens": stats.prompt_tokens
+                      + stats.output_tokens},
+            "repro_stats": {"ttft": stats.ttft, "latency": stats.latency,
+                            "preemptions": stats.preemptions},
+        })

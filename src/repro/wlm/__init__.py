@@ -1,0 +1,25 @@
+"""Workload managers for HPC platforms.
+
+:class:`~repro.wlm.slurm.SlurmManager` (Hops) and
+:class:`~repro.wlm.flux.FluxManager` (El Dorado) implement the same
+:class:`~repro.wlm.base.WorkloadManager` interface: finite-duration jobs,
+node allocations, time limits, and maintenance reservations — the things the
+case study actually exercises (multi-node Ray launches, jobs killed by
+scheduled downtime).
+"""
+
+from .base import (Job, JobContext, JobSpec, JobState, MaintenanceReservation,
+                   WorkloadManager)
+from .slurm import SlurmManager
+from .flux import FluxManager
+
+__all__ = [
+    "FluxManager",
+    "Job",
+    "JobContext",
+    "JobSpec",
+    "JobState",
+    "MaintenanceReservation",
+    "SlurmManager",
+    "WorkloadManager",
+]

@@ -1,0 +1,55 @@
+"""Flux-flavoured workload manager (the El Dorado platform).
+
+Flux uses hierarchical brokers and RFC 14 *jobspecs*; we keep the same
+scheduling core but expose the Flux-style submission surface, so platform
+code exercises a genuinely different user interface — the paper's point
+that "the syntax for Flux on El Dorado is slightly different, but operates
+similarly."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from ..errors import ConfigurationError
+from .base import Job, JobContext, JobSpec, WorkloadManager
+
+
+class FluxManager(WorkloadManager):
+    """Flux semantics: jobspec dicts submitted to a broker."""
+
+    name = "flux"
+
+    def submit_jobspec(self, jobspec: dict[str, Any],
+                       script: Callable[[JobContext], Generator]) -> Job:
+        """Submit an RFC 14-shaped jobspec.
+
+        Expected shape (subset)::
+
+            {"resources": [{"type": "node", "count": N}],
+             "attributes": {"system": {"duration": seconds,
+                                       "job": {"name": ...}}}}
+        """
+        try:
+            resources = jobspec["resources"]
+            node_count = next(r["count"] for r in resources
+                              if r["type"] == "node")
+            system = jobspec["attributes"]["system"]
+            duration = float(system["duration"])
+            name = system.get("job", {}).get("name", "flux-job")
+        except (KeyError, StopIteration, TypeError) as exc:
+            raise ConfigurationError(f"malformed flux jobspec: {exc}") from exc
+        return self.submit(JobSpec(name=name, nodes=node_count,
+                                   time_limit=duration, script=script))
+
+    def flux_run(self, name: str, nodes: int, duration: float,
+                 script: Callable[[JobContext], Generator]) -> Job:
+        """``flux run`` one-liner convenience."""
+        return self.submit_jobspec(
+            {"resources": [{"type": "node", "count": nodes}],
+             "attributes": {"system": {"duration": duration,
+                                       "job": {"name": name}}}},
+            script)
+
+    def jobs(self) -> list[Job]:
+        return list(self.queue) + list(self.running)

@@ -1,0 +1,52 @@
+"""Slurm-flavoured workload manager (the Hops platform).
+
+Adds sbatch/srun-style conveniences on the shared scheduling core and
+generates the equivalent batch-script fragments (paper Figure 11 launches a
+Ray cluster with ``srun --nodes=1 -w $head_node ...`` plus a worker sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from .base import Job, JobContext, JobSpec, WorkloadManager
+
+
+class SlurmManager(WorkloadManager):
+    """SLURM semantics: sbatch submission, srun task launch."""
+
+    name = "slurm"
+
+    def sbatch(self, name: str, nodes: int, time_limit: float,
+               script: Callable[[JobContext], Generator],
+               user: str = "user", partition: str = "batch") -> Job:
+        """Submit a batch job (``sbatch`` equivalent)."""
+        return self.submit(JobSpec(name=name, nodes=nodes,
+                                   time_limit=time_limit, script=script,
+                                   user=user, partition=partition))
+
+    def squeue(self) -> list[Job]:
+        """Pending + running jobs, queue order first."""
+        return list(self.queue) + list(self.running)
+
+    def scancel(self, job: Job) -> None:
+        self.cancel(job, reason="scancel")
+
+    @staticmethod
+    def ray_cluster_script_text(container_image: str) -> str:
+        """The batch-script text from paper Figure 11 (artifact generation)."""
+        return (
+            "# Start Ray Cluster\n"
+            "# run-cluster.sh spawns vLLM with Podman\n"
+            'echo "STARTING RAY HEAD on $head_node"\n'
+            "srun --nodes=1 --ntasks=1 -w $head_node \\\n"
+            "    run-cluster.sh --head $head_node_ip \\\n"
+            f"    {container_image} $PODMAN_ARGS &\n"
+            "num_workers=$(($SLURM_JOB_NUM_NODES - 1))\n"
+            'echo "STARTING $num_workers RAY WORKERS"\n'
+            "srun -n $num_workers --nodes=$num_workers "
+            "--ntasks-per-node=1 --exclude $head_node \\\n"
+            "    run-cluster.sh --worker $head_node_ip \\\n"
+            f"    {container_image} $PODMAN_ARGS &\n"
+            "# Wait for Ray cluster to start, then spawn vLLM\n"
+        )

@@ -1,0 +1,171 @@
+"""Tests for the benchmark harness (sampler, client, sweep)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchmarkClient, ConcurrencySweep, ShareGptSampler
+from repro.bench.sweep import SweepResult, SweepPoint
+from repro.bench.client import BenchmarkResult
+from repro.errors import ConfigurationError
+from repro.net import Fabric
+from repro.net.http import HttpResponse, HttpService
+from repro.simkernel import SimKernel
+from repro.units import gbps
+
+
+# -- sampler ---------------------------------------------------------------------
+
+def test_sampler_deterministic_per_seed():
+    a = ShareGptSampler(np.random.default_rng(42)).sample(100)
+    b = ShareGptSampler(np.random.default_rng(42)).sample(100)
+    assert a == b
+
+
+def test_sampler_length_statistics():
+    samples = ShareGptSampler(np.random.default_rng(7)).sample(5000)
+    prompts = np.array([s.prompt_tokens for s in samples])
+    outputs = np.array([s.output_tokens for s in samples])
+    assert 170 <= prompts.mean() <= 280      # ShareGPT-ish prompt mean
+    assert 150 <= outputs.mean() <= 230      # tempered output mean
+    assert np.percentile(prompts, 99) > 4 * np.median(prompts)  # heavy tail
+    assert all(s.total_tokens <= 4096 for s in samples)
+    assert all(s.prompt_tokens >= 4 and s.output_tokens >= 4
+               for s in samples)
+
+
+def test_sampler_respects_max_total():
+    samples = ShareGptSampler(np.random.default_rng(1),
+                              max_total_tokens=512).sample(500)
+    assert all(s.total_tokens <= 512 for s in samples)
+    with pytest.raises(ConfigurationError):
+        ShareGptSampler(np.random.default_rng(1), max_total_tokens=4)
+
+
+# -- client against a scripted endpoint ----------------------------------------------
+
+def _mini_rig():
+    kernel = SimKernel(seed=5)
+    fab = Fabric(kernel)
+    switch = fab.add_switch("sw")
+    fab.add_host("server", zone="site")
+    fab.add_host("client", zone="site")
+    fab.connect("server", switch, gbps(100))
+    fab.connect("client", switch, gbps(100))
+    return kernel, fab
+
+
+def _fake_vllm(kernel, fab, seconds_per_token=0.01, fail_after=None):
+    served = {"n": 0}
+
+    def handler(request):
+        served["n"] += 1
+        if fail_after is not None and served["n"] > fail_after:
+            return HttpResponse(500, json={"error": "engine crashed"})
+        body = request.json
+        out = int(body["max_tokens"])
+        yield kernel.timeout(out * seconds_per_token)
+        return HttpResponse(200, json={
+            "usage": {"prompt_tokens": body["repro_prompt_tokens"],
+                      "completion_tokens": out,
+                      "total_tokens": body["repro_prompt_tokens"] + out},
+            "repro_stats": {"ttft": 0.05, "latency": out * seconds_per_token},
+        })
+
+    HttpService(fab, "server", 8000, handler)
+    return served
+
+
+def test_client_completes_all_requests():
+    kernel, fab = _mini_rig()
+    _fake_vllm(kernel, fab)
+    client = BenchmarkClient(kernel, fab, "client", "server", 8000, "m")
+    samples = ShareGptSampler(kernel.rng.stream("s")).sample(50)
+
+    def proc(env):
+        result = yield from client.run(samples, max_concurrency=8)
+        return result
+
+    result = kernel.run(until=kernel.spawn(proc(kernel)))
+    assert result.completed == 50
+    assert result.errors == 0
+    assert result.total_output_tokens == sum(s.output_tokens for s in samples)
+    assert result.output_throughput > 0
+    assert result.p99_latency >= result.p50_latency
+
+
+def test_concurrency_bounds_in_flight():
+    """With a fixed per-request service time, duration scales ~1/c."""
+    def run_at(c):
+        kernel, fab = _mini_rig()
+
+        def handler(request):
+            yield kernel.timeout(1.0)
+            return HttpResponse(200, json={
+                "usage": {"prompt_tokens": 1, "completion_tokens": 10,
+                          "total_tokens": 11},
+                "repro_stats": {"ttft": 0.1, "latency": 1.0}})
+
+        HttpService(fab, "server", 8000, handler)
+        client = BenchmarkClient(kernel, fab, "client", "server", 8000, "m")
+        samples = ShareGptSampler(kernel.rng.stream("s")).sample(64)
+
+        def proc(env):
+            result = yield from client.run(samples, max_concurrency=c)
+            return result
+
+        return kernel.run(until=kernel.spawn(proc(kernel))).duration
+
+    d1, d8, d64 = run_at(1), run_at(8), run_at(64)
+    assert d1 == pytest.approx(64.0, rel=0.05)
+    assert d8 == pytest.approx(8.0, rel=0.05)
+    assert d64 == pytest.approx(1.0, rel=0.05)
+
+
+def test_client_aborts_on_error_storm():
+    kernel, fab = _mini_rig()
+    _fake_vllm(kernel, fab, fail_after=10)
+    client = BenchmarkClient(kernel, fab, "client", "server", 8000, "m")
+    samples = ShareGptSampler(kernel.rng.stream("s")).sample(200)
+
+    def proc(env):
+        result = yield from client.run(samples, max_concurrency=4)
+        return result
+
+    result = kernel.run(until=kernel.spawn(proc(kernel)))
+    assert result.crashed
+    assert result.completed == 10
+    assert "crashed" in result.error_sample
+
+
+def test_sweep_stops_after_crash_level():
+    kernel, fab = _mini_rig()
+    _fake_vllm(kernel, fab, fail_after=120)
+    client = BenchmarkClient(kernel, fab, "client", "server", 8000, "m")
+    sampler = ShareGptSampler(kernel.rng.stream("s"))
+    sweep = ConcurrencySweep(kernel, client, sampler, n_requests=50,
+                             levels=(1, 2, 4, 8))
+
+    def proc(env):
+        result = yield from sweep.run("crashy")
+        return result
+
+    result = kernel.run(until=kernel.spawn(proc(kernel)))
+    # 50 + 50 ok; crash during third level (cumulative > 120).
+    assert result.terminated_early is not None
+    assert len(result.points) == 3
+    assert result.points[-1].result.crashed
+
+
+def test_sweep_table_format():
+    result = SweepResult(label="hops run 1")
+    r = BenchmarkResult(concurrency=4, n_requests=10, completed=10,
+                        duration=10.0, total_output_tokens=1000)
+    result.points.append(SweepPoint(concurrency=4, result=r))
+    text = result.table()
+    assert "hops run 1" in text
+    assert "100.0" in text  # 1000 tokens / 10 s
+    assert result.throughput_at(4) == 100.0
+    with pytest.raises(KeyError):
+        result.throughput_at(8)

@@ -1,0 +1,124 @@
+"""Calibration tests: the paper's anchor numbers, re-measured.
+
+These run the *actual* engine + ShareGPT harness (not the closed-form
+model) and assert the DESIGN.md §3 anchors within tolerance.  They are the
+slowest tests in the suite (~a minute total) by design: they are the
+evidence that Figures 9/10/12 reproduce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.sharegpt import ShareGptSampler
+from repro.cluster.profiles import perf_profile
+from repro.hardware import gpu_spec
+from repro.models import llama31_405b, llama4_scout, llama4_scout_quantized
+from repro.models.weights import validate_fit
+from repro.simkernel import SimKernel
+from repro.vllm import EngineArgs, LLMEngine, PerfModel
+
+
+def _measure(card, gpu_name, tp, pp, profile, concurrency, n_requests,
+             seed=3):
+    kernel = SimKernel(seed=seed)
+    gpu = gpu_spec(gpu_name)
+    args = EngineArgs(model=card.name, tensor_parallel_size=tp,
+                      pipeline_parallel_size=pp, max_model_len=65536)
+    kv = validate_fit(card, gpu, tp, pp, max_model_len=65536)
+    engine = LLMEngine(kernel, card, PerfModel(card, gpu, tp, pp,
+                                               profile=profile), args, kv)
+    engine.start()
+    samples = ShareGptSampler(kernel.rng.stream("cal")).sample(n_requests)
+    queue = list(reversed(samples))
+    tokens = [0]
+
+    def worker(env):
+        while queue:
+            s = queue.pop()
+            request = engine.submit(s.prompt_tokens, s.output_tokens)
+            finished = yield request.done
+            tokens[0] += finished.tokens_generated
+
+    workers = [kernel.spawn(worker(kernel)) for _ in range(concurrency)]
+    kernel.run(until=kernel.all_of(workers))
+    return tokens[0] / kernel.now, kernel.now
+
+
+def test_hops_scout_single_stream_anchor():
+    """Paper: Hops single-query rate = 103 tok/s."""
+    rate, _ = _measure(llama4_scout(), "H100-SXM-80G", 4, 1,
+                       perf_profile("hops", "scout-bf16"), 1, 40)
+    assert rate == pytest.approx(103, rel=0.10)
+
+
+def test_hops_scout_peak_throughput_anchor():
+    """Paper: Hops max throughput = 4313 tok/s at concurrency 1024."""
+    rate, _ = _measure(llama4_scout(), "H100-SXM-80G", 4, 1,
+                       perf_profile("hops", "scout-bf16"), 1024, 1000)
+    assert rate == pytest.approx(4313, rel=0.12)
+
+
+def test_eldorado_scout_single_stream_anchor():
+    """Paper: El Dorado single-query rate = 48 tok/s."""
+    rate, _ = _measure(llama4_scout(), "MI300A-120G", 4, 1,
+                       perf_profile("eldorado", "scout-bf16"), 1, 30)
+    assert rate == pytest.approx(48, rel=0.10)
+
+
+def test_eldorado_scout_peak_throughput_anchor():
+    """Paper: El Dorado max throughput = 1899 tok/s."""
+    rate, _ = _measure(llama4_scout(), "MI300A-120G", 4, 1,
+                       perf_profile("eldorado", "scout-bf16"), 1024, 1000)
+    assert rate == pytest.approx(1899, rel=0.12)
+
+
+def test_platform_gap_factor():
+    """Paper Fig. 9: Hops beats El Dorado ~2.1-2.3x at both ends."""
+    hops, _ = _measure(llama4_scout(), "H100-SXM-80G", 4, 1,
+                       perf_profile("hops", "scout-bf16"), 64, 300)
+    eldo, _ = _measure(llama4_scout(), "MI300A-120G", 4, 1,
+                       perf_profile("eldorado", "scout-bf16"), 64, 300)
+    assert 1.7 <= hops / eldo <= 3.0
+
+
+def test_goodall_edges_hops_at_high_concurrency():
+    """Paper Fig. 10: similar platforms; Goodall slightly ahead at high
+    concurrency (more HBM headroom)."""
+    hops, _ = _measure(llama4_scout_quantized(), "H100-SXM-80G", 2, 1,
+                       perf_profile("hops", "scout-w4a16"), 1024, 1000)
+    goodall, _ = _measure(llama4_scout_quantized(), "H100-NVL-94G", 2, 1,
+                          perf_profile("goodall", "scout-w4a16"), 1024, 1000)
+    assert goodall > hops                       # the slight edge
+    assert goodall / hops < 1.25                # but similar overall
+    # And quantized-on-2-GPUs peaks below BF16-on-4-GPUs (paper text).
+    assert goodall < 4313 * 0.75
+
+
+def test_405b_single_stream_anchor():
+    """Paper: 405B multi-node single-query rate = 12.5 tok/s."""
+    rate, _ = _measure(llama31_405b(), "H100-SXM-80G", 4, 4,
+                       perf_profile("hops", "405b-multinode"), 1, 15)
+    assert rate == pytest.approx(12.5, rel=0.12)
+
+
+def test_405b_peak_throughput_anchor():
+    """Paper: 1256 tok/s at c=1024 (run 2).  The measurement is dominated
+    by the longest sampled request, which decodes at the (anchored)
+    batch-1 rate; across sampling seeds we land 960-1280 tok/s — see
+    EXPERIMENTS.md.  Assert within 30%."""
+    rate, _ = _measure(llama31_405b(), "H100-SXM-80G", 4, 4,
+                       perf_profile("hops", "405b-multinode"), 1024, 1000)
+    assert rate == pytest.approx(1256, rel=0.30)
+
+
+def test_bench_wall_time_claims():
+    """Paper Section 3.4: 1000 queries take ~30 min at c=1 and ~1 min at
+    c=1024 on Hops."""
+    _, dur_fast = _measure(llama4_scout(), "H100-SXM-80G", 4, 1,
+                           perf_profile("hops", "scout-bf16"), 1024, 1000)
+    assert 40 <= dur_fast <= 120  # "approximately 1 minute"
+    rate_1, dur_40 = _measure(llama4_scout(), "H100-SXM-80G", 4, 1,
+                              perf_profile("hops", "scout-bf16"), 1, 40)
+    est_1000 = dur_40 * 1000 / 40
+    assert 20 * 60 <= est_1000 <= 45 * 60  # "approximately 30 minutes"

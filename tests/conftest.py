@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers import (ApptainerRuntime, CriRuntime, PodmanRuntime,
+                              Registry)
+from repro.containers.image import (aws_cli_image, alpine_git_image,
+                                    vllm_cuda_image, vllm_rocm_image)
+from repro.hardware import NicSpec, Node, NodeSpec, gpu_spec
+from repro.net import Fabric
+from repro.simkernel import SimKernel
+from repro.storage import ParallelFilesystem
+from repro.units import GiB, gbps
+
+
+@pytest.fixture
+def kernel() -> SimKernel:
+    """A fresh deterministic kernel with a fixed seed."""
+    return SimKernel(seed=1234)
+
+
+@pytest.fixture
+def rig(kernel):
+    """A miniature HPC platform: fabric + 4 H100 nodes + registry +
+    parallel FS + all three container runtimes."""
+    fab = Fabric(kernel)
+    spine = fab.add_switch("spine")
+    fab.add_host("registry", zone="site")
+    fab.connect("registry", spine, gbps(50))
+    fab.add_host("lustre", zone="hops")
+    fab.connect("lustre", spine, gbps(800))
+    spec = NodeSpec(
+        name="hops-node", cpus=64, memory_bytes=512 * GiB,
+        gpus=tuple([gpu_spec("H100-SXM-80G")] * 4),
+        nics=(NicSpec("hsn0", gbps(200), "hsn"),))
+    nodes = []
+    for i in range(1, 5):
+        host = f"hops{i:02d}"
+        fab.add_host(host, zone="hops")
+        fab.connect(host, spine, gbps(200))
+        nodes.append(Node(host, spec))
+    registry = Registry(kernel, fab, "gitlab", "registry")
+    registry.seed(vllm_cuda_image())
+    registry.seed(vllm_rocm_image())
+    registry.seed(alpine_git_image())
+    registry.seed(aws_cli_image())
+    fs = ParallelFilesystem(kernel, fab, "hops-lustre", "lustre",
+                            mounted_platforms=["hops"])
+    podman = PodmanRuntime(kernel, fab, registry)
+    apptainer = ApptainerRuntime(kernel, fab, registry, fs)
+    cri = CriRuntime(kernel, fab, registry)
+
+    class Rig:
+        pass
+
+    r = Rig()
+    r.kernel, r.fabric, r.nodes = kernel, fab, nodes
+    r.registry, r.fs = registry, fs
+    r.podman, r.apptainer, r.cri = podman, apptainer, cri
+    return r

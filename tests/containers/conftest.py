@@ -1,0 +1,11 @@
+"""Container-test helpers (the `rig` fixture lives in tests/conftest.py)."""
+
+from __future__ import annotations
+
+
+def drive(kernel, gen):
+    """Run a generator as a process and return its value."""
+    def proc(env):
+        result = yield from gen
+        return result
+    return kernel.run(until=kernel.spawn(proc(kernel)))

@@ -1,0 +1,125 @@
+"""Tests for OCI images, registries, mirroring, and pull behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers import ImageCache, Registry, parse_ref
+from repro.containers.image import (Layer, SIF_COMPRESSION, flatten_to_sif,
+                                    make_layers, vllm_cuda_image)
+from repro.errors import ConfigurationError, ImagePullError
+from repro.units import GiB
+from .conftest import drive
+
+
+def test_parse_ref():
+    assert parse_ref("vllm/vllm-openai:v0.9.1") == ("vllm/vllm-openai", "v0.9.1")
+    assert parse_ref("alpine/git") == ("alpine/git", "latest")
+    assert parse_ref("reg.example:5000/a/b:t") == ("reg.example:5000/a/b", "t")
+    with pytest.raises(ConfigurationError):
+        parse_ref(":tag")
+
+
+def test_make_layers_conserves_bytes():
+    layers = make_layers("x", 15 * GiB, count=8)
+    assert sum(l.size for l in layers) == 15 * GiB
+    assert len(layers) == 8
+    assert len({l.digest for l in layers}) == 8
+
+
+def test_image_digest_stable():
+    a, b = vllm_cuda_image(), vllm_cuda_image()
+    assert a.digest == b.digest
+    assert a.ref == "vllm/vllm-openai:v0.9.1"
+    assert a.size == 15 * GiB
+
+
+def test_flatten_to_sif_compresses():
+    img = vllm_cuda_image()
+    sif = flatten_to_sif(img, "/images/vllm.sif")
+    assert sif.size == int(img.size * SIF_COMPRESSION)
+    assert sif.source is img
+
+
+def test_retag_for_local_registry():
+    img = vllm_cuda_image()
+    local = img.retag(repository="registry.sandia.example/vllm/vllm-openai")
+    assert local.tag == img.tag
+    assert local.digest == img.digest  # same content
+
+
+def test_pull_transfers_only_missing_layers(rig):
+    node = rig.nodes[0]
+    cache = rig.podman.cache_for(node)
+    manifest = drive(rig.kernel, rig.registry.pull(cache, "vllm/vllm-openai:v0.9.1"))
+    t_first = rig.kernel.now
+    assert cache.has_image(manifest.ref)
+    # Second pull of the same image: no bytes to move.
+    drive(rig.kernel, rig.registry.pull(cache, "vllm/vllm-openai:v0.9.1"))
+    assert rig.kernel.now == t_first
+    assert rig.registry.pull_count["vllm/vllm-openai:v0.9.1"] == 2
+
+
+def test_pull_missing_image_raises(rig):
+    cache = ImageCache("hops01")
+    with pytest.raises(ImagePullError):
+        drive(rig.kernel, rig.registry.pull(cache, "nvidia/nim:latest"))
+
+
+def test_pull_storm_contends_on_registry_link(rig):
+    """Four nodes pulling simultaneously take ~4x one node's time."""
+    k = rig.kernel
+
+    def pull_on(node):
+        def proc(env):
+            cache = rig.podman.cache_for(node)
+            yield from rig.registry.pull(cache, "vllm/vllm-openai:v0.9.1")
+            return env.now
+        return k.spawn(proc(k))
+
+    procs = [pull_on(n) for n in rig.nodes]
+    k.run()
+    finish = [p.value for p in procs]
+    img = rig.registry.resolve("vllm/vllm-openai:v0.9.1")
+    t_solo = img.size / (50e9 / 8)  # registry link 50 Gbps
+    assert max(finish) == pytest.approx(4 * t_solo, rel=0.01)
+
+
+def test_shared_layers_dedup_across_tags(rig):
+    """Two tags sharing layers: second pull moves only the delta."""
+    base = vllm_cuda_image()
+    patched_layers = base.layers[:-1] + (Layer.make("patch", 100 * 1024**2),)
+    patched = base.retag(tag="v0.9.2")
+    object.__setattr__(patched, "layers", patched_layers)
+    rig.registry.seed(patched)
+    node = rig.nodes[0]
+    cache = rig.podman.cache_for(node)
+    drive(rig.kernel, rig.registry.pull(cache, base.ref))
+    assert cache.missing_bytes(patched) == 100 * 1024**2
+
+
+def test_push_scan_and_mirror(rig, kernel):
+    """GitLab -> Quay promotion: push triggers scan and async mirror."""
+    fab = rig.fabric
+    fab.add_host("quay", zone="site")
+    fab.connect("quay", "spine", 50e9 / 8)
+    quay = Registry(kernel, fab, "quay", "quay", scan_on_push=True)
+    rig.registry.add_mirror(quay, lag=30.0)
+    img = vllm_cuda_image().retag(tag="prod")
+    drive(kernel, rig.registry.push(img, from_host="hops01"))
+    assert rig.registry.has("vllm/vllm-openai:prod")
+    assert not quay.has("vllm/vllm-openai:prod")
+    kernel.run()  # mirror completes
+    assert quay.has("vllm/vllm-openai:prod")
+
+
+def test_quay_scan_on_push(rig, kernel):
+    fab = rig.fabric
+    fab.add_host("quay", zone="site")
+    fab.connect("quay", "spine", 50e9 / 8)
+    quay = Registry(kernel, fab, "quay", "quay", scan_on_push=True,
+                    scan_duration=45.0)
+    img = vllm_cuda_image()
+    drive(kernel, quay.push(img, from_host="hops01"))
+    assert img.digest in quay.scans
+    assert quay.scans[img.digest].findings >= 0

@@ -1,0 +1,23 @@
+"""Core-layer fixtures: a small converged site."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CaseStudyWorkflow, build_sandia_site
+
+
+@pytest.fixture
+def site():
+    return build_sandia_site(seed=11, hops_nodes=6, eldorado_nodes=4,
+                             goodall_nodes=3, cee_nodes=2)
+
+
+@pytest.fixture
+def workflow(site):
+    return CaseStudyWorkflow(site)
+
+
+SCOUT = "meta-llama/Llama-4-Scout-17B-16E-Instruct"
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+B405 = "meta-llama/Llama-3.1-405B-Instruct"

@@ -1,0 +1,167 @@
+"""Tests for the unified deployment tool (Section 4 prototype)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers.image import vllm_cuda_image
+from repro.containers.runtime import RunOpts
+from repro.core import Deployer, vllm_package
+from repro.errors import NotFoundError
+from repro.net.http import HttpClient
+from .conftest import QUANT, SCOUT
+
+
+@pytest.fixture
+def deployer(site):
+    return Deployer(site)
+
+
+def _seed(workflow, model, platform):
+    workflow.admin_seed_model(model, platform)
+
+
+def test_package_resolves_hardware_variants():
+    pkg = vllm_package()
+    assert pkg.variant_for("cuda").image_ref == "vllm/vllm-openai:v0.9.1"
+    assert pkg.variant_for("rocm").image_ref.startswith("rocm/vllm:")
+    with pytest.raises(NotFoundError):
+        pkg.variant_for("oneapi")
+
+
+def test_package_profiles():
+    pkg = vllm_package()
+    offline = pkg.profile()  # default
+    assert offline.env["HF_HUB_OFFLINE"] == "1"
+    online = pkg.profile("online-serving")
+    assert "HF_HUB_OFFLINE" not in online.env
+    with pytest.raises(NotFoundError):
+        pkg.profile("multiverse")
+
+
+def test_adapt_opts_podman_vs_apptainer():
+    exp = vllm_cuda_image().expectations
+    podman_opts = Deployer.adapt_opts(exp, "podman", RunOpts())
+    assert podman_opts.network_host and podman_opts.ipc_host
+    assert podman_opts.gpus == "all"
+    appt_opts = Deployer.adapt_opts(exp, "apptainer", RunOpts())
+    assert appt_opts.apptainer_fakeroot
+    assert appt_opts.apptainer_writable_tmpfs
+    assert appt_opts.apptainer_cleanenv
+    assert appt_opts.apptainer_no_home
+    assert appt_opts.apptainer_nv
+    with pytest.raises(NotFoundError):
+        Deployer.adapt_opts(exp, "docker", RunOpts())
+
+
+def test_deploy_hops_podman(site, workflow, deployer):
+    _seed(workflow, QUANT, "hops")
+
+    def go(env):
+        d = yield from deployer.deploy(
+            vllm_package(), "hops",
+            {"model": QUANT, "tensor_parallel_size": 2,
+             "max_model_len": 65536})
+        return d
+
+    deployment = workflow.run(go(site.kernel))
+    assert deployment.mechanism == "podman"
+    assert deployment.endpoint[1] == 8000
+    assert deployment.container.running
+    # The artifact is the Figure 4-style command.
+    joined = " ".join(deployment.artifact)
+    assert "--network=host" in joined and "--ipc=host" in joined
+
+
+def test_deploy_hops_apptainer_same_package(site, workflow, deployer):
+    """Same package, different runtime: adaptation is automatic."""
+    _seed(workflow, QUANT, "hops")
+
+    def go(env):
+        d = yield from deployer.deploy(
+            vllm_package(), "hops",
+            {"model": QUANT, "tensor_parallel_size": 2,
+             "max_model_len": 65536},
+            runtime_name="apptainer")
+        return d
+
+    deployment = workflow.run(go(site.kernel))
+    assert deployment.mechanism == "apptainer"
+    joined = " ".join(deployment.artifact)
+    for flag in ("--fakeroot", "--writable-tmpfs", "--cleanenv",
+                 "--no-home", "--nv"):
+        assert flag in joined
+
+
+def test_deploy_eldorado_picks_rocm_image(site, workflow, deployer):
+    _seed(workflow, SCOUT, "eldorado")
+
+    def go(env):
+        d = yield from deployer.deploy(
+            vllm_package(), "eldorado",
+            {"model": SCOUT, "tensor_parallel_size": 4,
+             "max_model_len": 65536})
+        return d
+
+    deployment = workflow.run(go(site.kernel))
+    assert deployment.container.image.repository == "rocm/vllm"
+    assert deployment.container.node.hostname.startswith("eldo")
+
+
+def test_deploy_goodall_via_helm(site, workflow, deployer):
+    workflow.admin_seed_s3(QUANT)
+
+    def go(env):
+        d = yield from deployer.deploy(
+            vllm_package(), "goodall",
+            {"model": QUANT, "tensor_parallel_size": 2,
+             "max_model_len": 65536})
+        return d
+
+    deployment = workflow.run(go(site.kernel))
+    assert deployment.mechanism == "helm"
+    # The artifact is the Figure 6-style values dict.
+    values = deployment.artifact
+    assert values["image"]["repository"] == "vllm/vllm-openai"
+    assert "--served-model-name" in values["image"]["command"]
+    # One pod runs with the model staged from S3 into the PVC.
+    pods = site.goodall.cluster.running_pods()
+    assert len(pods) == 1 and pods[0].ready
+    # Identical container image as the HPC deployments (paper Section 3.4.2).
+    assert values["image"]["tag"] == "v0.9.1"
+
+
+def test_k8s_deployment_reachable_via_ingress(site, workflow, deployer):
+    workflow.admin_seed_s3(QUANT)
+
+    def go(env):
+        d = yield from deployer.deploy(
+            vllm_package(), "goodall",
+            {"model": QUANT, "tensor_parallel_size": 2,
+             "max_model_len": 65536})
+        client = HttpClient(site.fabric, site.user_host)
+        resp = yield from client.post(
+            d.endpoint[0], d.endpoint[1], "/v1/chat/completions",
+            json={"model": QUANT,
+                  "messages": [{"role": "user", "content": "hi"}],
+                  "max_tokens": 16})
+        return resp
+
+    resp = workflow.run(go(site.kernel))
+    assert resp.ok
+    assert resp.json["usage"]["completion_tokens"] == 16
+
+
+def test_no_free_gpus_raises(site, workflow, deployer):
+    _seed(workflow, SCOUT, "hops")
+    for node in site.hops.nodes:
+        node.allocate_gpus(4)
+    from repro.errors import StateError
+
+    def go(env):
+        yield from deployer.deploy(
+            vllm_package(), "hops",
+            {"model": SCOUT, "tensor_parallel_size": 4})
+
+    with pytest.raises(StateError, match="free GPUs"):
+        workflow.run(go(site.kernel))

@@ -1,0 +1,136 @@
+"""Cross-cutting scenario tests: the operational stories the paper tells."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobKilled
+from repro.net.http import HttpClient
+from repro.storage.filesystem import FilesystemDown
+from .conftest import QUANT, SCOUT
+
+
+def test_models_survive_filesystem_maintenance(site, workflow):
+    """Section 2.4: object storage 'ensures the models remain available
+    when HPC filesystems are down for maintenance' — with hops-lustre
+    down, staging to El Dorado from S3 still works."""
+    workflow.admin_seed_s3(SCOUT)
+    site.hops.filesystem.schedule_downtime(start=0.0, duration=1e6)
+    with pytest.raises(FilesystemDown):
+        site.hops.filesystem.stat("/anything")
+    files = workflow.run(workflow.stage_model_from_s3(SCOUT, "eldorado"))
+    assert any("safetensors" in f for f in files)
+
+
+def test_k8s_pod_crash_recovers_service_via_ingress(site, workflow):
+    """Section 3.3: 'If vLLM containers crash ... Kubernetes automatically
+    takes care of restarting the container and updating the ingress
+    routes.'"""
+    workflow.admin_seed_s3(QUANT)
+
+    def go(env):
+        deployment = yield from workflow.deploy_model(
+            "goodall", QUANT, tensor_parallel_size=2)
+        return deployment
+
+    deployment = workflow.run(go(site.kernel))
+    cluster = site.goodall.cluster
+    pod = cluster.running_pods()[0]
+    # Kill the pod's container (memory leak bug).
+    kubelet = next(k for k in cluster.kubelets
+                   if k.knode.node.hostname == pod.node_name)
+    container = kubelet.containers[pod.meta.uid]
+    container.app.engine.fault_plan = None
+    container._proc.interrupt("simulated memory leak")  # hard kill
+    site.kernel.run(until=site.kernel.now + 3600)
+    # A pod is running again (restart) and ingress serves queries.
+    assert any(p.ready for p in cluster.running_pods())
+
+    def ask(env):
+        client = HttpClient(site.fabric, site.user_host)
+        resp = yield from client.post(
+            deployment.endpoint[0], deployment.endpoint[1],
+            "/v1/chat/completions",
+            json={"model": QUANT,
+                  "messages": [{"role": "user", "content": "alive?"}],
+                  "max_tokens": 8})
+        return resp
+
+    resp = workflow.run(ask(site.kernel))
+    assert resp.ok
+
+
+def test_cal_survives_user_redeploy(site, workflow):
+    """Section 3.3: 'Once a CaL resource is provisioned ... the user is
+    able to develop and re-deploy services as needed on their own.'"""
+    workflow.admin_seed_model(QUANT, "hops")
+
+    def first(env):
+        d = yield from workflow.deploy_model("hops", QUANT,
+                                             tensor_parallel_size=2)
+        return d
+
+    deployment = workflow.run(first(site.kernel))
+    exposed = workflow.expose(deployment, mode="cal", user="alice")
+    resp = workflow.run(workflow.query(exposed, "hello", QUANT))
+    assert resp.ok
+    # User tears down and redeploys on another node; retargets the lease
+    # without operator involvement.
+    deployment.stop()
+    site.kernel.run(until=site.kernel.now + 5)
+
+    def second(env):
+        d = yield from workflow.deploy_model(
+            "hops", QUANT, tensor_parallel_size=2,
+            node=site.hops.nodes[3])
+        return d
+
+    redeployed = workflow.run(second(site.kernel))
+    site.hops.cal.retarget(exposed.detail, redeployed.endpoint[0],
+                           service_port=redeployed.endpoint[1])
+    resp = workflow.run(workflow.query(exposed, "back again", QUANT))
+    assert resp.ok
+    assert len(exposed.detail.history) >= 2
+
+
+def test_gpu_scarcity_motivates_migration(site, workflow):
+    """Section 1: users 'migrate their workloads to where GPU resources
+    are currently available' — Hops full => deploy lands on Goodall."""
+    for node in site.hops.nodes:
+        node.allocate_gpus(node.gpus_free)
+    workflow.admin_seed_s3(QUANT)
+    from repro.errors import StateError
+
+    def try_hops(env):
+        try:
+            yield from workflow.deploy_model("hops", QUANT,
+                                             tensor_parallel_size=2)
+        except StateError:
+            deployment = yield from workflow.deploy_model(
+                "goodall", QUANT, tensor_parallel_size=2)
+            return deployment
+
+    deployment = workflow.run(try_hops(site.kernel))
+    assert deployment.platform_name == "goodall"
+    assert deployment.mechanism == "helm"
+
+
+def test_job_time_limit_ends_persistent_service(site, workflow):
+    """Section 3.3 motivation for CaL: services outlive job limits only
+    with platform support — a vLLM job hits its time limit and dies."""
+    workflow.admin_seed_model(QUANT, "hops")
+    from repro.wlm.base import JobSpec
+
+    def script(ctx):
+        deployment = yield from workflow.deploy_model(
+            "hops", QUANT, tensor_parallel_size=2, node=ctx.nodes[0])
+        ctx.defer(deployment.stop)
+        yield ctx.sleep(1e9)  # serve "forever"
+
+    job = site.hops.wlm.submit(JobSpec(
+        name="vllm-service", nodes=1, time_limit=3600.0, script=script))
+    with pytest.raises(JobKilled, match="TIMEOUT"):
+        site.kernel.run(until=job.finished)
+    site.kernel.run()
+    # GPUs released after the job (and its container) are gone.
+    assert all(n.gpus_used == 0 for n in site.hops.nodes)

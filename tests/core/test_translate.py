@@ -1,0 +1,70 @@
+"""Artifact-generation tests: commands/values match the paper's figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import vllm_package
+from repro.core.translate import command_text, helm_values_for
+from repro.errors import ConfigurationError
+from .conftest import SCOUT
+
+
+def test_helm_values_match_figure6(site):
+    pkg = vllm_package()
+    values = helm_values_for(
+        site, pkg, pkg.variant_for("cuda"), pkg.profile(),
+        {"model": SCOUT, "tensor_parallel_size": 4,
+         "max_model_len": 65536, "name": "vllm"})
+    assert values["image"]["repository"] == "vllm/vllm-openai"
+    assert values["image"]["tag"] == "v0.9.1"
+    cmd = values["image"]["command"]
+    assert cmd[:3] == ["vllm", "serve", "/data/"]
+    assert "--served-model-name" in cmd
+    assert cmd[cmd.index("--served-model-name") + 1] == SCOUT
+    assert "--tensor-parallel-size=4" in cmd
+    assert "--max-model-len=65536" in cmd
+    env = {e["name"]: e["value"] for e in values["env"]}
+    assert env["HOME"] == "/data"
+    assert env["HF_HOME"] == "/data"
+    assert env["HF_HUB_DISABLE_TELEMETRY"] == "1"
+    # The init container gets the site's S3 settings (same client as Fig 3).
+    dl = values["modelDownload"]
+    assert dl["AWS_ENDPOINT_URL"] == "s3.sandia.example"
+    assert dl["AWS_REQUEST_CHECKSUM_CALCULATION"] == "when_required"
+    assert dl["prefix"] == f"{SCOUT}/"
+
+
+def test_helm_values_need_model(site):
+    pkg = vllm_package()
+    with pytest.raises(ConfigurationError):
+        helm_values_for(site, pkg, pkg.variant_for("cuda"), pkg.profile(),
+                        {})
+
+
+def test_vllm_command_builder_matches_figure4():
+    pkg = vllm_package()
+    cmd = pkg.command({"model": SCOUT, "tensor_parallel_size": 4,
+                       "max_model_len": 65536,
+                       "override_generation_config":
+                           {"attn_temperature_tuning": True}})
+    assert cmd[0] == "serve" and cmd[1] == SCOUT
+    assert "--tensor_parallel_size=4" in cmd
+    assert "--disable-log-requests" in cmd
+    assert "--max-model-len=65536" in cmd
+    assert any("attn_temperature_tuning" in c for c in cmd)
+
+
+def test_offline_profile_env_matches_paper():
+    env = vllm_package().profile("offline-serving").env
+    for flag in ("HF_HUB_OFFLINE", "TRANSFORMERS_OFFLINE",
+                 "HF_DATASETS_OFFLINE", "VLLM_NO_USAGE_STATS",
+                 "DO_NOT_TRACK", "HF_HUB_DISABLE_TELEMETRY",
+                 "VLLM_DISABLE_COMPILE_CACHE", "HF_HUB_ENABLE_HF_TRANSFER"):
+        assert flag in env, flag
+
+
+def test_command_text_renders_multiline():
+    text = command_text(["podman run", "--rm", "--name=vllm", "image"])
+    assert text.startswith("podman run")
+    assert "\\" in text

@@ -1,0 +1,91 @@
+"""Tests for artifact generation and the CLI."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.client import BenchmarkResult
+from repro.bench.sweep import SweepPoint, SweepResult
+from repro.cli import build_parser, main
+from repro.experiments.artifacts import (gnuplot_script, sweep_dat,
+                                         write_figure_artifacts)
+from repro.experiments.common import FigureResult
+
+
+def _sweep(label="Hops HPC, Run 1 (hops15)"):
+    sweep = SweepResult(label=label)
+    for c, tput in ((1, 103.0), (1024, 4313.0)):
+        r = BenchmarkResult(concurrency=c, n_requests=1000, completed=1000,
+                            duration=1000 * 181 / tput,
+                            total_output_tokens=1000 * 181)
+        sweep.points.append(SweepPoint(concurrency=c, result=r))
+    return sweep
+
+
+def test_sweep_dat_format():
+    text = sweep_dat(_sweep())
+    assert text.startswith("# Hops HPC, Run 1")
+    lines = [l for l in text.splitlines() if not l.startswith("#")]
+    assert len(lines) == 2
+    cols = lines[0].split()
+    assert int(cols[0]) == 1
+    assert float(cols[1]) == pytest.approx(103.0)
+
+
+def test_sweep_dat_records_early_termination():
+    sweep = _sweep()
+    sweep.terminated_early = "crash at concurrency 512"
+    assert "terminated early" in sweep_dat(sweep)
+
+
+def test_write_figure_artifacts(tmp_path):
+    result = FigureResult(figure="Figure 9", title="test",
+                          series=[_sweep(), _sweep("Eldorado Run 1")])
+    paths = write_figure_artifacts(result, str(tmp_path))
+    assert len(paths) == 3  # two .dat + plot.gp
+    assert all(os.path.exists(p) for p in paths)
+    script = open(os.path.join(str(tmp_path), "plot.gp")).read()
+    assert "set logscale x 2" in script
+    assert "Output Token Throughput" in script
+    assert script.count(".dat") == 2
+
+
+def test_gnuplot_script_titles():
+    result = FigureResult(figure="Figure 12", title="multi-node")
+    script = gnuplot_script(result, [("a.dat", "Run 1"), ("b.dat", "Run 2")])
+    assert "figure_12.png" in script
+    assert "title 'Run 1'" in script
+
+
+def test_cli_parser_commands():
+    parser = build_parser()
+    args = parser.parse_args(["deploy", "--platform", "hops", "--tp", "4"])
+    assert args.platform == "hops" and args.tp == 4
+    args = parser.parse_args(["bench", "fig09", "--requests", "100"])
+    assert args.figure == "fig09"
+    args = parser.parse_args(["ablation", "s3-routing"])
+    assert args.name == "s3-routing"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["bench", "fig99"])
+
+
+def test_cli_site_command(capsys):
+    assert main(["site"]) == 0
+    out = capsys.readouterr().out
+    assert "hops" in out and "eldorado" in out and "goodall" in out
+    assert "slurm" in out and "flux" in out
+
+
+def test_cli_ablation_s3(capsys):
+    assert main(["ablation", "s3-routing"]) == 0
+    out = capsys.readouterr().out
+    assert "improvement" in out
+
+
+def test_cli_deploy_hops(capsys):
+    assert main(["deploy", "--platform", "hops", "--tp", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "mechanism: podman" in out
+    assert "--network=host" in out

@@ -1,0 +1,49 @@
+"""Consistency between the paper-data registry and the simulated site."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.paper_data import (PAPER_ANCHORS, PAPER_CLAIMS,
+                                          anchors_for)
+from repro.models import llama31_405b, llama4_scout
+from repro.units import GiB, gbps
+
+
+def test_anchor_lookup():
+    fig9 = anchors_for("Figure 9")
+    assert len(fig9) == 4
+    assert {a.platform for a in fig9} == {"hops", "eldorado"}
+    assert anchors_for("Figure 7") == []
+
+
+def test_model_cards_match_paper_claims():
+    scout = llama4_scout()
+    assert scout.weight_gib == pytest.approx(
+        PAPER_CLAIMS["scout_weight_gib"][0], rel=0.08)
+    b405 = llama31_405b()
+    assert b405.weight_bytes == pytest.approx(
+        PAPER_CLAIMS["405b_weight_tib"][0] * 1024**4, rel=0.3)
+
+
+def test_site_matches_infrastructure_claims():
+    from repro.core import build_sandia_site
+    site = build_sandia_site(seed=1, hops_nodes=4, eldorado_nodes=2,
+                             goodall_nodes=2, cee_nodes=1)
+    # 16 x 25 Gbps = 400 Gbps S3 frontend.
+    frontend = site.fabric.links["s3-abq-frontend:fwd"]
+    assert frontend.capacity == pytest.approx(
+        gbps(PAPER_CLAIMS["s3_frontend_gbps"][0]))
+    # ~30 PB split across two sites.
+    total_capacity = sum(s.capacity_bytes for s in site.s3.sites)
+    assert total_capacity == pytest.approx(30e15, rel=0.1)
+
+
+def test_calibration_profiles_cover_all_anchor_configs():
+    from repro.cluster.profiles import PERF_PROFILES
+    assert ("hops", "scout-bf16") in PERF_PROFILES
+    assert ("eldorado", "scout-bf16") in PERF_PROFILES
+    assert ("hops", "405b-multinode") in PERF_PROFILES
+    for anchor in PAPER_ANCHORS:
+        assert anchor.tokens_per_second > 0
+        assert anchor.quote

@@ -1,0 +1,94 @@
+"""Tests for GPU catalog and node resource accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError, NotFoundError
+from repro.hardware import GPU_CATALOG, GpuArch, NicSpec, Node, NodeSpec, gpu_spec
+from repro.hardware.node import make_nodes
+from repro.units import GiB, gbps
+
+
+def test_catalog_has_papers_gpus():
+    assert gpu_spec("H100-SXM-80G").hbm_gib == 80
+    assert gpu_spec("H100-NVL-94G").hbm_gib == 94
+    assert gpu_spec("MI300A-120G").hbm_gib == 120
+    assert gpu_spec("MI300A-120G").arch is GpuArch.ROCM
+    assert gpu_spec("H100-SXM-80G").arch is GpuArch.CUDA
+
+
+def test_mi300a_has_more_hbm_bandwidth_than_h100():
+    # Relevant to Fig 9 discussion: the performance gap is software, not HBM.
+    assert (gpu_spec("MI300A-120G").hbm_bandwidth
+            > gpu_spec("H100-SXM-80G").hbm_bandwidth)
+
+
+def test_unknown_gpu_raises():
+    with pytest.raises(NotFoundError):
+        gpu_spec("B200-192G")
+
+
+def _spec(gpus=4) -> NodeSpec:
+    return NodeSpec(
+        name="test-node",
+        cpus=64,
+        memory_bytes=512 * GiB,
+        gpus=tuple([gpu_spec("H100-SXM-80G")] * gpus),
+        nics=(NicSpec("hsn0", gbps(200), "hsn"),
+              NicSpec("eth0", gbps(25), "campus")),
+    )
+
+
+def test_gpu_allocation_roundtrip():
+    node = Node("hops01", _spec())
+    idx = node.allocate_gpus(3)
+    assert idx == [0, 1, 2]
+    assert node.gpus_free == 1
+    node.release_gpus([1])
+    assert node.gpus_free == 2
+    idx2 = node.allocate_gpus(2)
+    assert sorted(idx2) == [1, 3]
+
+
+def test_gpu_over_allocation_raises():
+    node = Node("hops01", _spec(gpus=2))
+    node.allocate_gpus(2)
+    with pytest.raises(CapacityError):
+        node.allocate_gpus(1)
+
+
+def test_release_unallocated_gpu_raises():
+    node = Node("hops01", _spec())
+    with pytest.raises(ConfigurationError):
+        node.release_gpus([0])
+
+
+def test_memory_accounting():
+    node = Node("hops01", _spec())
+    node.allocate_memory(256 * GiB)
+    with pytest.raises(CapacityError):
+        node.allocate_memory(400 * GiB)
+    node.release_memory(256 * GiB)
+    node.allocate_memory(400 * GiB)
+    with pytest.raises(ConfigurationError):
+        node.release_memory(500 * GiB)
+
+
+def test_nic_lookup():
+    node = Node("hops01", _spec())
+    assert node.nic("hsn").bandwidth == gbps(200)
+    with pytest.raises(ConfigurationError):
+        node.nic("infiniband")
+
+
+def test_make_nodes_naming():
+    nodes = make_nodes("hops", 3, _spec())
+    assert [n.hostname for n in nodes] == ["hops01", "hops02", "hops03"]
+
+
+def test_node_spec_validation():
+    with pytest.raises(ConfigurationError):
+        NodeSpec(name="bad", cpus=0, memory_bytes=GiB)
+    with pytest.raises(ConfigurationError):
+        NodeSpec(name="bad", cpus=1, memory_bytes=0)

@@ -1,0 +1,47 @@
+"""K8s test fixtures: a small Goodall-like cluster."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.containers import Registry
+from repro.containers.image import vllm_cuda_image, aws_cli_image
+from repro.hardware import NicSpec, Node, NodeSpec, gpu_spec
+from repro.k8s import KubernetesCluster
+from repro.net import Fabric
+from repro.units import GiB, gbps
+
+
+@pytest.fixture
+def kcluster(kernel):
+    fab = Fabric(kernel)
+    switch = fab.add_switch("net")
+    fab.add_host("registry", zone="site")
+    fab.connect("registry", switch, gbps(50))
+    fab.add_host("ingress", zone="goodall", externally_reachable=True)
+    fab.connect("ingress", switch, gbps(50))
+    fab.add_host("ceph", zone="goodall")
+    fab.connect("ceph", switch, gbps(400))
+    fab.add_host("user", zone="external", externally_reachable=True)
+    fab.connect("user", switch, gbps(1))
+    spec = NodeSpec(name="goodall-node", cpus=64, memory_bytes=512 * GiB,
+                    gpus=tuple([gpu_spec("H100-NVL-94G")] * 2),
+                    nics=(NicSpec("eth0", gbps(100), "goodall"),))
+    nodes = [Node(f"goodall{i:02d}", spec) for i in range(1, 4)]
+    for node in nodes:
+        fab.add_host(node.hostname, zone="goodall")
+        fab.connect(node.hostname, switch, gbps(100))
+    registry = Registry(kernel, fab, "quay", "registry")
+    registry.seed(vllm_cuda_image())
+    registry.seed(aws_cli_image())
+    # A generic server-app image for fast-startup tests.
+    registry.seed(dataclasses.replace(vllm_cuda_image(), app="server",
+                                      tag="server"))
+    # A flaky image that crashes N times then serves (crash-loop tests).
+    cluster = KubernetesCluster(kernel, fab, "goodall", nodes, registry,
+                                frontend_host="ingress",
+                                storage_backend_host="ceph")
+    cluster.fabric = fab
+    return cluster

@@ -1,0 +1,170 @@
+"""Tests for the Kubernetes control plane: scheduling, deployments,
+restarts, PVCs, ingress, quotas, and drain behavior."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.containers.image import register_app
+from repro.containers.runtime import ContainerApp
+from repro.errors import ContainerCrash
+from repro.k8s import (Deployment, Ingress, KContainerSpec, PodPhase,
+                       PodSpec, PersistentVolumeClaim, ResourceQuota, Service)
+from repro.k8s.objects import ObjectMeta
+from repro.net.http import HttpClient, HttpResponse, HttpService
+from repro.units import GiB
+
+
+def _pod_spec(gpus=1, env=None, image="vllm/vllm-openai:server",
+              restart="Always", port=8000):
+    return PodSpec(containers=[KContainerSpec(
+        name="main", image=image, env=env or {}, gpus=gpus, port=port)],
+        restart_policy=restart)
+
+
+def _deploy(kcluster, name="svc", replicas=1, **kw):
+    dep = Deployment(ObjectMeta(name=name, labels={"app": name}),
+                     replicas=replicas, template=_pod_spec(**kw))
+    kcluster.api.create(dep)
+    return dep
+
+
+def test_deployment_creates_running_pod(kernel, kcluster):
+    _deploy(kcluster, "svc")
+    kernel.run(until=kernel.now + 600)
+    pods = kcluster.pods()
+    assert len(pods) == 1
+    assert pods[0].phase is PodPhase.RUNNING
+    assert pods[0].ready
+    assert pods[0].node_name.startswith("goodall")
+
+
+def test_replicas_spread_across_nodes(kernel, kcluster):
+    _deploy(kcluster, "svc", replicas=3, gpus=2)
+    kernel.run(until=kernel.now + 600)
+    running = kcluster.running_pods()
+    assert len(running) == 3
+    assert len({p.node_name for p in running}) == 3  # one per node
+
+
+def test_unschedulable_pod_stays_pending(kernel, kcluster):
+    _deploy(kcluster, "svc", gpus=4)  # nodes have 2 GPUs
+    kernel.run(until=kernel.now + 300)
+    pod = kcluster.pods()[0]
+    assert pod.phase is PodPhase.PENDING
+    assert "FailedScheduling" in pod.message
+
+
+def test_namespace_gpu_quota_enforced(kernel, kcluster):
+    kcluster.api.create(ResourceQuota(
+        ObjectMeta(name="quota", namespace="default"), gpu_limit=2))
+    _deploy(kcluster, "a", gpus=2)
+    _deploy(kcluster, "b", gpus=2)
+    kernel.run(until=kernel.now + 600)
+    running = kcluster.running_pods()
+    pending = [p for p in kcluster.pods() if p.phase is PodPhase.PENDING]
+    assert len(running) == 1
+    assert len(pending) == 1
+    assert "quota" in pending[0].message
+
+
+def test_crashed_container_restarts_with_backoff(kernel, kcluster):
+    """CrashLoopBackOff then recovery — the paper's self-healing claim."""
+    counter = {"n": 0}
+
+    @register_app("flaky-server")
+    class FlakyServer(ContainerApp):
+        def startup(self, ctx):
+            counter["n"] += 1
+            if counter["n"] <= 2:
+                raise ContainerCrash("boom", sim_time=ctx.kernel.now)
+            return
+            yield
+
+        def run(self, ctx):
+            yield ctx.stop_event
+
+    img = dataclasses.replace(
+        kcluster.cri.registry.resolve("vllm/vllm-openai:server"),
+        app="flaky-server", tag="flaky")
+    kcluster.cri.registry.seed(img)
+    _deploy(kcluster, "flaky", image="vllm/vllm-openai:flaky")
+    kernel.run(until=kernel.now + 900)
+    pod = kcluster.pods()[0]
+    assert counter["n"] == 3
+    assert pod.restarts == 2
+    assert pod.phase is PodPhase.RUNNING
+
+
+def test_pvc_binds_and_mounts(kernel, kcluster):
+    claim = PersistentVolumeClaim(ObjectMeta(name="model-storage"),
+                                  size_bytes=300 * GiB)
+    kcluster.api.create(claim)
+    kernel.run(until=kernel.now + 10)
+    assert claim.bound and claim.volume_name is not None
+    mount = kcluster.volume_for("default", "model-storage")
+    assert mount.listdir() == {}
+
+
+def test_ingress_routes_to_ready_pod(kernel, kcluster):
+    _deploy(kcluster, "svc")
+    kcluster.api.create(Service(ObjectMeta(name="svc-svc"),
+                                selector={"app": "svc"}, port=8000))
+    kcluster.api.create(Ingress(ObjectMeta(name="svc-ing"),
+                                host="svc.apps", service_name="svc-svc",
+                                service_port=8000))
+    kernel.run(until=kernel.now + 600)
+    # The generic server app doesn't register an HTTP handler; add one on
+    # the pod's node to answer the forwarded request.
+    pod = kcluster.running_pods()[0]
+    HttpService(kcluster.fabric, pod.node_name, 8000,
+                lambda req: HttpResponse(200, json={"pong": True}))
+    client = HttpClient(kcluster.fabric, "user")
+
+    def proc(env):
+        resp = yield from client.get("ingress", 443, "/")
+        return resp
+
+    resp = kernel.run(until=kernel.spawn(proc(kernel)))
+    assert resp.ok and resp.json == {"pong": True}
+
+
+def test_ingress_no_endpoints_returns_503(kernel, kcluster):
+    kcluster.api.create(Service(ObjectMeta(name="empty-svc"),
+                                selector={"app": "nothing"}, port=8000))
+    kcluster.api.create(Ingress(ObjectMeta(name="ing"), host="x.apps",
+                                service_name="empty-svc", service_port=8000))
+    kernel.run(until=kernel.now + 5)
+    client = HttpClient(kcluster.fabric, "user")
+
+    def proc(env):
+        resp = yield from client.get("ingress", 443, "/")
+        return resp.status
+
+    assert kernel.run(until=kernel.spawn(proc(kernel))) == 503
+
+
+def test_drain_reschedules_pods_elsewhere(kernel, kcluster):
+    """Node maintenance: pods move, service stays (ingress re-resolves)."""
+    _deploy(kcluster, "svc", gpus=1)
+    kernel.run(until=kernel.now + 600)
+    first = kcluster.running_pods()[0]
+    original_node = first.node_name
+    kcluster.drain(original_node)
+    kernel.run(until=kernel.now + 900)
+    moved = kcluster.running_pods()
+    assert len(moved) == 1
+    assert moved[0].node_name != original_node
+    assert moved[0].meta.name != first.meta.name  # replacement pod
+
+
+def test_scale_down_deletes_excess_pods(kernel, kcluster):
+    dep = _deploy(kcluster, "svc", replicas=3, gpus=1)
+    kernel.run(until=kernel.now + 600)
+    assert len(kcluster.running_pods()) == 3
+    dep.replicas = 1
+    kcluster.api.update(dep)
+    kernel.run(until=kernel.now + 300)
+    assert len(kcluster.running_pods()) == 1

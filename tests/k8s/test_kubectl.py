@@ -1,0 +1,52 @@
+"""Tests for kubectl-style formatters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotFoundError
+from repro.k8s import Deployment, KContainerSpec, PodSpec
+from repro.k8s.kubectl import describe_pod, get_deployments, get_pods
+from repro.k8s.objects import ObjectMeta
+
+
+def _deploy(kcluster, name="svc", replicas=2):
+    spec = PodSpec(containers=[KContainerSpec(
+        name="main", image="vllm/vllm-openai:server", gpus=1, port=8000)])
+    dep = Deployment(ObjectMeta(name=name, labels={"app": name}),
+                     replicas=replicas, template=spec)
+    kcluster.api.create(dep)
+    return dep
+
+
+def test_get_pods_table(kernel, kcluster):
+    _deploy(kcluster)
+    kernel.run(until=kernel.now + 600)
+    table = get_pods(kcluster)
+    assert "NAME" in table and "STATUS" in table and "NODE" in table
+    assert table.count("Running") == 2
+    assert "goodall" in table
+
+
+def test_get_deployments_table(kernel, kcluster):
+    _deploy(kcluster, replicas=2)
+    kernel.run(until=kernel.now + 600)
+    table = get_deployments(kcluster)
+    assert "2/2" in table
+
+
+def test_describe_pod(kernel, kcluster):
+    _deploy(kcluster, replicas=1)
+    kernel.run(until=kernel.now + 600)
+    pod = kcluster.running_pods()[0]
+    text = describe_pod(kcluster, pod.meta.name)
+    assert f"Name:         {pod.meta.name}" in text
+    assert "vllm/vllm-openai:server" in text
+    assert "Status:       Running" in text
+    with pytest.raises(NotFoundError):
+        describe_pod(kcluster, "missing-pod")
+
+
+def test_empty_cluster_tables(kernel, kcluster):
+    assert "NAME" in get_pods(kcluster)
+    assert "NAME" in get_deployments(kcluster)

@@ -1,0 +1,103 @@
+"""Property-based tests: max-min fairness invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flows import FlowNetwork, Link, max_min_fair_rates
+from repro.simkernel import SimKernel
+
+
+@st.composite
+def flow_scenarios(draw):
+    """Random link sets and flows over random sub-paths."""
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    caps = draw(st.lists(st.floats(min_value=1.0, max_value=1e4),
+                         min_size=n_links, max_size=n_links))
+    links = [Link(f"l{i}", c) for i, c in enumerate(caps)]
+    n_flows = draw(st.integers(min_value=1, max_value=10))
+    paths = []
+    for _ in range(n_flows):
+        idxs = draw(st.lists(st.integers(min_value=0, max_value=n_links - 1),
+                             min_size=1, max_size=n_links, unique=True))
+        paths.append([links[i] for i in idxs])
+    return links, paths
+
+
+@given(flow_scenarios())
+@settings(max_examples=200, deadline=None)
+def test_no_link_oversubscribed_and_rates_positive(scenario):
+    links, paths = scenario
+    kernel = SimKernel()
+    net = FlowNetwork(kernel)
+    flows = [net.start_flow(p, 1e12) for p in paths]
+    rates = {f: f.rate for f in flows}
+    for f, r in rates.items():
+        assert r > 0
+        assert math.isfinite(r)
+    for link in links:
+        used = sum(r for f, r in rates.items() if link in f.path)
+        assert used <= link.capacity * (1 + 1e-9)
+
+
+@given(flow_scenarios())
+@settings(max_examples=200, deadline=None)
+def test_max_min_property(scenario):
+    """No flow's rate can be raised without lowering an equal-or-slower
+    flow: every flow must traverse a saturated link on which it has the
+    maximum rate."""
+    links, paths = scenario
+    kernel = SimKernel()
+    net = FlowNetwork(kernel)
+    flows = [net.start_flow(p, 1e12) for p in paths]
+    rates = {f: f.rate for f in flows}
+    for f in flows:
+        has_binding_link = False
+        for link in f.path:
+            used = sum(rates[g] for g in flows if link in g.path)
+            saturated = used >= link.capacity * (1 - 1e-6)
+            if saturated:
+                fastest_on_link = max(rates[g] for g in flows
+                                      if link in g.path)
+                if rates[f] >= fastest_on_link * (1 - 1e-6):
+                    has_binding_link = True
+                    break
+        assert has_binding_link, (
+            f"flow rate {rates[f]} has headroom on all its links")
+
+
+@given(scenario=flow_scenarios(),
+       sizes=st.lists(st.floats(min_value=1.0, max_value=1e9),
+                      min_size=10, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_all_flows_eventually_complete(scenario, sizes):
+    """Work conservation: finite flows always finish, bytes conserved."""
+    _links, paths = scenario
+    kernel = SimKernel()
+    net = FlowNetwork(kernel)
+    flows = [net.start_flow(p, sizes[i % len(sizes)])
+             for i, p in enumerate(paths)]
+    kernel.run()
+    for f in flows:
+        assert f.done.triggered and f.done.ok
+        assert f.bytes_done == f.total_bytes
+        assert f.finished_at is not None
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.floats(min_value=10.0, max_value=1e4))
+@settings(max_examples=50, deadline=None)
+def test_equal_flows_finish_simultaneously(n, cap):
+    """N identical flows through one link all finish at n*size/cap."""
+    kernel = SimKernel()
+    net = FlowNetwork(kernel)
+    link = Link("l", cap)
+    size = 1e6
+    flows = [net.start_flow([link], size) for _ in range(n)]
+    kernel.run()
+    expected = n * size / cap
+    for f in flows:
+        assert abs(f.finished_at - expected) / expected < 1e-6

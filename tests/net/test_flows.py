@@ -1,0 +1,156 @@
+"""Tests for the max-min fair flow network."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import TransferError
+from repro.net.flows import Flow, FlowNetwork, Link, max_min_fair_rates
+from repro.units import gbps
+
+
+def _mk_flow(net, path, nbytes=1e9, cap=None):
+    return net.start_flow(path, nbytes, rate_cap=cap)
+
+
+def test_single_flow_gets_full_capacity(kernel):
+    net = FlowNetwork(kernel)
+    link = Link("l0", 100.0)
+    flow = net.start_flow([link], 1000.0)
+    kernel.run(until=flow.done)
+    assert kernel.now == pytest.approx(10.0)
+    assert flow.mean_throughput == pytest.approx(100.0)
+
+
+def test_two_flows_share_link_equally(kernel):
+    net = FlowNetwork(kernel)
+    link = Link("l0", 100.0)
+    f1 = net.start_flow([link], 1000.0)
+    f2 = net.start_flow([link], 1000.0)
+    assert f1.rate == pytest.approx(50.0)
+    assert f2.rate == pytest.approx(50.0)
+    kernel.run()
+    assert f1.finished_at == pytest.approx(20.0)
+    assert f2.finished_at == pytest.approx(20.0)
+
+
+def test_remaining_flow_speeds_up_after_completion(kernel):
+    net = FlowNetwork(kernel)
+    link = Link("l0", 100.0)
+    small = net.start_flow([link], 100.0)   # done at t=2 (rate 50)
+    big = net.start_flow([link], 1000.0)
+    kernel.run(until=small.done)
+    assert kernel.now == pytest.approx(2.0)
+    kernel.run(until=big.done)
+    # big: 100 bytes at rate 50 (2s), then 900 bytes at rate 100 (9s).
+    assert kernel.now == pytest.approx(11.0)
+
+
+def test_staggered_start(kernel):
+    net = FlowNetwork(kernel)
+    link = Link("l0", 100.0)
+    first = net.start_flow([link], 1000.0)
+
+    def later(env):
+        yield env.timeout(5.0)
+        second = net.start_flow([link], 250.0)
+        yield second.done
+        return env.now
+
+    p = kernel.spawn(later(kernel))
+    t_second_done = kernel.run(until=p)
+    # second: 250 bytes at 50 B/s -> 5s after start.
+    assert t_second_done == pytest.approx(10.0)
+    kernel.run(until=first.done)
+    # first: 500 by t=5, 250 more by t=10 (shared), then 250 at full rate.
+    assert kernel.now == pytest.approx(12.5)
+
+
+def test_bottleneck_vs_private_links(kernel):
+    net = FlowNetwork(kernel)
+    shared = Link("shared", 100.0)
+    fat_a = Link("a", 1000.0)
+    fat_b = Link("b", 1000.0)
+    f1 = net.start_flow([fat_a, shared], 1e3)
+    f2 = net.start_flow([fat_b, shared], 1e3)
+    assert f1.rate == pytest.approx(50.0)
+    assert f2.rate == pytest.approx(50.0)
+
+
+def test_max_min_fairness_textbook_case(kernel):
+    # Three flows: A on link1, B on link1+link2, C on link2.
+    # link1 cap 100, link2 cap 60 -> B and C bottlenecked on link2 at 30,
+    # A gets the rest of link1 = 70.
+    net = FlowNetwork(kernel)
+    l1, l2 = Link("l1", 100.0), Link("l2", 60.0)
+    fa = net.start_flow([l1], 1e9)
+    fb = net.start_flow([l1, l2], 1e9)
+    fc = net.start_flow([l2], 1e9)
+    assert fb.rate == pytest.approx(30.0)
+    assert fc.rate == pytest.approx(30.0)
+    assert fa.rate == pytest.approx(70.0)
+
+
+def test_rate_cap_binds(kernel):
+    net = FlowNetwork(kernel)
+    link = Link("l0", 100.0)
+    capped = net.start_flow([link], 1e9, rate_cap=10.0)
+    other = net.start_flow([link], 1e9)
+    assert capped.rate == pytest.approx(10.0)
+    assert other.rate == pytest.approx(90.0)
+
+
+def test_cancel_flow_fails_done_event(kernel):
+    net = FlowNetwork(kernel)
+    link = Link("l0", 100.0)
+    flow = net.start_flow([link], 1e6)
+
+    def canceller(env):
+        yield env.timeout(1.0)
+        net.cancel_flow(flow)
+
+    def waiter(env):
+        try:
+            yield flow.done
+        except TransferError:
+            return "cancelled"
+        return "finished"
+
+    kernel.spawn(canceller(kernel))
+    p = kernel.spawn(waiter(kernel))
+    assert kernel.run(until=p) == "cancelled"
+    assert flow.bytes_done == pytest.approx(100.0)
+
+
+def test_zero_byte_flow_completes_immediately(kernel):
+    net = FlowNetwork(kernel)
+    link = Link("l0", 100.0)
+    flow = net.start_flow([link], 0.0)
+    assert flow.done.triggered
+
+
+def test_pull_storm_scales_inversely(kernel):
+    """N pullers sharing one registry frontend each take N x as long —
+    the paper's registry bottleneck."""
+    def storm(n):
+        from repro.simkernel import SimKernel
+        k = SimKernel()
+        net = FlowNetwork(k)
+        frontend = Link("registry", gbps(50))
+        node_links = [Link(f"node{i}", gbps(200)) for i in range(n)]
+        flows = [net.start_flow([frontend, nl], 15e9) for nl in node_links]
+        k.run()
+        return max(f.finished_at for f in flows)
+
+    t1, t8 = storm(1), storm(8)
+    assert t8 == pytest.approx(8 * t1, rel=1e-6)
+
+
+def test_utilization(kernel):
+    net = FlowNetwork(kernel)
+    link = Link("l0", 100.0)
+    net.start_flow([link], 1e9)
+    net.start_flow([link], 1e9)
+    assert net.utilization(link) == pytest.approx(1.0)

@@ -1,0 +1,159 @@
+"""Tests for the composed GenAI services: vector DB, router, web UI."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.containers import RunOpts
+from repro.net.http import HttpClient, HttpResponse, HttpService
+from repro.services import router_image, vectordb_image, webui_image
+from tests.containers.conftest import drive
+
+
+def _post(kernel, fab, src, host, port, path, payload):
+    client = HttpClient(fab, src)
+
+    def proc(env):
+        resp = yield from client.post(host, port, path, json=payload)
+        return resp
+
+    return kernel.run(until=kernel.spawn(proc(kernel)))
+
+
+@pytest.fixture
+def vectordb(rig):
+    rig.registry.seed(vectordb_image())
+    container = drive(rig.kernel, rig.podman.run(
+        rig.nodes[3], "milvusdb/milvus:v2.4",
+        RunOpts(network_host=True, ipc_host=True)))
+    rig.kernel.run(until=container.ready)
+    return rig.nodes[3].hostname
+
+
+def test_vectordb_insert_and_search(rig, vectordb):
+    k, fab = rig.kernel, rig.fabric
+    host = vectordb
+    r = _post(k, fab, "hops01", host, 19530, "/collections",
+              {"name": "docs", "dim": 3})
+    assert r.ok
+    r = _post(k, fab, "hops01", host, 19530, "/insert",
+              {"collection": "docs",
+               "vectors": [[1, 0, 0], [0, 1, 0], [0.9, 0.1, 0]],
+               "payloads": [{"text": "alpha"}, {"text": "beta"},
+                            {"text": "alpha-ish"}]})
+    assert r.json == {"inserted": 3}
+    r = _post(k, fab, "hops01", host, 19530, "/search",
+              {"collection": "docs", "query": [1, 0, 0], "k": 2})
+    hits = r.json["hits"]
+    assert [h["text"] for h in hits] == ["alpha", "alpha-ish"]
+    assert hits[0]["score"] > hits[1]["score"]
+
+
+def test_vectordb_validation_errors(rig, vectordb):
+    k, fab = rig.kernel, rig.fabric
+    host = vectordb
+    assert _post(k, fab, "hops01", host, 19530, "/search",
+                 {"collection": "nope", "query": [1]}).status == 404
+    _post(k, fab, "hops01", host, 19530, "/collections",
+          {"name": "d", "dim": 2})
+    assert _post(k, fab, "hops01", host, 19530, "/insert",
+                 {"collection": "d", "vectors": [[1, 2, 3]],
+                  "payloads": [{}]}).status == 400
+
+
+def _fake_backend(rig, host, healthy=True):
+    state = {"healthy": healthy, "calls": 0}
+
+    def handler(request):
+        if request.path == "/health":
+            if state["healthy"]:
+                return HttpResponse(200, json={"status": "ok"})
+            return HttpResponse(500, json={"error": "down"})
+        state["calls"] += 1
+        if not state["healthy"]:
+            return HttpResponse(500, json={"error": "down"})
+        return HttpResponse(200, json={
+            "choices": [{"message": {"role": "assistant",
+                                     "content": f"from {host}"}}],
+            "usage": {"prompt_tokens": 1, "completion_tokens": 1,
+                      "total_tokens": 2}})
+
+    HttpService(rig.fabric, host, 8000, handler)
+    return state
+
+
+def _start_router(rig, backends):
+    rig.registry.seed(router_image())
+    container = drive(rig.kernel, rig.podman.run(
+        rig.nodes[3], "berriai/litellm:main",
+        RunOpts(network_host=True,
+                env={"BACKENDS": ",".join(f"{b}:8000" for b in backends)})))
+    rig.kernel.run(until=container.ready)
+    return rig.nodes[3].hostname, container
+
+
+def test_router_balances_round_robin(rig):
+    s1 = _fake_backend(rig, "hops01")
+    s2 = _fake_backend(rig, "hops02")
+    router_host, _ = _start_router(rig, ["hops01", "hops02"])
+    for _ in range(4):
+        r = _post(rig.kernel, rig.fabric, "registry", router_host, 4000,
+                  "/v1/chat/completions", {"messages": []})
+        assert r.ok
+    assert s1["calls"] == 2 and s2["calls"] == 2
+
+
+def test_router_fails_over_on_backend_failure(rig):
+    """The paper's HPC resilience recipe: user-deployed request router."""
+    s1 = _fake_backend(rig, "hops01")
+    s2 = _fake_backend(rig, "hops02")
+    router_host, _ = _start_router(rig, ["hops01", "hops02"])
+    s1["healthy"] = False
+    for _ in range(4):
+        r = _post(rig.kernel, rig.fabric, "registry", router_host, 4000,
+                  "/v1/chat/completions", {"messages": []})
+        assert r.ok
+        assert "hops02" in r.json["choices"][0]["message"]["content"]
+    # Health checks eventually mark hops01 unhealthy.
+    rig.kernel.run(until=rig.kernel.now + 60)
+    r = _post(rig.kernel, rig.fabric, "registry", router_host, 4000,
+              "/v1/chat/completions", {"messages": []})
+    assert r.ok
+
+
+def test_router_all_backends_down_503(rig):
+    s1 = _fake_backend(rig, "hops01", healthy=False)
+    router_host, _ = _start_router(rig, ["hops01"])
+    r = _post(rig.kernel, rig.fabric, "registry", router_host, 4000,
+              "/v1/chat/completions", {"messages": []})
+    assert r.status >= 500
+
+
+def test_webui_chat_roundtrip(rig):
+    _fake_backend(rig, "hops01")
+    rig.registry.seed(webui_image())
+    container = drive(rig.kernel, rig.podman.run(
+        rig.nodes[2], "chainlit/chainlit:1.0",
+        RunOpts(network_host=True,
+                env={"OPENAI_BASE": "hops01:8000", "MODEL": "m"})))
+    rig.kernel.run(until=container.ready)
+    host = rig.nodes[2].hostname
+    r = _post(rig.kernel, rig.fabric, "registry", host, 8080, "/chat",
+              {"session": "s1", "message": "hello"})
+    assert r.ok
+    assert r.json["reply"] == "from hops01"
+    assert r.json["turns"] == 1
+    r2 = _post(rig.kernel, rig.fabric, "registry", host, 8080, "/chat",
+               {"session": "s1", "message": "again"})
+    assert r2.json["turns"] == 2
+
+
+def test_webui_requires_backend_config(rig):
+    from repro.errors import ContainerCrash
+    rig.registry.seed(webui_image())
+    container = drive(rig.kernel, rig.podman.run(
+        rig.nodes[2], "chainlit/chainlit:1.0", RunOpts(network_host=True)))
+    with pytest.raises(ContainerCrash, match="OPENAI_BASE"):
+        rig.kernel.run(until=container.ready)

@@ -1,0 +1,132 @@
+"""Tests for Resource and Store primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simkernel import Resource, Store
+
+
+def test_resource_grants_up_to_capacity(kernel):
+    res = Resource(kernel, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.available == 0
+    assert res.queue_len == 1
+
+
+def test_resource_release_wakes_fifo(kernel):
+    res = Resource(kernel, capacity=1)
+    order = []
+
+    def user(env, label, hold):
+        req = res.request()
+        yield req
+        order.append(("acq", label, env.now))
+        yield env.timeout(hold)
+        res.release()
+
+    kernel.spawn(user(kernel, "a", 2.0))
+    kernel.spawn(user(kernel, "b", 1.0))
+    kernel.spawn(user(kernel, "c", 1.0))
+    kernel.run()
+    assert order == [("acq", "a", 0.0), ("acq", "b", 2.0), ("acq", "c", 3.0)]
+
+
+def test_resource_over_release_rejected(kernel):
+    res = Resource(kernel, capacity=1)
+    with pytest.raises(ConfigurationError):
+        res.release()
+
+
+def test_resource_bad_capacity(kernel):
+    with pytest.raises(ConfigurationError):
+        Resource(kernel, capacity=0)
+
+
+def test_resource_cancel_queued_request(kernel):
+    res = Resource(kernel, capacity=1)
+    granted = res.request()
+    queued = res.request()
+    res.cancel(queued)
+    assert queued.triggered and queued.ok is False
+    # Releasing must not grant the cancelled request; capacity returns free.
+    res.release()
+    assert res.available == 1
+    assert granted.triggered
+
+
+def test_store_put_get_fifo(kernel):
+    store = Store(kernel)
+    store.put("x")
+    store.put("y")
+    assert store.get().value == "x"
+    assert store.get().value == "y"
+
+
+def test_store_blocking_get(kernel):
+    store = Store(kernel)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(3.0)
+        store.put("late")
+
+    kernel.spawn(consumer(kernel))
+    kernel.spawn(producer(kernel))
+    kernel.run()
+    assert got == [(3.0, "late")]
+
+
+def test_store_bounded_put_blocks(kernel):
+    store = Store(kernel, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("a")
+        log.append(("put-a", env.now))
+        yield store.put("b")
+        log.append(("put-b", env.now))
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    kernel.spawn(producer(kernel))
+    kernel.spawn(consumer(kernel))
+    kernel.run()
+    assert ("put-a", 0.0) in log
+    assert ("got", "a", 5.0) in log
+    assert ("put-b", 5.0) in log
+    assert len(store) == 1  # "b" still inside
+
+
+def test_store_try_get(kernel):
+    store = Store(kernel)
+    assert store.try_get() is None
+    store.put(1)
+    assert store.try_get() == 1
+    assert store.try_get() is None
+
+
+def test_store_handoff_to_waiting_getter(kernel):
+    store = Store(kernel, capacity=1)
+    results = []
+
+    def getter(env):
+        item = yield store.get()
+        results.append(item)
+
+    kernel.spawn(getter(kernel))
+    kernel.run()  # getter now blocked
+    store.put("direct")
+    kernel.run()
+    assert results == ["direct"]
+    assert len(store) == 0

@@ -1,0 +1,93 @@
+"""Tests for the parallel filesystem model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, NotFoundError
+from repro.net import Fabric
+from repro.storage import ParallelFilesystem
+from repro.storage.filesystem import FilesystemDown
+from repro.units import GB, gbps
+
+
+@pytest.fixture
+def pfs(kernel):
+    fab = Fabric(kernel)
+    fab.add_host("hops01", zone="hops")
+    fab.add_host("lustre", zone="hops")
+    fab.connect("hops01", "lustre", gbps(800))
+    fs = ParallelFilesystem(kernel, fab, "hops-lustre", "lustre",
+                            mounted_platforms=["hops"])
+    return fab, fs
+
+
+def _drive(kernel, gen):
+    def proc(env):
+        result = yield from gen
+        return result
+    return kernel.run(until=kernel.spawn(proc(kernel)))
+
+
+def test_write_read_roundtrip(kernel, pfs):
+    _fab, fs = pfs
+    _drive(kernel, fs.write("hops01", "/models/w.bin", 100 * GB))
+    assert fs.stat("/models/w.bin") == 100 * GB
+    size = _drive(kernel, fs.read("hops01", "/models/w.bin"))
+    assert size == 100 * GB
+
+
+def test_read_missing_raises(kernel, pfs):
+    _fab, fs = pfs
+    with pytest.raises(NotFoundError):
+        _drive(kernel, fs.read("hops01", "/nope"))
+
+
+def test_mount_policy(kernel, pfs):
+    _fab, fs = pfs
+    fs.require_mounted("hops")
+    with pytest.raises(ConfigurationError):
+        fs.require_mounted("goodall")  # K8s platforms don't mount HPC FS
+
+
+def test_listdir_and_meta(kernel, pfs):
+    _fab, fs = pfs
+    fs.write_meta("/models/scout/a.safetensors", 10)
+    fs.write_meta("/models/scout/b.safetensors", 20)
+    fs.write_meta("/datasets/sharegpt.json", 30)
+    assert set(fs.listdir("/models/scout/")) == {
+        "/models/scout/a.safetensors", "/models/scout/b.safetensors"}
+    assert fs.used_bytes == 60
+
+
+def test_downtime_blocks_io(kernel, pfs):
+    _fab, fs = pfs
+    fs.write_meta("/w.bin", GB)
+    fs.schedule_downtime(start=100.0, duration=50.0)
+
+    def proc(env):
+        yield env.timeout(120.0)
+        try:
+            yield from fs.read("hops01", "/w.bin")
+        except FilesystemDown:
+            return "down"
+        return "up"
+
+    assert kernel.run(until=kernel.spawn(proc(kernel))) == "down"
+    assert fs.is_down(at=120.0)
+    assert not fs.is_down(at=160.0)
+
+
+def test_downtime_interrupts_inflight_write(kernel, pfs):
+    """A write that finishes inside a downtime window fails at completion."""
+    _fab, fs = pfs
+    fs.schedule_downtime(start=0.5, duration=100.0)
+    # 800 Gbps = 100 GB/s; 200 GB write takes 2 s, crossing into downtime.
+    def proc(env):
+        try:
+            yield from fs.write("hops01", "/big.bin", 200 * GB)
+        except FilesystemDown:
+            return "failed"
+        return "ok"
+
+    assert kernel.run(until=kernel.spawn(proc(kernel))) == "failed"

@@ -1,0 +1,180 @@
+"""Tests for the S3-like object store and aws-cli-style client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import APIError, NotFoundError
+from repro.net import Fabric
+from repro.storage import ObjectStore, S3Client, S3ClientConfig
+from repro.units import GB, gbps
+
+
+@pytest.fixture
+def site(kernel):
+    fab = Fabric(kernel)
+    fab.add_host("node", zone="hops")
+    fab.add_host("s3-abq", zone="site")
+    fab.add_host("s3-liv", zone="site")
+    spine = fab.add_switch("spine")
+    fab.connect("node", spine, gbps(100))
+    fab.connect("s3-abq", spine, gbps(400))
+    fab.connect("s3-liv", spine, gbps(400))
+    store = ObjectStore(kernel, fab, endpoint="s3.sandia.example",
+                        replication_lag=10.0)
+    store.add_site("albuquerque", "s3-abq")
+    store.add_site("livermore", "s3-liv")
+    store.add_credentials("AKIA_TEST", "secret123")
+    return fab, store
+
+
+def _cfg(**kw) -> S3ClientConfig:
+    base = dict(access_key_id="AKIA_TEST", secret_access_key="secret123",
+                endpoint_url="s3.sandia.example",
+                request_checksum_calculation="when_required")
+    base.update(kw)
+    return S3ClientConfig(**base)
+
+
+def _drive(kernel, gen):
+    def proc(env):
+        result = yield from gen
+        return result
+    return kernel.run(until=kernel.spawn(proc(kernel)))
+
+
+def test_put_get_roundtrip(kernel, site):
+    fab, store = site
+    client = S3Client(kernel, store, "node", _cfg())
+    meta = _drive(kernel, client.put_object("models", "llama/weights.bin", GB))
+    assert meta.size == GB
+    got = _drive(kernel, client.get_object("models", "llama/weights.bin"))
+    assert got.etag == meta.etag
+
+
+def test_get_missing_raises(kernel, site):
+    fab, store = site
+    client = S3Client(kernel, store, "node", _cfg())
+    with pytest.raises(NotFoundError):
+        _drive(kernel, client.get_object("models", "nope"))
+
+
+def test_transfer_takes_bandwidth_limited_time(kernel, site):
+    fab, store = site
+    client = S3Client(kernel, store, "node", _cfg())
+    _drive(kernel, client.put_object("models", "w.bin", 125 * GB))
+    # node link 100 Gbps = 12.5 GB/s -> 10 s for 125 GB.
+    assert kernel.now == pytest.approx(10.0, rel=1e-3)
+
+
+def test_bad_credentials_rejected(kernel, site):
+    _fab, store = site
+    client = S3Client(kernel, store, "node", _cfg(secret_access_key="wrong"))
+    with pytest.raises(APIError) as err:
+        _drive(kernel, client.put_object("b", "k", 1))
+    assert err.value.status == 403
+
+
+def test_missing_endpoint_fails_airgapped(kernel, site):
+    _fab, store = site
+    client = S3Client(kernel, store, "node", _cfg(endpoint_url=None))
+    with pytest.raises(APIError, match="disconnected"):
+        _drive(kernel, client.put_object("b", "k", 1))
+
+
+def test_checksum_nuance_new_client_old_service(kernel, site):
+    """aws-cli >= 2.23 vs a service without CRC support: fails unless
+    AWS_REQUEST_CHECKSUM_CALCULATION=when_required (paper Figure 3)."""
+    _fab, store = site
+    assert not store.supports_new_checksums
+    bad = S3Client(kernel, store, "node",
+                   _cfg(request_checksum_calculation="when_supported",
+                        client_version=(2, 27)))
+    with pytest.raises(APIError, match="when_required"):
+        _drive(kernel, bad.put_object("b", "k", 1))
+    # An old client is fine without the env var.
+    old = S3Client(kernel, store, "node",
+                   _cfg(request_checksum_calculation="when_supported",
+                        client_version=(2, 15)))
+    _drive(kernel, old.put_object("b", "k", 1))
+
+
+def test_config_from_env_matches_paper_figure3(kernel, site):
+    _fab, store = site
+    env = {
+        "AWS_ACCESS_KEY_ID": "AKIA_TEST",
+        "AWS_SECRET_ACCESS_KEY": "secret123",
+        "AWS_ENDPOINT_URL": "s3.sandia.example",
+        "AWS_REQUEST_CHECKSUM_CALCULATION": "when_required",
+        "AWS_MAX_ATTEMPTS": "10",
+    }
+    cfg = S3ClientConfig.from_env(env)
+    assert cfg.max_attempts == 10
+    client = S3Client(kernel, store, "node", cfg)
+    meta = _drive(kernel, client.put_object("models", "m.bin", 10))
+    assert meta.key == "m.bin"
+
+
+def test_sync_uploads_only_missing_and_changed(kernel, site):
+    _fab, store = site
+    client = S3Client(kernel, store, "node", _cfg())
+    files = {"config.json": 1000, "model-00001.safetensors": GB,
+             ".git/objects/aa": 5000, ".gitattributes": 100,
+             "LICENSE": 2000}
+    up1 = _drive(kernel, client.sync(files, "huggingface.co",
+                                     prefix="meta-llama/Scout/",
+                                     exclude=(".git*",)))
+    assert "meta-llama/Scout/LICENSE" in up1
+    assert not any(".git" in k for k in up1)
+    # Re-sync: nothing changed -> nothing uploaded.
+    up2 = _drive(kernel, client.sync(files, "huggingface.co",
+                                     prefix="meta-llama/Scout/",
+                                     exclude=(".git*",)))
+    assert up2 == []
+    # Change one file size -> only it re-uploads.
+    files["config.json"] = 1024
+    up3 = _drive(kernel, client.sync(files, "huggingface.co",
+                                     prefix="meta-llama/Scout/",
+                                     exclude=(".git*",)))
+    assert up3 == ["meta-llama/Scout/config.json"]
+
+
+def test_replication_to_second_site(kernel, site):
+    fab, store = site
+    client = S3Client(kernel, store, "node", _cfg())
+    _drive(kernel, client.put_object("models", "w.bin", GB))
+    liv = store.sites[1]
+    assert "w.bin" not in liv.buckets.get("models", type("B", (), {"objects": {}})()).objects
+    kernel.run()  # let replication finish
+    assert "w.bin" in liv.buckets["models"].objects
+
+
+def test_get_served_from_nearest_replica(kernel, site):
+    fab, store = site
+    # Put + wait for replication; then a host near livermore reads from it.
+    fab.add_host("liv-node", zone="site")
+    fab.connect("liv-node", "s3-liv", gbps(100))
+    client = S3Client(kernel, store, "node", _cfg())
+    _drive(kernel, client.put_object("models", "w.bin", GB))
+    kernel.run()
+    site_pick = store.nearest_site_with("liv-node", "models", "w.bin")
+    assert site_pick.name == "livermore"
+
+
+def test_retry_on_transient_failure(kernel, site):
+    """max_attempts retries eventually succeed through injected faults."""
+    _fab, store = site
+    calls = {"n": 0}
+    original = store.put_object
+
+    def flaky(client_host, bucket, key, size):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise APIError(500, "InternalError (injected)")
+        result = yield from original(client_host, bucket, key, size)
+        return result
+
+    store.put_object = flaky  # type: ignore[method-assign]
+    client = S3Client(kernel, store, "node", _cfg(max_attempts=10))
+    meta = _drive(kernel, client.put_object("b", "k", 10))
+    assert meta.key == "k" and calls["n"] == 3

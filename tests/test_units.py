@@ -1,0 +1,63 @@
+"""Tests for unit parsing and formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.units import (GiB, GB, fmt_bytes, fmt_duration, gbps, minutes,
+                         parse_bandwidth, parse_size)
+
+
+def test_parse_size_units():
+    assert parse_size("80 GiB") == 80 * GiB
+    assert parse_size("200GB") == 200 * GB
+    assert parse_size("1.5 TiB") == int(1.5 * 1024**4)
+    assert parse_size(12345) == 12345
+    assert parse_size("512 B") == 512
+
+
+def test_parse_size_rejects_garbage():
+    for bad in ("eighty gigs", "", "-5 GiB", "5 XB"):
+        with pytest.raises(ConfigurationError):
+            parse_size(bad)
+    with pytest.raises(ConfigurationError):
+        parse_size(-1)
+
+
+def test_parse_bandwidth():
+    assert parse_bandwidth("25 Gbps") == pytest.approx(gbps(25))
+    assert parse_bandwidth("3.35 TB/s") == pytest.approx(3.35e12)
+    assert parse_bandwidth(1000.0) == 1000.0
+    with pytest.raises(ConfigurationError):
+        parse_bandwidth("warp 9")
+
+
+def test_gbps_is_bytes_per_second():
+    # 16 x 25 Gbps = 400 Gbps = 50 GB/s (the paper's S3 frontend).
+    assert 16 * gbps(25) == pytest.approx(50e9)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(80 * GiB) == "80.00 GiB"
+    assert fmt_bytes(512) == "512 B"
+    assert "TiB" in fmt_bytes(2 * 1024**4)
+
+
+def test_fmt_duration():
+    assert fmt_duration(30 * 60) == "30m 00.0s"
+    assert fmt_duration(3723.5).startswith("1h 02m")
+    assert fmt_duration(0.25) == "0.250s"
+    assert fmt_duration(-5).startswith("-")
+
+
+def test_minutes_helper():
+    assert minutes(30) == 1800.0
+
+
+@given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_fmt_bytes_never_crashes(n):
+    assert isinstance(fmt_bytes(n), str)

@@ -1,0 +1,163 @@
+"""Tests for serve-command parsing and the perf model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import gpu_spec
+from repro.models import (llama31_405b, llama4_scout, llama4_scout_quantized,
+                          kv_capacity_tokens, per_gpu_weight_bytes,
+                          required_gpus, validate_fit)
+from repro.units import GiB
+from repro.vllm import PerfModel, PerfProfile, parse_serve_command
+from repro.vllm.config import is_offline_env
+
+
+def test_parse_paper_figure4_command():
+    args = parse_serve_command((
+        "serve", "meta-llama/Llama-4-Scout-17B-16E-Instruct",
+        "--tensor_parallel_size=4", "--disable-log-requests",
+        "--max-model-len=65536",
+        '--override-generation-config={"attn_temperature_tuning": true}'))
+    assert args.model == "meta-llama/Llama-4-Scout-17B-16E-Instruct"
+    assert args.tensor_parallel_size == 4
+    assert args.max_model_len == 65536
+    assert args.disable_log_requests is True
+    assert args.override_generation_config == {
+        "attn_temperature_tuning": True}
+
+
+def test_parse_helm_style_command():
+    args = parse_serve_command((
+        "serve", "/data/", "--host", "0.0.0.0", "--port", "8000",
+        "--served-model-name",
+        "meta-llama/Llama-4-Scout-17B-16E-Instruct",
+        "--tensor-parallel-size=4", "--disable-log-requests",
+        "--max-model-len=65536"))
+    assert args.model == "/data/"
+    assert args.public_model_name == \
+        "meta-llama/Llama-4-Scout-17B-16E-Instruct"
+    assert args.port == 8000
+
+
+def test_parse_rejects_bad_input():
+    with pytest.raises(ConfigurationError):
+        parse_serve_command(("serve", "--tensor_parallel_size=4"))
+    with pytest.raises(ConfigurationError):
+        parse_serve_command(("serve", "m", "--bogus-flag=1"))
+    with pytest.raises(ConfigurationError):
+        parse_serve_command(("serve", "m", "--max-model-len"))
+
+
+def test_offline_env_detection():
+    from repro.core.package import OFFLINE_SERVING_ENV, ONLINE_SERVING_ENV
+    assert is_offline_env(OFFLINE_SERVING_ENV)
+    assert not is_offline_env(ONLINE_SERVING_ENV)
+
+
+# -- model geometry (paper's memory claims) -------------------------------------
+
+def test_scout_weights_about_200_gib():
+    card = llama4_scout()
+    assert 190 <= card.weight_gib <= 215  # "approximately 200 GiB"
+
+
+def test_scout_per_gpu_weights_match_paper():
+    # "vLLM deployments use approximately 54 GiB/GPU to store model weights"
+    per_gpu = per_gpu_weight_bytes(llama4_scout(), tensor_parallel=4)
+    assert 48 * GiB <= per_gpu <= 56 * GiB
+
+
+def test_quantized_scout_fits_two_gpus():
+    """The paper's quantized deployment uses TP2 ("can fit on two GPUs",
+    the max on a Goodall node); verify that configuration fits with the
+    65536 context window on both GPU types."""
+    quant = llama4_scout_quantized()
+    for gpu in ("H100-NVL-94G", "H100-SXM-80G"):
+        capacity = validate_fit(quant, gpu_spec(gpu), tensor_parallel=2,
+                                max_model_len=65536)
+        assert capacity >= 65536
+    assert required_gpus(quant, gpu_spec("H100-SXM-80G")) <= 2
+
+
+def test_bf16_scout_needs_four_h100s():
+    assert required_gpus(llama4_scout(), gpu_spec("H100-SXM-80G")) == 4
+
+
+def test_405b_needs_sixteen_h100s():
+    # "requires approximately 1 TiB of model weights, which requires 16 GPUs"
+    assert required_gpus(llama31_405b(), gpu_spec("H100-SXM-80G")) == 16
+
+
+def test_scout_default_context_does_not_fit_single_node():
+    """The 10M default context forces --max-model-len (Section 3.2)."""
+    from repro.errors import CapacityError
+    with pytest.raises(CapacityError, match="max-model-len"):
+        validate_fit(llama4_scout(), gpu_spec("H100-SXM-80G"),
+                     tensor_parallel=4)  # default = 10M context
+    # With the paper's 65536 it fits.
+    capacity = validate_fit(llama4_scout(), gpu_spec("H100-SXM-80G"),
+                            tensor_parallel=4, max_model_len=65536)
+    assert capacity >= 65536
+
+
+def test_goodall_more_kv_headroom_than_hops():
+    """94 GiB NVL leaves more KV room than 80 GiB SXM (Fig. 10 analysis)."""
+    quant = llama4_scout_quantized()
+    hops = kv_capacity_tokens(quant, gpu_spec("H100-SXM-80G"), 2)
+    goodall = kv_capacity_tokens(quant, gpu_spec("H100-NVL-94G"), 2)
+    assert goodall > hops * 1.2
+
+
+# -- perf model shape properties ---------------------------------------------------
+
+def _perf(pp=1, card=None):
+    return PerfModel(card or llama4_scout(), gpu_spec("H100-SXM-80G"),
+                     tensor_parallel=4, pipeline_parallel=pp,
+                     profile=PerfProfile())
+
+
+def test_decode_time_monotone_in_batch():
+    perf = _perf()
+    times = [perf.decode_iteration_time(b, b * 400) for b in
+             (1, 4, 16, 64, 256, 1024)]
+    assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+
+
+def test_throughput_saturates():
+    """tokens/s rises with batch but with diminishing returns."""
+    perf = _perf()
+    tput = [b / perf.decode_iteration_time(b, b * 400)
+            for b in (1, 16, 256, 1024)]
+    assert tput[1] > 2 * tput[0]
+    assert tput[3] > tput[2]                   # still rising...
+    assert tput[3] / tput[2] < tput[1] / tput[0]  # ...but flattening
+
+
+def test_pipeline_adds_memory_not_speed():
+    """Section 3.5: multi-node inference buys memory, not speed.
+
+    Per-GPU throughput must not improve under PP, and single-request
+    latency must get *worse* (pipeline hops + no weight amortization).
+    """
+    single = _perf(pp=1)     # 4 GPUs
+    multi = _perf(pp=4)      # 16 GPUs
+    b = 256
+    per_gpu_single = (b / single.decode_iteration_time(b, b * 400)) / 4
+    per_gpu_multi = (b / multi.decode_iteration_time(b, b * 400)) / 16
+    assert per_gpu_multi <= per_gpu_single * 1.1
+    # Batch-1 token latency strictly worse on the pipeline.
+    assert multi.decode_iteration_time(1, 400) > \
+        single.decode_iteration_time(1, 400)
+
+
+def test_prefill_scales_with_prompt():
+    perf = _perf()
+    assert perf.prefill_time(2000) > 3 * perf.prefill_time(500)
+    assert perf.prefill_time(0) == 0.0
+
+
+def test_single_stream_rate_sanity():
+    rate = _perf().single_stream_rate()
+    assert 50 < rate < 200  # H100 Scout BF16 ballpark (paper: 103)

@@ -1,0 +1,102 @@
+"""Property-based tests on engine invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import gpu_spec
+from repro.models import llama4_scout
+from repro.simkernel import SimKernel
+from repro.vllm import EngineArgs, LLMEngine, PerfModel, PerfProfile
+
+
+def _mk_engine(kernel, kv_tokens, max_num_seqs):
+    card = llama4_scout()
+    gpu = gpu_spec("H100-SXM-80G")
+    args = EngineArgs(model=card.name, tensor_parallel_size=4,
+                      max_model_len=65536, max_num_seqs=max_num_seqs)
+    engine = LLMEngine(kernel, card,
+                       PerfModel(card, gpu, 4, profile=PerfProfile()),
+                       args, kv_tokens)
+    engine.start()
+    return engine
+
+
+request_lists = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=800),    # prompt
+              st.integers(min_value=1, max_value=300)),   # output
+    min_size=1, max_size=40)
+
+
+@given(reqs=request_lists,
+       kv_tokens=st.integers(min_value=2048, max_value=100_000),
+       max_num_seqs=st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_all_requests_complete_and_kv_drains(reqs, kv_tokens, max_num_seqs):
+    """Whatever the load and KV budget, every admissible request finishes
+    with exactly its requested tokens and the cache drains to zero."""
+    kernel = SimKernel(seed=0)
+    engine = _mk_engine(kernel, kv_tokens, max_num_seqs)
+    handles = [engine.submit(p, o) for p, o in reqs
+               if p + o <= min(65536, kv_tokens)]
+    if not handles:
+        return
+    kernel.run(until=kernel.all_of([h.done for h in handles]))
+    for handle, _ in zip(handles, reqs):
+        assert handle.tokens_generated == handle.max_new_tokens
+        assert handle.finished_at is not None
+    assert engine.blocks.used_blocks == 0
+    engine.blocks.check_invariants()
+
+
+@given(reqs=request_lists, max_num_seqs=st.integers(min_value=1,
+                                                    max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_running_batch_never_exceeds_max_num_seqs(reqs, max_num_seqs):
+    kernel = SimKernel(seed=0)
+    engine = _mk_engine(kernel, 200_000, max_num_seqs)
+    handles = [engine.submit(p, o) for p, o in reqs]
+    peak = [0]
+
+    def watcher(env):
+        while not all(h.done.triggered for h in handles):
+            peak[0] = max(peak[0], len(engine.running))
+            assert len(engine.running) <= max_num_seqs
+            yield env.timeout(0.005)
+
+    kernel.spawn(watcher(kernel))
+    kernel.run(until=kernel.all_of([h.done for h in handles]))
+    assert peak[0] <= max_num_seqs
+
+
+@given(reqs=request_lists, seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_engine_is_deterministic(reqs, seed):
+    """Identical submissions yield identical completion times."""
+
+    def run_once():
+        kernel = SimKernel(seed=seed)
+        engine = _mk_engine(kernel, 50_000, 32)
+        handles = [engine.submit(p, o) for p, o in reqs
+                   if p + o <= 50_000]
+        if not handles:
+            return []
+        kernel.run(until=kernel.all_of([h.done for h in handles]))
+        return [(h.first_token_at, h.finished_at) for h in handles]
+
+    assert run_once() == run_once()
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_preemption_preserves_token_counts(data):
+    """Under extreme KV pressure, preempted-and-recomputed requests still
+    produce exactly the requested output lengths."""
+    kernel = SimKernel(seed=0)
+    engine = _mk_engine(kernel, 2048, 64)
+    n = data.draw(st.integers(min_value=2, max_value=12))
+    handles = [engine.submit(400, 200) for _ in range(n)]
+    kernel.run(until=kernel.all_of([h.done for h in handles]))
+    assert all(h.tokens_generated == 200 for h in handles)
+    assert engine.blocks.used_blocks == 0

@@ -1,0 +1,92 @@
+"""Unit + property tests for the paged KV block manager."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError, ConfigurationError, StateError
+from repro.vllm.kvcache import BLOCK_SIZE, BlockManager, blocks_needed
+
+
+def test_blocks_needed_rounding():
+    assert blocks_needed(0) == 0
+    assert blocks_needed(1) == 1
+    assert blocks_needed(16) == 1
+    assert blocks_needed(17) == 2
+    assert blocks_needed(1024) == 64
+    with pytest.raises(ConfigurationError):
+        blocks_needed(-1)
+
+
+def test_allocate_free_roundtrip():
+    bm = BlockManager(capacity_tokens=160)  # 10 blocks
+    bm.allocate(1, 100)  # 7 blocks
+    assert bm.free_blocks == 3
+    bm.free(1)
+    assert bm.free_blocks == 10
+
+
+def test_allocate_over_capacity_raises():
+    bm = BlockManager(capacity_tokens=160)
+    with pytest.raises(CapacityError):
+        bm.allocate(1, 1000)
+
+
+def test_double_allocate_raises():
+    bm = BlockManager(capacity_tokens=160)
+    bm.allocate(1, 10)
+    with pytest.raises(StateError):
+        bm.allocate(1, 10)
+
+
+def test_append_uses_block_boundaries():
+    bm = BlockManager(capacity_tokens=160)
+    bm.allocate(1, 16)  # exactly one block, full
+    assert bm.free_blocks == 9
+    bm.append_token(1)  # needs a new block
+    assert bm.free_blocks == 8
+    for _ in range(15):  # fills block 2 to exactly 32 tokens
+        bm.append_token(1)
+    assert bm.free_blocks == 8
+    assert bm.tokens_of(1) == 32
+
+
+def test_append_when_full_raises():
+    bm = BlockManager(capacity_tokens=32)  # 2 blocks
+    bm.allocate(1, 32)
+    with pytest.raises(CapacityError):
+        bm.append_token(1)
+
+
+def test_can_append_logic():
+    bm = BlockManager(capacity_tokens=32)
+    bm.allocate(1, 20)  # 2 blocks, 12 slack in block 2
+    assert bm.can_append(1)
+    bm2 = BlockManager(capacity_tokens=32)
+    bm2.allocate(1, 32)
+    assert not bm2.can_append(1)
+
+
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["alloc", "append", "free"]),
+              st.integers(min_value=1, max_value=8),
+              st.integers(min_value=1, max_value=200)),
+    min_size=1, max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_block_accounting_never_leaks(ops):
+    """Random alloc/append/free sequences preserve block accounting."""
+    bm = BlockManager(capacity_tokens=640)
+    for op, seq, tokens in ops:
+        try:
+            if op == "alloc":
+                bm.allocate(seq, tokens)
+            elif op == "append":
+                bm.append_token(seq)
+            else:
+                bm.free(seq)
+        except (CapacityError, StateError):
+            pass
+        bm.check_invariants()
+        assert 0 <= bm.free_blocks <= bm.total_blocks

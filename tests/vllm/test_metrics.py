@@ -1,0 +1,58 @@
+"""Tests for engine metrics and the /metrics endpoint."""
+
+from __future__ import annotations
+
+from repro.hardware import gpu_spec
+from repro.models import llama4_scout
+from repro.models.weights import validate_fit
+from repro.net.http import HttpClient
+from repro.vllm import EngineArgs, LLMEngine, PerfModel, PerfProfile
+
+
+def _engine(kernel):
+    card = llama4_scout()
+    gpu = gpu_spec("H100-SXM-80G")
+    args = EngineArgs(model=card.name, tensor_parallel_size=4,
+                      max_model_len=65536)
+    kv = validate_fit(card, gpu, 4, max_model_len=65536)
+    engine = LLMEngine(kernel, card,
+                       PerfModel(card, gpu, 4, profile=PerfProfile()),
+                       args, kv)
+    engine.start()
+    return engine
+
+
+def test_metrics_reflect_engine_state(kernel):
+    engine = _engine(kernel)
+    m0 = engine.metrics()
+    assert m0["num_requests_total"] == 0
+    assert m0["gpu_cache_usage_perc"] == 0.0
+    reqs = [engine.submit(128, 32) for _ in range(4)]
+    kernel.run(until=kernel.now + 0.05)
+    mid = engine.metrics()
+    assert mid["num_requests_running"] + mid["num_requests_waiting"] == 4
+    assert mid["gpu_cache_usage_perc"] > 0
+    kernel.run(until=kernel.all_of([r.done for r in reqs]))
+    done = engine.metrics()
+    assert done["num_requests_completed"] == 4
+    assert done["generation_tokens_total"] == 4 * 32
+    assert done["gpu_cache_usage_perc"] == 0.0
+    assert done["request_latency_p50"] > 0
+    assert not done["crashed"]
+
+
+def test_metrics_endpoint_over_http(rig):
+    from tests.vllm.test_server import _opts, _run_vllm, _seed_model
+    _seed_model(rig)
+    container = _run_vllm(rig, _opts())
+    rig.kernel.run(until=container.ready)
+    client = HttpClient(rig.fabric, rig.nodes[1].hostname)
+
+    def proc(env):
+        resp = yield from client.get(rig.nodes[0].hostname, 8000, "/metrics")
+        return resp
+
+    resp = rig.kernel.run(until=rig.kernel.spawn(proc(rig.kernel)))
+    assert resp.ok
+    assert resp.json["num_requests_total"] == 0
+    assert "gpu_cache_usage_perc" in resp.json

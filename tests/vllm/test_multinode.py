@@ -1,0 +1,99 @@
+"""Tests for multi-node inference (Ray + TP x PP engine) and faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers import RunOpts
+from repro.containers.image import vllm_cuda_image
+from repro.errors import ConfigurationError
+from repro.models import llama31_405b
+from repro.net.http import HttpClient
+from repro.storage.mounts import PfsMount
+from repro.vllm import (CrashAfterRequests, EngineArgs, FaultPlan,
+                        MultiNodeEngineLauncher)
+from repro.cluster.profiles import perf_profile
+from tests.containers.conftest import drive
+
+MODEL = "meta-llama/Llama-3.1-405B-Instruct"
+
+
+def _seed_405b(rig):
+    card = llama31_405b()
+    for rel, size in card.repo_files().items():
+        rig.fs.write_meta(f"/models/{MODEL}/{rel}", size)
+
+
+def _launcher(rig, fault_plan=None):
+    card = llama31_405b()
+    args = EngineArgs(model=card.name, tensor_parallel_size=4,
+                      pipeline_parallel_size=4, max_model_len=65536)
+    return MultiNodeEngineLauncher(
+        rig.kernel, rig.fabric, rig.podman, "vllm/vllm-openai:v0.9.1",
+        card, args, PfsMount(rig.fs, f"/models/{MODEL}"),
+        profile=perf_profile("hops", "405b-multinode"),
+        fault_plan=fault_plan)
+
+
+def test_multinode_deploys_and_serves(rig):
+    _seed_405b(rig)
+    deployment = drive(rig.kernel, _launcher(rig).launch(rig.nodes[:4]))
+    assert deployment.head_node is rig.nodes[0]
+    assert len(deployment.ray.nodes) == 4
+    assert all(n.gpus_used == 4 for n in rig.nodes[:4])
+    client = HttpClient(rig.fabric, "registry")
+
+    def proc(env):
+        resp = yield from client.post(
+            deployment.endpoint[0], deployment.endpoint[1],
+            "/v1/chat/completions",
+            json={"model": MODEL,
+                  "messages": [{"role": "user", "content": "hello"}],
+                  "max_tokens": 32})
+        return resp
+
+    resp = rig.kernel.run(until=rig.kernel.spawn(proc(rig.kernel)))
+    assert resp.ok and resp.json["usage"]["completion_tokens"] == 32
+    deployment.stop()
+    rig.kernel.run()
+    assert all(n.gpus_used == 0 for n in rig.nodes[:4])
+
+
+def test_multinode_requires_matching_node_count(rig):
+    _seed_405b(rig)
+
+    def proc(env):
+        yield from _launcher(rig).launch(rig.nodes[:2])
+
+    p = rig.kernel.spawn(proc(rig.kernel))
+    with pytest.raises(ConfigurationError, match="pipeline_parallel"):
+        rig.kernel.run(until=p)
+
+
+def test_single_node_pp_rejected(rig):
+    card = llama31_405b()
+    args = EngineArgs(model=card.name, tensor_parallel_size=4,
+                      pipeline_parallel_size=1)
+    with pytest.raises(ConfigurationError):
+        MultiNodeEngineLauncher(
+            rig.kernel, rig.fabric, rig.podman, "x", card, args,
+            PfsMount(rig.fs, "/models"))
+
+
+def test_multinode_crash_stops_containers(rig):
+    """Fig. 12 run 1: the engine crashes mid-sweep; the deployment's
+    containers stop and the failure event fires."""
+    _seed_405b(rig)
+    plan = FaultPlan(CrashAfterRequests(50, reason="memory leak"))
+    deployment = drive(rig.kernel, _launcher(rig, plan).launch(rig.nodes[:4]))
+    engine = deployment.engine
+    for _ in range(60):
+        try:
+            engine.submit(100, 50)
+        except Exception:
+            break
+    rig.kernel.run(until=deployment.failed)
+    assert "memory leak" in str(deployment.failed.value)
+    rig.kernel.run()
+    assert engine.crashed is not None
+    assert all(not c.running for c in deployment.containers)

@@ -1,0 +1,63 @@
+"""Tests for the Flux-like workload manager (El Dorado)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import Node, NodeSpec
+from repro.units import GiB
+from repro.wlm import FluxManager, JobState
+
+
+def _nodes(n):
+    spec = NodeSpec(name="n", cpus=96, memory_bytes=512 * GiB)
+    return [Node(f"eldo{1000 + i}", spec) for i in range(1, n + 1)]
+
+
+def _sleep_script(duration):
+    def script(ctx):
+        yield ctx.sleep(duration)
+        return "ok"
+    return script
+
+
+def test_jobspec_submission(kernel):
+    flux = FluxManager(kernel, _nodes(4), platform="eldorado")
+    job = flux.submit_jobspec(
+        {"resources": [{"type": "node", "count": 2}],
+         "attributes": {"system": {"duration": 3600,
+                                   "job": {"name": "vllm-serve"}}}},
+        _sleep_script(10.0))
+    kernel.run(until=job.finished)
+    assert job.state is JobState.COMPLETED
+    assert job.spec.name == "vllm-serve"
+    assert len(job.allocated) == 2
+    assert job.allocated[0].hostname.startswith("eldo")
+
+
+def test_flux_run_convenience(kernel):
+    flux = FluxManager(kernel, _nodes(2), platform="eldorado")
+    job = flux.flux_run("bench", nodes=1, duration=100.0,
+                        script=_sleep_script(1.0))
+    kernel.run(until=job.finished)
+    assert job.state is JobState.COMPLETED
+
+
+def test_malformed_jobspec_rejected(kernel):
+    flux = FluxManager(kernel, _nodes(2))
+    with pytest.raises(ConfigurationError):
+        flux.submit_jobspec({"resources": []}, _sleep_script(1.0))
+    with pytest.raises(ConfigurationError):
+        flux.submit_jobspec(
+            {"resources": [{"type": "node", "count": 1}],
+             "attributes": {}}, _sleep_script(1.0))
+
+
+def test_flux_and_slurm_share_scheduling_semantics(kernel):
+    """Same core behavior under a different submission surface."""
+    flux = FluxManager(kernel, _nodes(1))
+    a = flux.flux_run("a", nodes=1, duration=50.0, script=_sleep_script(5.0))
+    b = flux.flux_run("b", nodes=1, duration=50.0, script=_sleep_script(5.0))
+    kernel.run(until=b.finished)
+    assert a.ended_at == 5.0 and b.started_at == 5.0

@@ -1,0 +1,64 @@
+"""Node-failure handling in the workload manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, JobKilled
+from repro.hardware import Node, NodeSpec
+from repro.units import GiB
+from repro.wlm import JobState, SlurmManager
+
+
+def _nodes(n):
+    spec = NodeSpec(name="n", cpus=64, memory_bytes=256 * GiB)
+    return [Node(f"hops{i:02d}", spec) for i in range(1, n + 1)]
+
+
+def _sleep(duration):
+    def script(ctx):
+        yield ctx.sleep(duration)
+        return "ok"
+    return script
+
+
+def test_node_failure_kills_resident_job(kernel):
+    slurm = SlurmManager(kernel, _nodes(2))
+    job = slurm.sbatch("victim", nodes=2, time_limit=1000.0,
+                       script=_sleep(500.0))
+    kernel.run(until=10.0)
+    assert job.state is JobState.RUNNING
+    slurm.fail_node(job.hostnames[0])
+    with pytest.raises(JobKilled):
+        kernel.run(until=job.finished)
+    assert job.state is JobState.NODE_FAIL
+
+
+def test_failed_node_not_scheduled(kernel):
+    slurm = SlurmManager(kernel, _nodes(2))
+    slurm.fail_node("hops01")
+    job = slurm.sbatch("j", nodes=2, time_limit=100.0, script=_sleep(5.0))
+    kernel.run(until=50.0)
+    assert job.state is JobState.PENDING  # only one healthy node
+    slurm.restore_node("hops01")
+    kernel.run(until=job.finished)
+    assert job.state is JobState.COMPLETED
+
+
+def test_unaffected_jobs_keep_running(kernel):
+    slurm = SlurmManager(kernel, _nodes(3))
+    a = slurm.sbatch("a", nodes=1, time_limit=100.0, script=_sleep(20.0))
+    b = slurm.sbatch("b", nodes=1, time_limit=100.0, script=_sleep(20.0))
+    kernel.run(until=1.0)
+    slurm.fail_node(a.hostnames[0])
+    kernel.run(until=b.finished)
+    assert b.state is JobState.COMPLETED
+    assert a.state is JobState.NODE_FAIL
+
+
+def test_unknown_node_raises(kernel):
+    slurm = SlurmManager(kernel, _nodes(1))
+    with pytest.raises(ConfigurationError):
+        slurm.fail_node("nope")
+    with pytest.raises(ConfigurationError):
+        slurm.restore_node("nope")

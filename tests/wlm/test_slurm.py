@@ -1,0 +1,181 @@
+"""Tests for the Slurm-like workload manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobKilled, SchedulingError
+from repro.hardware import Node, NodeSpec
+from repro.units import GiB
+from repro.wlm import JobState, SlurmManager
+
+
+def _nodes(n, prefix="hops"):
+    spec = NodeSpec(name="n", cpus=64, memory_bytes=256 * GiB)
+    return [Node(f"{prefix}{i:02d}", spec) for i in range(1, n + 1)]
+
+
+def _sleep_script(duration):
+    def script(ctx):
+        yield ctx.sleep(duration)
+        return f"slept {duration}"
+    return script
+
+
+@pytest.fixture
+def slurm(kernel):
+    return SlurmManager(kernel, _nodes(4), platform="hops")
+
+
+def test_job_runs_and_completes(kernel, slurm):
+    job = slurm.sbatch("hello", nodes=2, time_limit=100.0,
+                       script=_sleep_script(10.0))
+    result = kernel.run(until=job.finished)
+    assert result == "slept 10.0"
+    assert job.state is JobState.COMPLETED
+    assert job.started_at == 0.0 and job.ended_at == 10.0
+    assert len(job.allocated) == 2
+
+
+def test_fifo_queueing_when_full(kernel, slurm):
+    a = slurm.sbatch("a", nodes=4, time_limit=100.0, script=_sleep_script(10.0))
+    b = slurm.sbatch("b", nodes=4, time_limit=100.0, script=_sleep_script(10.0))
+    kernel.run(until=b.finished)
+    assert a.ended_at == 10.0
+    assert b.started_at == 10.0
+
+
+def test_backfill_small_job_jumps_queue_safely(kernel, slurm):
+    """A short small job backfills while a big job waits, without delaying it."""
+    slurm.sbatch("running", nodes=3, time_limit=100.0,
+                 script=_sleep_script(100.0))
+    big = slurm.sbatch("big", nodes=4, time_limit=50.0,
+                       script=_sleep_script(10.0))
+    # 1 node free; big (head) needs 4. Shadow time = 100. A 1-node job with
+    # limit <= 100 backfills now.
+    small = slurm.sbatch("small", nodes=1, time_limit=50.0,
+                         script=_sleep_script(5.0))
+    kernel.run(until=small.finished)
+    assert small.started_at == 0.0
+    assert big.state is JobState.PENDING
+
+
+def test_backfill_respects_shadow_time(kernel, slurm):
+    slurm.sbatch("running", nodes=3, time_limit=100.0,
+                 script=_sleep_script(100.0))
+    big = slurm.sbatch("big", nodes=4, time_limit=50.0,
+                       script=_sleep_script(10.0))
+    # A 1-node job whose limit exceeds the shadow (100) must NOT backfill.
+    late = slurm.sbatch("late", nodes=1, time_limit=200.0,
+                        script=_sleep_script(5.0))
+    kernel.run(until=200.0)
+    assert late.started_at is not None
+    assert late.started_at >= 100.0
+
+
+def test_time_limit_kills_job(kernel, slurm):
+    job = slurm.sbatch("long", nodes=1, time_limit=5.0,
+                       script=_sleep_script(100.0))
+    with pytest.raises(JobKilled, match="TIMEOUT"):
+        kernel.run(until=job.finished)
+    assert job.state is JobState.TIMEOUT
+    assert job.ended_at == 5.0
+
+
+def test_scancel_pending_and_running(kernel, slurm):
+    a = slurm.sbatch("a", nodes=4, time_limit=50.0, script=_sleep_script(20.0))
+    b = slurm.sbatch("b", nodes=1, time_limit=50.0, script=_sleep_script(20.0))
+    slurm.scancel(b)  # pending
+    assert b.state is JobState.CANCELLED
+
+    def cancel_later(env):
+        yield env.timeout(3.0)
+        slurm.scancel(a)
+
+    kernel.spawn(cancel_later(kernel))
+    with pytest.raises(JobKilled):
+        kernel.run(until=a.finished)
+    assert a.state is JobState.CANCELLED
+    assert a.ended_at == 3.0
+
+
+def test_oversized_job_rejected(kernel, slurm):
+    with pytest.raises(SchedulingError):
+        slurm.sbatch("huge", nodes=99, time_limit=10.0,
+                     script=_sleep_script(1.0))
+
+
+def test_maintenance_reservation_blocks_overlapping_jobs(kernel, slurm):
+    """A job whose window would overlap the reservation stays queued."""
+    slurm.add_reservation(start=50.0, duration=100.0)
+    job = slurm.sbatch("j", nodes=1, time_limit=100.0,
+                       script=_sleep_script(10.0))
+    kernel.run(until=40.0)
+    assert job.state is JobState.PENDING  # would collide -> held
+    kernel.run(until=job.finished)
+    assert job.started_at >= 150.0  # starts after the window
+
+
+def test_maintenance_kills_running_job(kernel, slurm):
+    """Fig 12 run 3: running job terminated by scheduled downtime."""
+    job = slurm.sbatch("vllm-405b", nodes=4, time_limit=10000.0,
+                       script=_sleep_script(9000.0))
+    kernel.run(until=1.0)
+    assert job.state is JobState.RUNNING
+    slurm.add_reservation(start=3600.0, duration=7200.0,
+                          reason="scheduled maintenance")
+    with pytest.raises(JobKilled, match="NODE_FAIL"):
+        kernel.run(until=job.finished)
+    assert job.state is JobState.NODE_FAIL
+    assert job.ended_at == pytest.approx(3600.0)
+
+
+def test_job_children_interrupted_on_kill(kernel, slurm):
+    """srun tasks die with the job."""
+    events = []
+
+    def script(ctx):
+        def task(node):
+            try:
+                yield ctx.kernel.timeout(1e6)
+            except Exception:
+                events.append(("task-killed", ctx.kernel.now))
+                raise
+        ctx.launch_on_all(task)
+        yield ctx.sleep(1e6)
+
+    job = slurm.sbatch("parent", nodes=2, time_limit=100.0, script=script)
+    with pytest.raises(JobKilled):
+        kernel.run(until=job.finished)
+    kernel.run()
+    assert len(events) == 2  # both node tasks interrupted
+    assert all(t == 100.0 for _, t in events)
+
+
+def test_deferred_cleanup_runs(kernel, slurm):
+    cleaned = []
+
+    def script(ctx):
+        ctx.defer(lambda: cleaned.append(ctx.kernel.now))
+        yield ctx.sleep(5.0)
+
+    job = slurm.sbatch("c", nodes=1, time_limit=100.0, script=script)
+    kernel.run(until=job.finished)
+    assert cleaned == [5.0]
+
+
+def test_squeue_order(kernel, slurm):
+    a = slurm.sbatch("a", nodes=4, time_limit=10.0, script=_sleep_script(5.0))
+    b = slurm.sbatch("b", nodes=4, time_limit=10.0, script=_sleep_script(5.0))
+    kernel.run(until=0.0)  # let the scheduling tick run
+    q = slurm.squeue()
+    states = {j.spec.name: j.state for j in q}
+    assert states["a"] is JobState.RUNNING
+    assert states["b"] is JobState.PENDING
+
+
+def test_ray_script_text_matches_figure11():
+    text = SlurmManager.ray_cluster_script_text("$CONTAINER_IMAGE")
+    assert "srun --nodes=1 --ntasks=1 -w $head_node" in text
+    assert "--exclude $head_node" in text
+    assert "run-cluster.sh --worker $head_node_ip" in text
