@@ -1,0 +1,64 @@
+"""Fleet elasticity benchmark: flash crowd vs the autoscaler.
+
+A compact open-loop scenario (Poisson baseline + a flash crowd well past
+one replica's decode ceiling) on a converged hops+goodall fleet.  Records
+the scorecard the scenario produces — peak replicas, SLO attainment,
+goodput — and asserts the elastic invariants: the fleet scales out under
+the burst, scales back afterwards, and loses no requests.
+"""
+
+from __future__ import annotations
+
+from repro.core import build_sandia_site
+from repro.fleet import (AutoscalerConfig, Fleet, FleetConfig,
+                         FlashCrowdSchedule, PoissonSchedule, SloSpec)
+
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+
+
+def _run_autoscale_scenario():
+    site = build_sandia_site(seed=77, hops_nodes=6, eldorado_nodes=2,
+                             goodall_nodes=3, cee_nodes=1)
+    config = FleetConfig(
+        model=QUANT, tensor_parallel_size=2,
+        platforms=("hops", "goodall"),
+        slo=SloSpec(ttft_target=10.0, e2e_target=120.0),
+        autoscaler=AutoscalerConfig(
+            min_replicas=1, max_replicas=4, target_outstanding=8.0,
+            up_cooldown=120.0, down_cooldown=600.0))
+    fleet = Fleet(site, config)
+    schedule = FlashCrowdSchedule(
+        PoissonSchedule(0.1), start=900.0, duration=1200.0,
+        multiplier=150.0, ramp=180.0)
+
+    def scenario(env):
+        yield from fleet.start(initial_replicas=1)
+        report = yield from fleet.run_scenario(
+            schedule, horizon=2 * 3600.0, label="bench-autoscale")
+        return report
+
+    report = site.kernel.run(until=site.kernel.spawn(scenario(site.kernel)))
+    fleet.shutdown()
+    return report, fleet
+
+
+def test_flash_crowd_autoscale(benchmark):
+    report, fleet = benchmark.pedantic(_run_autoscale_scenario,
+                                       rounds=1, iterations=1)
+    slo = report.slo
+    benchmark.extra_info.update({
+        "arrivals": report.arrivals,
+        "peak_replicas": report.peak_replicas,
+        "final_replicas": report.final_replicas,
+        "attainment": round(slo.attainment, 4),
+        "goodput_rps": round(slo.goodput_rps, 3),
+        "ttft_p95_s": round(slo.ttft_percentiles["p95"], 3),
+        "e2e_p95_s": round(slo.e2e_percentiles["p95"], 3),
+        "scale_events": [e.row() for e in report.scale_events],
+        "placements": fleet.placements,
+    })
+    assert report.peak_replicas >= 3
+    assert report.final_replicas == 1
+    assert slo.errors == 0
+    assert slo.completed == report.arrivals
+    assert slo.attainment > 0.80

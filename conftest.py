@@ -1,0 +1,7 @@
+"""Repo-root conftest.
+
+Its presence puts the repository root on ``sys.path`` during collection,
+so the test modules' absolute helper imports (``from
+tests.containers.conftest import drive``) resolve under both ``pytest``
+and ``python -m pytest``, from any working directory.
+"""

@@ -58,6 +58,14 @@ class BenchmarkResult:
         return float(np.mean(self.ttfts)) if self.ttfts else 0.0
 
     @property
+    def p50_ttft(self) -> float:
+        return float(np.percentile(self.ttfts, 50)) if self.ttfts else 0.0
+
+    @property
+    def p99_ttft(self) -> float:
+        return float(np.percentile(self.ttfts, 99)) if self.ttfts else 0.0
+
+    @property
     def p50_latency(self) -> float:
         return float(np.percentile(self.latencies, 50)) if self.latencies \
             else 0.0
@@ -77,10 +85,24 @@ class BenchmarkResult:
             "output_tok_per_s": round(self.output_throughput, 1),
             "req_per_s": round(self.request_throughput, 3),
             "mean_ttft_s": round(self.mean_ttft, 3),
+            "p50_ttft_s": round(self.p50_ttft, 3),
+            "p99_ttft_s": round(self.p99_ttft, 3),
             "p50_latency_s": round(self.p50_latency, 3),
             "p99_latency_s": round(self.p99_latency, 3),
             "crashed": self.crashed,
         }
+
+    def summary(self) -> str:
+        """Human-readable one-run digest (vLLM benchmark-style footer)."""
+        return (
+            f"concurrency={self.concurrency}: "
+            f"{self.completed}/{self.n_requests} ok, "
+            f"{self.errors} errors, "
+            f"{self.output_throughput:.1f} tok/s, "
+            f"{self.request_throughput:.3f} req/s, "
+            f"ttft p50/p99 {self.p50_ttft:.3f}/{self.p99_ttft:.3f} s, "
+            f"latency p50/p99 {self.p50_latency:.2f}/{self.p99_latency:.2f} s"
+            + (" [CRASHED]" if self.crashed else ""))
 
 
 class BenchmarkClient:

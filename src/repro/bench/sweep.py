@@ -47,6 +47,14 @@ class SweepResult:
                 return p.throughput
         raise KeyError(f"no sweep point at concurrency {concurrency}")
 
+    def to_json(self) -> dict:
+        """Machine-readable artifact (one full row per sweep point)."""
+        return {
+            "label": self.label,
+            "points": [p.result.row() for p in self.points],
+            "terminated_early": self.terminated_early,
+        }
+
     def table(self) -> str:
         """gnuplot-style data block like the paper's artifact files."""
         lines = [f"# {self.label}",

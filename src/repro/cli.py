@@ -8,6 +8,10 @@ Commands
                         gnuplot artifacts with ``--out DIR``.
 ``ablation <name>``     run one ablation (pull-storm, s3-routing,
                         startup, quantization, parallelism).
+``fleet``               open-loop elastic-fleet scenario: diurnal traffic
+                        plus a flash crowd, autoscaled across platforms;
+                        optionally write the JSON scorecard with
+                        ``--out FILE``.
 ``site``                print the converged-site inventory.
 """
 
@@ -110,6 +114,50 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .fleet import (AutoscalerConfig, DiurnalSchedule, Fleet,
+                        FleetConfig, FlashCrowdSchedule, SloSpec)
+    site = build_sandia_site(seed=args.seed, hops_nodes=8, eldorado_nodes=4,
+                             goodall_nodes=4, cee_nodes=2)
+    platforms = tuple(p.strip() for p in args.platforms.split(",")
+                      if p.strip())
+    config = FleetConfig(
+        model=args.model,
+        tensor_parallel_size=args.tp,
+        platforms=platforms,
+        policy=args.policy,
+        slo=SloSpec(ttft_target=args.ttft_slo, e2e_target=args.e2e_slo),
+        autoscaler=AutoscalerConfig(
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas))
+    fleet = Fleet(site, config)
+    schedule = DiurnalSchedule(base_rps=args.base_rate,
+                               peak_rps=args.peak_rate,
+                               peak_hour=args.peak_hour)
+    if args.flash_mult > 1:
+        schedule = FlashCrowdSchedule(
+            schedule, start=args.flash_hour * 3600.0,
+            duration=args.flash_minutes * 60.0,
+            multiplier=args.flash_mult)
+
+    def scenario(env):
+        yield from fleet.start(initial_replicas=args.min_replicas)
+        report = yield from fleet.run_scenario(
+            schedule, horizon=args.hours * 3600.0, label="cli-fleet")
+        return report
+
+    report = site.kernel.run(until=site.kernel.spawn(scenario(site.kernel)))
+    fleet.shutdown()
+    print(report.summary())
+    print(f"simulated time: {fmt_duration(site.kernel.now)}")
+    if args.out:
+        import pathlib
+        path = pathlib.Path(args.out)
+        path.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+        print(f"wrote scorecard to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -142,6 +190,37 @@ def build_parser() -> argparse.ArgumentParser:
                                            "startup", "quantization",
                                            "parallelism"])
     ablation.add_argument("--nodes", type=int, default=8)
+
+    fleet = sub.add_parser(
+        "fleet", help="open-loop elastic-fleet scenario with autoscaling")
+    fleet.add_argument("--model", default=QUANT)
+    fleet.add_argument("--tp", type=int, default=2,
+                       help="tensor parallel size per replica")
+    fleet.add_argument("--platforms", default="hops,goodall",
+                       help="comma-separated replica placement targets")
+    fleet.add_argument("--policy", default="least-outstanding",
+                       choices=["round-robin", "least-outstanding"])
+    fleet.add_argument("--hours", type=float, default=6.0,
+                       help="scenario length in simulated hours")
+    fleet.add_argument("--base-rate", type=float, default=0.05,
+                       help="night-time arrival rate, req/s")
+    fleet.add_argument("--peak-rate", type=float, default=0.25,
+                       help="diurnal peak arrival rate, req/s")
+    fleet.add_argument("--peak-hour", type=float, default=3.0,
+                       help="diurnal peak (simulated clock hour)")
+    fleet.add_argument("--flash-hour", type=float, default=3.0,
+                       help="flash-crowd start (simulated clock hour)")
+    fleet.add_argument("--flash-minutes", type=float, default=30.0)
+    fleet.add_argument("--flash-mult", type=float, default=60.0,
+                       help="flash-crowd rate multiplier (1 disables)")
+    fleet.add_argument("--min-replicas", type=int, default=1)
+    fleet.add_argument("--max-replicas", type=int, default=4)
+    fleet.add_argument("--ttft-slo", type=float, default=10.0,
+                       help="TTFT target, seconds")
+    fleet.add_argument("--e2e-slo", type=float, default=120.0,
+                       help="end-to-end latency target, seconds")
+    fleet.add_argument("--out", default=None,
+                       help="write the JSON scorecard to this file")
     return parser
 
 
@@ -153,6 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         "deploy": _cmd_deploy,
         "bench": _cmd_bench,
         "ablation": _cmd_ablation,
+        "fleet": _cmd_fleet,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,202 @@
+"""Elastic replica autoscaler: the K8s-style control loop, site-wide.
+
+The paper notes HPC users can recreate Kubernetes-style resilience "with
+techniques like using cron jobs and deploying their own request routers";
+this is the scaling half of that story.  A control loop samples the
+router's per-backend outstanding-request counts (the same signal a
+horizontal pod autoscaler reads from metrics), computes a desired replica
+count, and converges the fleet toward it through the unified
+:class:`~repro.core.deployer.Deployer` — so one autoscaler grows and
+shrinks capacity across Slurm, Flux, *and* OpenShift platforms at once.
+
+Scaling up is slow on purpose: a new vLLM replica pays image pull, weight
+streaming, and engine init (minutes of simulated time), which is exactly
+why the loop scales by up to ``max_step_up`` replicas per decision and
+holds a cooldown before reconsidering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError, ReproError, StateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simkernel import Event
+    from .fleet import Fleet
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Control-loop tuning.
+
+    ``target_outstanding`` is the per-replica in-flight budget: the loop
+    aims for ``ceil(total_outstanding / target_outstanding)`` replicas,
+    clamped to ``[min_replicas, max_replicas]``.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    target_outstanding: float = 8.0
+    scale_down_threshold: float = 1.0   # per-replica outstanding
+    low_streak: int = 5                 # consecutive low samples to go down
+    interval: float = 30.0
+    up_cooldown: float = 120.0
+    down_cooldown: float = 600.0
+    max_step_up: int = 2
+    drain_timeout: float = 180.0
+
+    def __post_init__(self):
+        if not (1 <= self.min_replicas <= self.max_replicas):
+            raise ConfigurationError(
+                "need 1 <= min_replicas <= max_replicas")
+        if self.target_outstanding <= 0 or self.interval <= 0:
+            raise ConfigurationError(
+                "target_outstanding and interval must be positive")
+        if self.scale_down_threshold >= self.target_outstanding:
+            raise ConfigurationError(
+                "scale_down_threshold must be below target_outstanding")
+
+
+@dataclass
+class ScaleEvent:
+    """One autoscaler action, for the scenario report."""
+
+    time: float
+    action: str                 # "up" | "down" | "up_failed"
+    replicas_before: int
+    replicas_after: int
+    outstanding: float
+    reason: str = ""
+
+    def row(self) -> dict:
+        return {"t": round(self.time, 1), "action": self.action,
+                "replicas": f"{self.replicas_before}->{self.replicas_after}",
+                "outstanding": round(self.outstanding, 1),
+                "reason": self.reason}
+
+
+@dataclass
+class LoadSample:
+    time: float
+    replicas: int
+    outstanding: int
+    healthy: int
+
+
+class Autoscaler:
+    """The control loop bound to one :class:`~repro.fleet.fleet.Fleet`."""
+
+    def __init__(self, fleet: "Fleet", config: AutoscalerConfig):
+        self.fleet = fleet
+        self.config = config
+        self.kernel = fleet.kernel
+        self.events: list[ScaleEvent] = []
+        self.samples: list[LoadSample] = []
+        self._scaling = False
+        self._last_up = -math.inf
+        self._last_down = -math.inf
+        self._low_streak = 0
+
+    def reset(self) -> None:
+        """Fresh accounting for a new scenario (cooldowns keep history)."""
+        self.events = []
+        self.samples = []
+        self._low_streak = 0
+
+    # -- signal -----------------------------------------------------------------
+
+    def desired_replicas(self, outstanding: float) -> int:
+        cfg = self.config
+        want = math.ceil(outstanding / cfg.target_outstanding)
+        return max(cfg.min_replicas, min(cfg.max_replicas, want))
+
+    def sample(self) -> LoadSample:
+        stats = self.fleet.router_app.stats()
+        sample = LoadSample(
+            time=self.kernel.now, replicas=len(self.fleet.replicas),
+            outstanding=stats["outstanding"], healthy=stats["healthy"])
+        self.samples.append(sample)
+        return sample
+
+    # -- control loop -----------------------------------------------------------
+
+    def run(self, stop_event: "Event"):
+        """Generator process: sample, decide, and converge until stopped."""
+        kernel = self.kernel
+        cfg = self.config
+        while not stop_event.triggered:
+            yield kernel.any_of([stop_event, kernel.timeout(cfg.interval)])
+            if stop_event.triggered:
+                return
+            sample = self.sample()
+            if self._scaling:
+                continue  # a deploy/drain is already converging
+            n = len(self.fleet.replicas)
+            desired = self.desired_replicas(sample.outstanding)
+            now = kernel.now
+            if sample.outstanding / max(n, 1) < cfg.scale_down_threshold:
+                self._low_streak += 1
+            else:
+                self._low_streak = 0
+            if desired > n and now - self._last_up >= cfg.up_cooldown:
+                self._low_streak = 0
+                step = min(desired - n, cfg.max_step_up)
+                kernel.spawn(self._scale_up(step, sample),
+                             name="autoscaler:up")
+            elif (n > cfg.min_replicas
+                  and self._low_streak >= cfg.low_streak
+                  and now - self._last_down >= cfg.down_cooldown
+                  and now - self._last_up >= cfg.down_cooldown):
+                self._low_streak = 0
+                kernel.spawn(self._scale_down(sample),
+                             name="autoscaler:down")
+
+    # -- actions ----------------------------------------------------------------
+
+    def _scale_up(self, step: int, sample: LoadSample):
+        kernel = self.kernel
+        self._scaling = True
+        before = len(self.fleet.replicas)
+        reason = (f"outstanding={sample.outstanding} > "
+                  f"{self.config.target_outstanding:g}/replica x {before}")
+        try:
+            added = yield from self.fleet.add_replicas(step)
+        except (ReproError, StateError) as exc:
+            self.events.append(ScaleEvent(
+                kernel.now, "up_failed", before, len(self.fleet.replicas),
+                sample.outstanding, reason=str(exc)))
+            kernel.trace.emit("fleet.scale_up_failed", error=str(exc))
+            return
+        finally:
+            self._scaling = False
+            self._last_up = kernel.now
+        after = len(self.fleet.replicas)
+        self.events.append(ScaleEvent(
+            kernel.now, "up", before, after, sample.outstanding,
+            reason=reason))
+        kernel.trace.emit("fleet.scale_up", added=len(added),
+                          replicas=after)
+
+    def _scale_down(self, sample: LoadSample):
+        kernel = self.kernel
+        self._scaling = True
+        before = len(self.fleet.replicas)
+        try:
+            removed = yield from self.fleet.remove_replica(
+                drain_timeout=self.config.drain_timeout)
+        finally:
+            self._scaling = False
+            self._last_down = kernel.now
+        after = len(self.fleet.replicas)
+        if removed is None:
+            return
+        self.events.append(ScaleEvent(
+            kernel.now, "down", before, after, sample.outstanding,
+            reason=(f"outstanding/replica = "
+                    f"{sample.outstanding / max(before, 1):.2f} < "
+                    f"{self.config.scale_down_threshold:g}")))
+        kernel.trace.emit("fleet.scale_down", removed=removed.name,
+                          replicas=after)

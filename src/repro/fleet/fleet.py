@@ -1,0 +1,454 @@
+"""The Fleet: router + elastic vLLM replicas + SLO tracking, one handle.
+
+A :class:`Fleet` ties together everything a production serving operator
+runs: N vLLM replicas deployed through the unified
+:class:`~repro.core.deployer.Deployer` (so replicas can land on Slurm,
+Flux, or OpenShift platforms interchangeably), one
+:class:`~repro.services.router.LlmRouter` in front of them, an
+:class:`~repro.fleet.autoscaler.Autoscaler` converging replica count to
+load, and a :class:`~repro.fleet.slo.SloTracker` scoring every request
+against the fleet's SLO.
+
+``run_scenario()`` is the entry point: feed it an arrival schedule and a
+tenant mix and it plays open-loop traffic against the fleet, autoscaling
+as the day unfolds, and returns a :class:`FleetReport` scorecard.
+
+Kubernetes replicas are registered with the router by their *pod node*
+endpoint rather than the cluster ingress: every Helm release shares one
+ingress frontend, and the router — living inside the site — can reach pod
+hosts directly (the converged-site advantage the paper describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..cluster.platform import HPCPlatform, K8sPlatform
+from ..containers.runtime import Container, RunOpts
+from ..core.deployer import Deployment
+from ..core.workflow import CaseStudyWorkflow
+from ..errors import (APIError, NetworkUnreachable, ReproError, StateError)
+from ..k8s.objects import PodPhase
+from ..net.http import HttpClient, lookup
+from ..services.router import LlmRouter, router_image
+from .autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
+from .slo import RequestRecord, SloSpec, SloTracker
+from .traffic import ArrivalSchedule, TenantMix, TrafficGenerator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.site import ConvergedSite
+    from ..hardware.node import Node
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """What to serve, where replicas may land, and how hard to defend SLOs."""
+
+    model: str
+    tensor_parallel_size: int = 2
+    platforms: tuple[str, ...] = ("hops",)
+    router_platform: str = "hops"
+    router_port: int = 4000
+    policy: str = "least-outstanding"
+    slo: SloSpec = field(default_factory=SloSpec)
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    client_host: str = ""            # default: router platform service host
+    snapshot_interval: float = 120.0
+    drain_timeout: float = 1800.0    # scenario-end settle budget
+
+
+@dataclass
+class Replica:
+    """One running vLLM backend owned by the fleet."""
+
+    name: str
+    platform_name: str
+    deployment: Deployment
+    backend_host: str
+    backend_port: int
+
+    @property
+    def backend(self) -> tuple[str, int]:
+        return self.backend_host, self.backend_port
+
+
+@dataclass
+class FleetReport:
+    """Scorecard of one scenario run."""
+
+    label: str
+    duration: float
+    arrivals: int
+    slo: "object"                      # SloReport
+    scale_events: list[ScaleEvent]
+    replica_timeline: list[tuple[float, int]]
+    snapshots: list[dict] = field(default_factory=list)
+
+    @property
+    def peak_replicas(self) -> int:
+        return max((n for _, n in self.replica_timeline), default=0)
+
+    @property
+    def final_replicas(self) -> int:
+        return self.replica_timeline[-1][1] if self.replica_timeline else 0
+
+    def summary(self) -> str:
+        hours = self.duration / 3600.0
+        lines = [f"fleet scenario {self.label!r}: {self.arrivals} arrivals "
+                 f"over {hours:.1f} h, replicas peak={self.peak_replicas} "
+                 f"final={self.final_replicas}",
+                 self.slo.summary(),
+                 "  scale events:"]
+        if not self.scale_events:
+            lines.append("    (none)")
+        for event in self.scale_events:
+            lines.append(
+                f"    [{event.time / 3600.0:6.2f} h] {event.action:9s} "
+                f"{event.replicas_before}->{event.replicas_after}  "
+                f"({event.reason})")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "label": self.label,
+            "duration_s": round(self.duration, 1),
+            "arrivals": self.arrivals,
+            "peak_replicas": self.peak_replicas,
+            "final_replicas": self.final_replicas,
+            "slo": self.slo.to_json(),
+            "scale_events": [e.row() for e in self.scale_events],
+            "replica_timeline": [(round(t, 1), n)
+                                 for t, n in self.replica_timeline],
+            "snapshots": self.snapshots,
+        }
+
+
+class Fleet:
+    """Deployments + router + autoscaler + SLO tracker, one lifecycle."""
+
+    def __init__(self, site: "ConvergedSite", config: FleetConfig):
+        self.site = site
+        self.config = config
+        self.kernel = site.kernel
+        self.wf = CaseStudyWorkflow(site)
+        self.slo = SloTracker(site.kernel, config.slo)
+        self.autoscaler = Autoscaler(self, config.autoscaler)
+        self.replicas: list[Replica] = []
+        self.placements: list[tuple[str, str]] = []  # (replica, platform)
+        self.replica_timeline: list[tuple[float, int]] = []
+        self.snapshots: list[dict] = []
+        self.inflight = 0
+        self.router_container: Container | None = None
+        self.router_app: LlmRouter | None = None
+        self.router_host: str = ""
+        self._next_id = 0
+        self._next_platform = 0
+        self._client: HttpClient | None = None
+        self._seeded = False
+        self._scenario_ran = False
+
+    # -- bring-up ---------------------------------------------------------------
+
+    def start(self, initial_replicas: int = 1):
+        """Generator: seed artifacts, deploy replicas, start the router."""
+        self._seed()
+        yield from self.add_replicas(initial_replicas)
+        yield from self._start_router()
+        client_host = (self.config.client_host
+                       or self._router_platform().service_host)
+        self._client = HttpClient(self.site.fabric, client_host)
+        self.kernel.trace.emit(
+            "fleet.started", replicas=len(self.replicas),
+            router=f"{self.router_host}:{self.config.router_port}")
+
+    def _router_platform(self) -> HPCPlatform:
+        platform = self.site.platform(self.config.router_platform)
+        if not isinstance(platform, HPCPlatform):
+            raise StateError("the router runs podman-side; pick an HPC "
+                             f"platform, not {self.config.router_platform!r}")
+        return platform
+
+    def _seed(self) -> None:
+        if self._seeded:
+            return
+        self.site.gitlab.seed(router_image())
+        seeded_s3 = False
+        for name in self.config.platforms:
+            platform = self.site.platform(name)
+            if isinstance(platform, HPCPlatform):
+                self.wf.admin_seed_model(self.config.model, name)
+            elif not seeded_s3:
+                self.wf.admin_seed_s3(self.config.model)
+                seeded_s3 = True
+        self._seeded = True
+
+    def _start_router(self):
+        platform = self._router_platform()
+        node = self._router_node(platform)
+        backends = ",".join(f"{r.backend_host}:{r.backend_port}"
+                            for r in self.replicas)
+        opts = RunOpts(name="llm-router", network_host=True,
+                       env={"BACKENDS": backends,
+                            "ROUTER_PORT": str(self.config.router_port),
+                            "ROUTER_POLICY": self.config.policy})
+        container = yield from platform.podman.run(
+            node, router_image().ref, opts)
+        yield container.ready
+        self.router_container = container
+        self.router_app = container.app
+        self.router_host = node.hostname
+
+    def _router_node(self, platform: HPCPlatform) -> "Node":
+        # Walk from the back so the deployer's front-first node preference
+        # keeps GPU nodes clear of the router.
+        for node in reversed(platform.nodes):
+            if node.up and lookup(self.site.fabric, node.hostname,
+                                  self.config.router_port) is None:
+                return node
+        raise StateError(f"no node on {platform.name!r} can host the router")
+
+    # -- capacity ---------------------------------------------------------------
+
+    def _free_slots(self, platform) -> int:
+        tp = self.config.tensor_parallel_size
+        if isinstance(platform, HPCPlatform):
+            slots = 0
+            for node in platform.nodes:
+                if not node.up or node.gpus_free < tp:
+                    continue
+                port_busy = lookup(self.site.fabric, node.hostname,
+                                   self.wf.package.service_port) is not None
+                slots += 0 if port_busy else 1
+            return slots
+        committed: dict[str, int] = {}
+        for pod in platform.cluster.api.list("Pod"):
+            if pod.deleted or pod.node_name is None:
+                continue
+            committed[pod.node_name] = (committed.get(pod.node_name, 0)
+                                        + pod.spec.total_gpus)
+        return sum(
+            1 for kn in platform.cluster.nodes
+            if kn.node.up and
+            kn.node.spec.gpu_count - committed.get(kn.node.hostname, 0) >= tp)
+
+    def _next_platform_with_capacity(self, reserved: dict[str, int]
+                                     | None = None):
+        """Next placement target, discounting slots already promised to
+        other replicas of the same batch (``reserved``)."""
+        names = self.config.platforms
+        reserved = reserved or {}
+        for offset in range(len(names)):
+            name = names[(self._next_platform + offset) % len(names)]
+            platform = self.site.platform(name)
+            if self._free_slots(platform) - reserved.get(name, 0) > 0:
+                self._next_platform = (self._next_platform + offset + 1) \
+                    % len(names)
+                return platform
+        raise StateError(
+            f"no capacity left on any of {list(names)} for "
+            f"tp={self.config.tensor_parallel_size}")
+
+    # -- replica lifecycle ------------------------------------------------------
+
+    def add_replicas(self, count: int) -> "list[Replica]":
+        """Generator: deploy ``count`` replicas concurrently; returns them.
+
+        Placement for the whole batch is resolved against *remaining*
+        capacity before anything is spawned (overcommitting a platform
+        raises a clean StateError with nothing deployed), and every
+        deploy settles — successes are tracked and registered even when
+        a sibling fails mid-flight, so no replica can leak untracked.
+        """
+        kernel = self.kernel
+        placements: list[tuple[object, str]] = []
+        reserved: dict[str, int] = {}
+        for _ in range(count):
+            platform = self._next_platform_with_capacity(reserved)
+            reserved[platform.name] = reserved.get(platform.name, 0) + 1
+            self._next_id += 1
+            placements.append((platform, f"vllm-r{self._next_id}"))
+        procs = [kernel.spawn(self._deploy_settled(platform, name),
+                              name=f"fleet:deploy:{name}")
+                 for platform, name in placements]
+        yield kernel.all_of(procs)   # wrappers never fail the AllOf
+        added, failures = [], []
+        for proc in procs:
+            if isinstance(proc.value, Replica):
+                added.append(proc.value)
+            else:
+                failures.append(proc.value)
+        for replica in added:
+            self.replicas.append(replica)
+            self.placements.append((replica.name, replica.platform_name))
+            if self.router_app is not None:
+                self.router_app.add_backend(*replica.backend)
+        self.replica_timeline.append((kernel.now, len(self.replicas)))
+        if failures:
+            raise StateError(
+                f"{len(failures)}/{count} replica deploys failed "
+                f"(first: {failures[0]}); {len(added)} added")
+        return added
+
+    def _deploy_settled(self, platform, name: str):
+        """Generator: deploy one replica; returns it, or the error string."""
+        try:
+            replica = yield from self._deploy_replica(platform, name)
+        except ReproError as exc:
+            self.kernel.trace.emit("fleet.deploy_failed", replica=name,
+                                   platform=platform.name, error=str(exc))
+            return str(exc)
+        return replica
+
+    def _deploy_replica(self, platform, name: str):
+        deployment = yield from self.wf.deploy_model(
+            platform.name, self.config.model,
+            tensor_parallel_size=self.config.tensor_parallel_size,
+            extra_params={"name": name})
+        if isinstance(platform, K8sPlatform):
+            host, port = self._k8s_backend(platform, name)
+        else:
+            host, port = deployment.endpoint
+        return Replica(name=name, platform_name=platform.name,
+                       deployment=deployment, backend_host=host,
+                       backend_port=port)
+
+    def _k8s_backend(self, platform: K8sPlatform,
+                     release_name: str) -> tuple[str, int]:
+        for pod in platform.cluster.api.list("Pod"):
+            if (pod.meta.labels.get("app") == release_name
+                    and pod.phase is PodPhase.RUNNING and pod.ready):
+                return pod.node_name, self.wf.package.service_port
+        raise StateError(f"no ready pod for release {release_name!r}")
+
+    def remove_replica(self, replica: Replica | None = None,
+                       drain_timeout: float = 180.0):
+        """Generator: deregister, drain in-flight work, stop the replica.
+
+        Returns the removed replica, or ``None`` when the fleet is already
+        at one replica (never scale to zero).
+        """
+        if len(self.replicas) <= 1:
+            return None
+        replica = replica or self.replicas[-1]
+        self.replicas.remove(replica)
+        kernel = self.kernel
+        backend = None
+        if self.router_app is not None:
+            backend = self.router_app.find_backend(*replica.backend)
+            self.router_app.remove_backend(*replica.backend)
+        deadline = kernel.now + drain_timeout
+        while (backend is not None and backend.outstanding > 0
+               and kernel.now < deadline):
+            yield kernel.timeout(5.0)
+        replica.deployment.stop()
+        self.replica_timeline.append((kernel.now, len(self.replicas)))
+        return replica
+
+    # -- traffic ----------------------------------------------------------------
+
+    def submit(self, tenant: str, sample) -> None:
+        """Open-loop entry: fire one request worker and return immediately."""
+        self.slo.note_submitted()
+        self.inflight += 1
+        self.kernel.spawn(self._request_worker(tenant, sample),
+                          name=f"fleet:req:{tenant}")
+
+    def _request_worker(self, tenant: str, sample):
+        kernel = self.kernel
+        submitted = kernel.now
+        ok, error, ttft, out_tokens = False, "", 0.0, 0
+        try:
+            response = yield from self._client.post(
+                self.router_host, self.config.router_port,
+                "/v1/chat/completions",
+                json={"model": self.config.model,
+                      "messages": [{"role": "user", "content": "<sampled>"}],
+                      "repro_prompt_tokens": sample.prompt_tokens,
+                      "max_tokens": sample.output_tokens,
+                      "temperature": 0.7})
+            ok = response.ok
+            if ok:
+                stats = response.json.get("repro_stats", {})
+                ttft = float(stats.get("ttft", 0.0))
+                out_tokens = response.json["usage"]["completion_tokens"]
+            else:
+                error = str((response.status, response.json))
+        except (APIError, NetworkUnreachable, ReproError) as exc:
+            error = str(exc)
+        finally:
+            self.inflight -= 1
+        self.slo.observe(RequestRecord(
+            tenant=tenant, submitted=submitted, completed=kernel.now,
+            ttft=ttft, latency=kernel.now - submitted,
+            prompt_tokens=sample.prompt_tokens, output_tokens=out_tokens,
+            ok=ok, error=error))
+
+    # -- scenarios --------------------------------------------------------------
+
+    def run_scenario(self, schedule: ArrivalSchedule, horizon: float,
+                     mix: TenantMix | None = None, label: str = "scenario"):
+        """Generator: play ``horizon`` seconds of open-loop traffic.
+
+        Starts the autoscaler and a metrics monitor, waits for the arrival
+        stream to end and in-flight requests to drain, then returns a
+        :class:`FleetReport`.
+        """
+        if self.router_app is None:
+            raise StateError("call fleet.start() before run_scenario()")
+        kernel = self.kernel
+        if self._scenario_ran:
+            # Fresh accounting per scenario; earlier FleetReports keep
+            # their own (now detached) trackers and event lists.
+            self.slo = SloTracker(kernel, self.config.slo)
+            self.autoscaler.reset()
+            self.snapshots = []
+            self.replica_timeline = []
+        self._scenario_ran = True
+        mix = mix or TenantMix.single(kernel)
+        traffic = TrafficGenerator(kernel, schedule, mix, self.submit)
+        stop = kernel.event()
+        kernel.spawn(self.autoscaler.run(stop), name="fleet:autoscaler")
+        kernel.spawn(self._monitor(stop), name="fleet:monitor")
+        started = kernel.now
+        self.replica_timeline.append((started, len(self.replicas)))
+        arrivals = yield kernel.spawn(traffic.run(horizon),
+                                      name="fleet:traffic")
+        yield from self._drain()
+        stop.succeed()
+        final_row = self.slo.snapshot().row()
+        final_row["replicas"] = len(self.replicas)
+        self.snapshots.append(final_row)
+        return FleetReport(
+            label=label, duration=kernel.now - started, arrivals=arrivals,
+            slo=self.slo.report(),
+            scale_events=list(self.autoscaler.events),
+            replica_timeline=list(self.replica_timeline),
+            snapshots=list(self.snapshots))
+
+    def _monitor(self, stop_event):
+        kernel = self.kernel
+        while not stop_event.triggered:
+            yield kernel.any_of(
+                [stop_event, kernel.timeout(self.config.snapshot_interval)])
+            if stop_event.triggered:
+                return
+            snap = self.slo.snapshot()
+            row = snap.row()
+            row["replicas"] = len(self.replicas)
+            self.snapshots.append(row)
+
+    def _drain(self):
+        kernel = self.kernel
+        deadline = kernel.now + self.config.drain_timeout
+        while self.inflight > 0 and kernel.now < deadline:
+            yield kernel.timeout(10.0)
+
+    # -- teardown ---------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        for replica in self.replicas:
+            replica.deployment.stop()
+        if self.router_container is not None \
+                and self.router_container.running:
+            self.router_container.stop()

@@ -1,0 +1,309 @@
+"""SLO specs and online rolling-window service metrics.
+
+A :class:`SloSpec` states per-request objectives (TTFT and end-to-end
+latency deadlines, an error budget) and the percentile at which the fleet
+must meet them.  The :class:`SloTracker` consumes one
+:class:`RequestRecord` per completed (or failed) request and answers two
+questions online:
+
+* :meth:`SloTracker.snapshot` — how is the last ``window`` seconds doing?
+  (the autoscaler's and operator dashboards' view);
+* :meth:`SloTracker.report` — how did the whole run do, per tenant?
+  (the scenario's scorecard).
+
+*Goodput* follows the serving-systems convention: completions that met
+every per-request objective, per second — throughput that violates the
+SLO does not count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simkernel import SimKernel
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Per-request objectives plus the attainment percentile."""
+
+    name: str = "interactive"
+    ttft_target: float = 5.0        # seconds to first token
+    e2e_target: float = 60.0        # seconds to completion
+    max_error_rate: float = 0.01    # fraction of requests
+    percentile: float = 95.0        # attainment percentile for slo_met
+    window: float = 300.0           # rolling-window width, seconds
+
+    def __post_init__(self):
+        if self.ttft_target <= 0 or self.e2e_target <= 0:
+            raise ConfigurationError("SLO targets must be positive")
+        if not (0 < self.percentile < 100):
+            raise ConfigurationError("percentile must be in (0, 100)")
+        if self.window <= 0:
+            raise ConfigurationError("window must be positive")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One finished request as observed by the client."""
+
+    tenant: str
+    submitted: float
+    completed: float
+    ttft: float
+    latency: float
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+    ok: bool = True
+    error: str = ""
+
+
+@dataclass
+class SloSnapshot:
+    """Rolling-window view at one instant."""
+
+    time: float
+    window: float
+    completions: int = 0
+    errors: int = 0
+    error_rate: float = 0.0
+    throughput_rps: float = 0.0
+    goodput_rps: float = 0.0
+    output_tok_per_s: float = 0.0
+    attainment: float = 1.0         # fraction of finished requests "good"
+    ttft_p50: float = 0.0
+    ttft_p95: float = 0.0
+    ttft_p99: float = 0.0
+    e2e_p50: float = 0.0
+    e2e_p95: float = 0.0
+    e2e_p99: float = 0.0
+    slo_met: bool = True
+
+    def row(self) -> dict:
+        return {
+            "t": round(self.time, 1),
+            "completions": self.completions,
+            "errors": self.errors,
+            "error_rate": round(self.error_rate, 4),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "goodput_rps": round(self.goodput_rps, 3),
+            "output_tok_per_s": round(self.output_tok_per_s, 1),
+            "attainment": round(self.attainment, 4),
+            "ttft_p95_s": round(self.ttft_p95, 3),
+            "e2e_p95_s": round(self.e2e_p95, 3),
+            "slo_met": self.slo_met,
+        }
+
+
+@dataclass
+class TenantStats:
+    completed: int = 0
+    errors: int = 0
+    good: int = 0
+    output_tokens: int = 0
+
+    @property
+    def attainment(self) -> float:
+        total = self.completed + self.errors
+        return self.good / total if total else 1.0
+
+
+@dataclass
+class SloReport:
+    """Whole-run scorecard."""
+
+    spec: SloSpec
+    duration: float
+    submitted: int
+    completed: int
+    errors: int
+    good: int
+    output_tokens: int
+    ttft_percentiles: dict[str, float]
+    e2e_percentiles: dict[str, float]
+    per_tenant: dict[str, TenantStats] = field(default_factory=dict)
+
+    @property
+    def attainment(self) -> float:
+        total = self.completed + self.errors
+        return self.good / total if total else 1.0
+
+    @property
+    def error_rate(self) -> float:
+        total = self.completed + self.errors
+        return self.errors / total if total else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        return self.good / self.duration if self.duration > 0 else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"SLO {self.spec.name!r}: ttft<={self.spec.ttft_target}s "
+            f"e2e<={self.spec.e2e_target}s "
+            f"@p{self.spec.percentile:.0f}, "
+            f"errors<={self.spec.max_error_rate:.1%}",
+            f"  requests: {self.submitted} submitted, "
+            f"{self.completed} completed, {self.errors} errors "
+            f"({self.error_rate:.2%})",
+            f"  attainment: {self.attainment:.2%} good "
+            f"({self.goodput_rps:.2f} good req/s)",
+            f"  ttft  p50/p95/p99: "
+            f"{self.ttft_percentiles['p50']:.2f} / "
+            f"{self.ttft_percentiles['p95']:.2f} / "
+            f"{self.ttft_percentiles['p99']:.2f} s",
+            f"  e2e   p50/p95/p99: "
+            f"{self.e2e_percentiles['p50']:.2f} / "
+            f"{self.e2e_percentiles['p95']:.2f} / "
+            f"{self.e2e_percentiles['p99']:.2f} s",
+        ]
+        for name in sorted(self.per_tenant):
+            stats = self.per_tenant[name]
+            lines.append(
+                f"  tenant {name:18s} completed={stats.completed:6d} "
+                f"errors={stats.errors:4d} "
+                f"attainment={stats.attainment:.2%}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "slo": {
+                "name": self.spec.name,
+                "ttft_target_s": self.spec.ttft_target,
+                "e2e_target_s": self.spec.e2e_target,
+                "max_error_rate": self.spec.max_error_rate,
+                "percentile": self.spec.percentile,
+            },
+            "duration_s": round(self.duration, 1),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "errors": self.errors,
+            "error_rate": round(self.error_rate, 4),
+            "attainment": round(self.attainment, 4),
+            "goodput_rps": round(self.goodput_rps, 3),
+            "output_tokens": self.output_tokens,
+            "ttft_s": {k: round(v, 3)
+                       for k, v in self.ttft_percentiles.items()},
+            "e2e_s": {k: round(v, 3)
+                      for k, v in self.e2e_percentiles.items()},
+            "per_tenant": {
+                name: {"completed": s.completed, "errors": s.errors,
+                       "attainment": round(s.attainment, 4)}
+                for name, s in self.per_tenant.items()},
+        }
+
+
+def _percentiles(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    arr = np.asarray(values)
+    return {"p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99))}
+
+
+class SloTracker:
+    """Online SLO accounting: O(1) per observation, windowed snapshots."""
+
+    def __init__(self, kernel: "SimKernel", spec: SloSpec):
+        self.kernel = kernel
+        self.spec = spec
+        self.started_at = kernel.now
+        self.submitted = 0
+        self._window: deque[RequestRecord] = deque()
+        # Whole-run accumulators.
+        self.completed = 0
+        self.errors = 0
+        self.good = 0
+        self.output_tokens = 0
+        self._all_ttfts: list[float] = []
+        self._all_e2es: list[float] = []
+        self.per_tenant: dict[str, TenantStats] = {}
+
+    # -- ingestion --------------------------------------------------------------
+
+    def note_submitted(self, n: int = 1) -> None:
+        self.submitted += n
+
+    def is_good(self, record: RequestRecord) -> bool:
+        return (record.ok and record.ttft <= self.spec.ttft_target
+                and record.latency <= self.spec.e2e_target)
+
+    def observe(self, record: RequestRecord) -> None:
+        self._window.append(record)
+        self._trim(record.completed)
+        tenant = self.per_tenant.setdefault(record.tenant, TenantStats())
+        if record.ok:
+            self.completed += 1
+            tenant.completed += 1
+            self.output_tokens += record.output_tokens
+            tenant.output_tokens += record.output_tokens
+            self._all_ttfts.append(record.ttft)
+            self._all_e2es.append(record.latency)
+        else:
+            self.errors += 1
+            tenant.errors += 1
+        if self.is_good(record):
+            self.good += 1
+            tenant.good += 1
+
+    def _trim(self, now: float) -> None:
+        floor = now - self.spec.window
+        while self._window and self._window[0].completed < floor:
+            self._window.popleft()
+
+    # -- views ------------------------------------------------------------------
+
+    def snapshot(self) -> SloSnapshot:
+        now = self.kernel.now
+        self._trim(now)
+        snap = SloSnapshot(time=now, window=self.spec.window)
+        records = list(self._window)
+        if not records:
+            return snap
+        oks = [r for r in records if r.ok]
+        good = sum(self.is_good(r) for r in records)
+        span = min(self.spec.window, max(now - self.started_at, 1e-9))
+        snap.completions = len(oks)
+        snap.errors = len(records) - len(oks)
+        snap.error_rate = snap.errors / len(records)
+        snap.throughput_rps = len(oks) / span
+        snap.goodput_rps = good / span
+        snap.output_tok_per_s = sum(r.output_tokens for r in oks) / span
+        snap.attainment = good / len(records)
+        ttft = _percentiles([r.ttft for r in oks])
+        e2e = _percentiles([r.latency for r in oks])
+        snap.ttft_p50, snap.ttft_p95, snap.ttft_p99 = (
+            ttft["p50"], ttft["p95"], ttft["p99"])
+        snap.e2e_p50, snap.e2e_p95, snap.e2e_p99 = (
+            e2e["p50"], e2e["p95"], e2e["p99"])
+        p = self.spec.percentile
+        ttft_at_p = (float(np.percentile([r.ttft for r in oks], p))
+                     if oks else 0.0)
+        e2e_at_p = (float(np.percentile([r.latency for r in oks], p))
+                    if oks else 0.0)
+        snap.slo_met = (snap.error_rate <= self.spec.max_error_rate
+                        and ttft_at_p <= self.spec.ttft_target
+                        and e2e_at_p <= self.spec.e2e_target)
+        return snap
+
+    def report(self) -> SloReport:
+        return SloReport(
+            spec=self.spec,
+            duration=self.kernel.now - self.started_at,
+            submitted=self.submitted,
+            completed=self.completed,
+            errors=self.errors,
+            good=self.good,
+            output_tokens=self.output_tokens,
+            ttft_percentiles=_percentiles(self._all_ttfts),
+            e2e_percentiles=_percentiles(self._all_e2es),
+            per_tenant=dict(self.per_tenant),
+        )

@@ -33,35 +33,54 @@ class Backend:
     port: int
     healthy: bool = True
     consecutive_failures: int = 0
+    outstanding: int = 0
+    served: int = 0
+
+    @property
+    def key(self) -> str:
+        return f"{self.host}:{self.port}"
 
 
 @register_app("llm-router")
 class LlmRouter(ContainerApp):
-    """Round-robin with failover across vLLM backends.
+    """Load balancing with failover across vLLM backends.
 
     Env: ``ROUTER_PORT`` (default 4000), ``BACKENDS`` =
-    ``host1:port1,host2:port2,...``.
+    ``host1:port1,host2:port2,...``, ``ROUTER_POLICY`` = ``round-robin``
+    (default) or ``least-outstanding``.
+
+    Backends may also be added and removed at runtime — either through
+    :meth:`add_backend` / :meth:`remove_backend` (control-plane handle,
+    used by the fleet autoscaler) or the ``/router/backends`` admin route.
     """
 
     UNHEALTHY_AFTER = 2
     HEALTH_INTERVAL = 15.0
+    POLICIES = ("round-robin", "least-outstanding")
 
     def __init__(self):
         self.backends: list[Backend] = []
         self.service: HttpService | None = None
-        self._rr = 0
+        self.policy = "round-robin"
+        self._rr_by_pool: dict[tuple[str, ...], int] = {}
         self._client: HttpClient | None = None
 
     def startup(self, ctx: ContainerContext):
         ctx.check_expectations()
+        from ..errors import ContainerCrash
         spec = ctx.env.get("BACKENDS", "")
         for entry in filter(None, spec.split(",")):
             host, _, port = entry.partition(":")
-            self.backends.append(Backend(host, int(port or 8000)))
+            self.add_backend(host, int(port or 8000))
         if not self.backends:
-            from ..errors import ContainerCrash
             raise ContainerCrash("router: no BACKENDS configured",
                                  sim_time=ctx.kernel.now)
+        self.policy = ctx.env.get("ROUTER_POLICY", "round-robin")
+        if self.policy not in self.POLICIES:
+            raise ContainerCrash(
+                f"router: unknown ROUTER_POLICY {self.policy!r} "
+                f"(choices: {', '.join(self.POLICIES)})",
+                sim_time=ctx.kernel.now)
         self._client = HttpClient(ctx.fabric, ctx.hostname)
         port = int(ctx.env.get("ROUTER_PORT", "4000"))
         self.service = HttpService(ctx.fabric, ctx.hostname, port,
@@ -100,19 +119,74 @@ class LlmRouter(ContainerApp):
                 if backend.consecutive_failures >= self.UNHEALTHY_AFTER:
                     backend.healthy = False
 
+    # -- dynamic membership (fleet control plane) ---------------------------------
+
+    def add_backend(self, host: str, port: int) -> Backend:
+        """Register a backend; idempotent on (host, port)."""
+        backend = self.find_backend(host, port)
+        if backend is None:
+            backend = Backend(host, int(port))
+            self.backends.append(backend)
+        return backend
+
+    def remove_backend(self, host: str, port: int) -> bool:
+        """Deregister a backend; in-flight forwards to it complete."""
+        backend = self.find_backend(host, port)
+        if backend is None:
+            return False
+        self.backends.remove(backend)
+        # Drop rotation counters that reference the departed backend so
+        # churn cannot grow the table without bound.
+        current = {b.key for b in self.backends}
+        self._rr_by_pool = {pool: idx for pool, idx
+                            in self._rr_by_pool.items()
+                            if set(pool) <= current}
+        return True
+
+    def find_backend(self, host: str, port: int) -> Backend | None:
+        for backend in self.backends:
+            if backend.host == host and backend.port == port:
+                return backend
+        return None
+
+    def stats(self) -> dict:
+        """Control-plane snapshot (the fleet autoscaler's load signal)."""
+        return {
+            "policy": self.policy,
+            "backends": [{
+                "host": b.host, "port": b.port, "healthy": b.healthy,
+                "outstanding": b.outstanding, "served": b.served,
+            } for b in self.backends],
+            "healthy": sum(b.healthy for b in self.backends),
+            "outstanding": sum(b.outstanding for b in self.backends),
+        }
+
     # -- routing ----------------------------------------------------------------------
 
     def _pick(self) -> list[Backend]:
         healthy = [b for b in self.backends if b.healthy]
         pool = healthy or list(self.backends)
-        # Rotate round-robin.
-        order = pool[self._rr % len(pool):] + pool[:self._rr % len(pool)]
-        self._rr += 1
-        return order
+        # Rotation is tracked per pool *composition*: a single counter
+        # modulo a shrinking healthy pool skews the rotation after
+        # failover (and after dynamic add/remove).
+        key = tuple(b.key for b in pool)
+        idx = self._rr_by_pool.get(key, 0)
+        self._rr_by_pool[key] = idx + 1
+        start = idx % len(pool)
+        rotated = pool[start:] + pool[:start]
+        if self.policy == "least-outstanding":
+            # Stable sort: the rotation above breaks ties fairly.
+            return sorted(rotated, key=lambda b: b.outstanding)
+        return rotated
 
     def _handle(self, request):
+        if request.path.startswith("/router/"):
+            return self._handle_admin(request)
+        if not self.backends:   # dynamic removal can empty the pool
+            return HttpResponse(503, json={"error": "no backends"})
         last_error: HttpResponse | None = None
         for backend in self._pick():
+            backend.outstanding += 1
             try:
                 response = yield from self._client.request(
                     request.method, backend.host, backend.port, request.path,
@@ -123,9 +197,49 @@ class LlmRouter(ContainerApp):
                     backend.healthy = False
                 last_error = HttpResponse(502, json={"error": str(exc)})
                 continue
+            finally:
+                backend.outstanding -= 1
             if response.status >= 500:
+                # Server errors count toward quarantine too: faster than
+                # waiting out the periodic health pass, and it covers
+                # backends whose health endpoint lies.
+                backend.consecutive_failures += 1
+                if backend.consecutive_failures >= self.UNHEALTHY_AFTER:
+                    backend.healthy = False
                 last_error = response
                 continue
+            backend.consecutive_failures = 0
+            backend.served += 1
             return response
         return last_error or HttpResponse(503, json={
             "error": "no healthy backends"})
+
+    # -- admin API ---------------------------------------------------------------------
+
+    def _handle_admin(self, request) -> HttpResponse:
+        if request.path == "/router/stats" and request.method == "GET":
+            return HttpResponse(200, json=self.stats())
+        if request.path == "/router/backends":
+            if request.method == "GET":
+                return HttpResponse(200, json={
+                    "backends": [b.key for b in self.backends]})
+            body = request.json or {}
+            op = body.get("op")
+            host = body.get("host")
+            try:
+                port = int(body.get("port", 8000))
+            except (TypeError, ValueError):
+                return HttpResponse(400, json={
+                    "error": f"port must be an integer, "
+                             f"got {body.get('port')!r}"})
+            if not host or op not in ("add", "remove"):
+                return HttpResponse(400, json={
+                    "error": "need op=add|remove and host[, port]"})
+            if op == "add":
+                self.add_backend(host, port)
+                return HttpResponse(200, json={"added": f"{host}:{port}"})
+            removed = self.remove_backend(host, port)
+            return HttpResponse(200 if removed else 404,
+                                json={"removed": removed})
+        return HttpResponse(404, json={
+            "error": f"no admin route {request.path}"})

@@ -162,6 +162,10 @@ class VllmOpenAIServer(ContainerApp):
 
     def _handle(self, request):
         if request.path == "/health":
+            # Real vLLM fails the health endpoint once the engine loop
+            # dies — routers must be able to quarantine on it.
+            if self.engine is None or self.engine.crashed is not None:
+                return HttpResponse(503, json={"status": "unhealthy"})
             return HttpResponse(200, json={"status": "ok"})
         if request.path == "/metrics":
             return HttpResponse(200, json=self.engine.metrics()

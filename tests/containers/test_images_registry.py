@@ -9,7 +9,7 @@ from repro.containers.image import (Layer, SIF_COMPRESSION, flatten_to_sif,
                                     make_layers, vllm_cuda_image)
 from repro.errors import ConfigurationError, ImagePullError
 from repro.units import GiB
-from .conftest import drive
+from tests.containers.conftest import drive
 
 
 def test_parse_ref():

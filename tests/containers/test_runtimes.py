@@ -11,7 +11,7 @@ import pytest
 from repro.containers import RunOpts
 from repro.containers.image import vllm_cuda_image, vllm_rocm_image
 from repro.errors import ContainerCrash
-from .conftest import drive
+from tests.containers.conftest import drive
 
 
 VLLM_PODMAN_OPTS = RunOpts(

@@ -9,7 +9,7 @@ from repro.containers.runtime import RunOpts
 from repro.core import Deployer, vllm_package
 from repro.errors import NotFoundError
 from repro.net.http import HttpClient
-from .conftest import QUANT, SCOUT
+from tests.core.conftest import QUANT, SCOUT
 
 
 @pytest.fixture

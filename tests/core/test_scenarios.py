@@ -7,7 +7,7 @@ import pytest
 from repro.errors import JobKilled
 from repro.net.http import HttpClient
 from repro.storage.filesystem import FilesystemDown
-from .conftest import QUANT, SCOUT
+from tests.core.conftest import QUANT, SCOUT
 
 
 def test_models_survive_filesystem_maintenance(site, workflow):

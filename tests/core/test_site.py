@@ -7,7 +7,7 @@ import pytest
 from repro.core import apply_s3_routing_fix
 from repro.errors import NotFoundError
 from repro.units import GB, gbps
-from .conftest import SCOUT
+from tests.core.conftest import SCOUT
 
 
 def test_site_has_all_figure1_elements(site):

@@ -7,7 +7,7 @@ import pytest
 from repro.core import vllm_package
 from repro.core.translate import command_text, helm_values_for
 from repro.errors import ConfigurationError
-from .conftest import SCOUT
+from tests.core.conftest import SCOUT
 
 
 def test_helm_values_match_figure6(site):

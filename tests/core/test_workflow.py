@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulatedFailure
-from .conftest import QUANT, SCOUT
+from tests.core.conftest import QUANT, SCOUT
 
 
 def test_stage1_containerized_download(site, workflow):

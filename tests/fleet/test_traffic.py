@@ -1,0 +1,143 @@
+"""Tests for open-loop arrival schedules and tenant mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.traffic import (DiurnalSchedule, FlashCrowdSchedule,
+                                 PoissonSchedule, Tenant, TenantMix,
+                                 TrafficGenerator)
+from repro.simkernel import SimKernel
+
+
+def _times(schedule, seed=5, start=0.0, horizon=3600.0):
+    rng = SimKernel(seed=seed).rng.stream("arrivals")
+    return list(schedule.arrivals(rng, start, horizon))
+
+
+# -- Poisson ------------------------------------------------------------------
+
+def test_poisson_rate_matches_count():
+    times = _times(PoissonSchedule(2.0), horizon=3600.0)
+    assert 0.9 * 7200 < len(times) < 1.1 * 7200
+    assert all(0.0 <= t < 3600.0 for t in times)
+    assert times == sorted(times)
+
+def test_poisson_deterministic_per_seed():
+    assert _times(PoissonSchedule(1.0)) == _times(PoissonSchedule(1.0))
+    assert _times(PoissonSchedule(1.0)) != _times(PoissonSchedule(1.0),
+                                                  seed=6)
+
+def test_poisson_validates_rate():
+    with pytest.raises(ConfigurationError):
+        PoissonSchedule(0.0)
+
+
+# -- diurnal ------------------------------------------------------------------
+
+def test_diurnal_rate_envelope():
+    sched = DiurnalSchedule(base_rps=0.1, peak_rps=1.0, peak_hour=14.0)
+    assert sched.rate(14 * 3600.0) == pytest.approx(1.0)
+    assert sched.rate(2 * 3600.0) == pytest.approx(0.1)   # opposite phase
+    assert sched.peak_rate() == 1.0
+    # Rate never leaves [base, peak].
+    for hour in range(25):
+        assert 0.1 <= sched.rate(hour * 3600.0) <= 1.0 + 1e-9
+
+def test_diurnal_arrivals_denser_at_peak():
+    sched = DiurnalSchedule(base_rps=0.2, peak_rps=4.0, peak_hour=12.0)
+    times = _times(sched, horizon=86400.0)
+    peak = sum(1 for t in times if 10 * 3600 <= t < 14 * 3600)
+    trough = sum(1 for t in times if t < 2 * 3600 or t >= 22 * 3600)
+    assert peak > 5 * trough
+
+def test_diurnal_validation():
+    with pytest.raises(ConfigurationError):
+        DiurnalSchedule(base_rps=2.0, peak_rps=1.0)
+
+
+# -- flash crowd --------------------------------------------------------------
+
+def test_flash_crowd_factor_profile():
+    flash = FlashCrowdSchedule(PoissonSchedule(1.0), start=1000.0,
+                               duration=600.0, multiplier=10.0, ramp=100.0)
+    assert flash.factor(0.0) == 1.0
+    assert flash.factor(999.0) == 1.0
+    assert flash.factor(1050.0) == pytest.approx(5.5)    # mid-ramp
+    assert flash.factor(1300.0) == 10.0                  # plateau
+    assert flash.factor(1550.0) == pytest.approx(5.5)    # ramp-down
+    assert flash.factor(1601.0) == 1.0
+    assert flash.peak_rate() == 10.0
+
+def test_flash_crowd_adds_burst_arrivals():
+    base = PoissonSchedule(0.5)
+    flash = FlashCrowdSchedule(base, start=1000.0, duration=600.0,
+                               multiplier=20.0, ramp=0.0)
+    times = _times(flash, horizon=3600.0)
+    burst = sum(1 for t in times if 1000.0 <= t < 1600.0)
+    outside = len(times) - burst
+    assert burst > 0.8 * 20 * 0.5 * 600        # ~6000 expected in burst
+    assert outside < 0.5 * burst
+
+def test_flash_crowd_validation():
+    with pytest.raises(ConfigurationError):
+        FlashCrowdSchedule(PoissonSchedule(1.0), start=0, duration=10,
+                           multiplier=0.5)
+
+
+# -- tenants ------------------------------------------------------------------
+
+def test_tenant_mix_weights_and_independence():
+    kernel = SimKernel(seed=3)
+    mix = TenantMix(kernel, [Tenant("a", 3.0), Tenant("b", 1.0)])
+    rng = kernel.rng.stream("pick")
+    names = [mix.draw(rng)[0] for _ in range(2000)]
+    share_a = names.count("a") / len(names)
+    assert 0.70 < share_a < 0.80
+
+def test_tenant_mix_sampler_kw_respected():
+    kernel = SimKernel(seed=3)
+    mix = TenantMix(kernel, [Tenant("tiny", 1.0,
+                                    sampler_kw={"max_total_tokens": 64})])
+    rng = kernel.rng.stream("pick")
+    for _ in range(50):
+        _, sample = mix.draw(rng)
+        # The sampler's MIN_TOKENS floor can overshoot the cap slightly.
+        assert sample.total_tokens <= 64 + 4
+
+def test_tenant_mix_validation():
+    kernel = SimKernel(seed=0)
+    with pytest.raises(ConfigurationError):
+        TenantMix(kernel, [])
+    with pytest.raises(ConfigurationError):
+        TenantMix(kernel, [Tenant("x", 1.0), Tenant("x", 2.0)])
+    with pytest.raises(ConfigurationError):
+        Tenant("neg", -1.0)
+
+
+# -- generator ----------------------------------------------------------------
+
+def _generate(seed: int):
+    kernel = SimKernel(seed=seed)
+    mix = TenantMix.single(kernel)
+    seen: list[tuple[float, str, int]] = []
+    gen = TrafficGenerator(
+        kernel, PoissonSchedule(1.0), mix,
+        submit=lambda tenant, s: seen.append(
+            (kernel.now, tenant, s.prompt_tokens)))
+    done = kernel.spawn(gen.run(600.0))
+    count = kernel.run(until=done)
+    return count, seen
+
+
+def test_traffic_generator_open_loop():
+    count, seen = _generate(seed=11)
+    assert count == len(seen) > 400
+    times = [t for t, _, _ in seen]
+    assert times == sorted(times)
+    assert times[-1] < 600.0
+
+def test_traffic_generator_deterministic():
+    assert _generate(seed=11) == _generate(seed=11)
+    assert _generate(seed=11) != _generate(seed=12)

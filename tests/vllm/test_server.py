@@ -148,3 +148,43 @@ def test_stop_container_unbinds_port(rig):
     rig.kernel.run()
     from repro.net.http import lookup
     assert lookup(rig.fabric, rig.nodes[0].hostname, 8000) is None
+
+
+def test_health_fails_after_engine_crash(rig):
+    """Routers quarantine on /health, so it must reflect engine death."""
+    from repro.vllm import CrashAfterRequests, FaultPlan
+    _seed_model(rig)
+    opts = _opts()
+    opts.extras["fault_plan"] = FaultPlan(CrashAfterRequests(1))
+    container = _run_vllm(rig, opts)
+    rig.kernel.run(until=container.ready)
+    client = HttpClient(rig.fabric, rig.nodes[1].hostname)
+    host = rig.nodes[0].hostname
+
+    def get_health(env):
+        resp = yield from client.get(host, 8000, "/health")
+        return resp
+
+    assert drive(rig.kernel, get_health(rig.kernel)).status == 200
+
+    def crash_it(env):
+        resp = yield from client.post(
+            host, 8000, "/v1/chat/completions",
+            json={"model": QUANT, "repro_prompt_tokens": 16,
+                  "max_tokens": 16})
+        return resp
+
+    assert drive(rig.kernel, crash_it(rig.kernel)).status >= 500
+    # The engine crash exits the container, so over HTTP the port is now
+    # refused (a router's health pass quarantines on that exception).
+    from repro.errors import APIError
+    with pytest.raises(APIError, match="connection refused"):
+        drive(rig.kernel, get_health(rig.kernel))
+    # The handler itself reports the dead engine while still bound — the
+    # window between engine death and container teardown.
+    from repro.net.http import HttpRequest
+    app = container.app
+    assert app.engine.crashed is not None
+    health = drive(rig.kernel,
+                   app._handle(HttpRequest(method="GET", path="/health")))
+    assert health.status == 503
