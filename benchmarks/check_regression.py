@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares a fresh pytest-benchmark JSON (``--benchmark-json`` output)
+against the checked-in baseline ``benchmarks/BENCH_BASELINE.json`` and
+fails on:
+
+* **wall-clock regression** — a benchmark's mean exceeding the baseline
+  mean by more than ``--tolerance`` (default 20%, per the bench gate
+  policy); means under ``--floor`` seconds are ignored as noise;
+* **metric drift** — any change in the deterministic simulated metrics
+  recorded in ``extra_info`` (MTTR, attainment, scale events...).  The
+  simulation is seeded, so these must be byte-stable; a legitimate
+  behavior change ships with a refreshed baseline (``--update``).
+
+Usage::
+
+    pytest benchmarks/bench_fleet_autoscale.py \
+           benchmarks/bench_chaos_recovery.py \
+           --benchmark-json=BENCH_PR2.json -q
+    python benchmarks/check_regression.py BENCH_PR2.json
+    python benchmarks/check_regression.py BENCH_PR2.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = pathlib.Path(__file__).parent / "BENCH_BASELINE.json"
+
+
+def load_candidate(path: pathlib.Path) -> dict:
+    data = json.loads(path.read_text())
+    out = {}
+    for bench in data.get("benchmarks", []):
+        out[bench["name"]] = {
+            "mean_s": bench["stats"]["mean"],
+            "metrics": bench.get("extra_info", {}),
+        }
+    return out
+
+
+def update_baseline(candidate: dict, baseline_path: pathlib.Path,
+                    headroom: float = 1.0) -> None:
+    payload = {
+        "note": ("benchmark trajectory baseline; mean_s values are "
+                 "budgets (reference-run mean x headroom) so the "
+                 "tolerance gate absorbs runner-class variance while "
+                 "metric drift stays exact; refresh with `python "
+                 "benchmarks/check_regression.py <json> --update` after "
+                 "an intentional behavior change"),
+        "benchmarks": {
+            name: {"mean_s": round(entry["mean_s"] * headroom, 4),
+                   "metrics": entry["metrics"]}
+            for name, entry in sorted(candidate.items())
+        },
+    }
+    baseline_path.write_text(json.dumps(payload, indent=2,
+                                        sort_keys=True) + "\n")
+    print(f"baseline updated: {baseline_path} "
+          f"({len(candidate)} benchmarks)")
+
+
+def compare(candidate: dict, baseline: dict, tolerance: float,
+            floor: float) -> list[str]:
+    problems = []
+    for name, base in sorted(baseline["benchmarks"].items()):
+        entry = candidate.get(name)
+        if entry is None:
+            problems.append(f"{name}: missing from candidate run")
+            continue
+        budget = base["mean_s"] * (1.0 + tolerance)
+        if entry["mean_s"] > budget and entry["mean_s"] > floor:
+            problems.append(
+                f"{name}: wall-clock regression "
+                f"{entry['mean_s']:.3f}s > {budget:.3f}s "
+                f"(baseline {base['mean_s']:.3f}s + {tolerance:.0%})")
+        if entry["metrics"] != base["metrics"]:
+            changed = sorted(
+                set(entry["metrics"]) ^ set(base["metrics"])
+                | {k for k in set(entry["metrics"]) & set(base["metrics"])
+                   if entry["metrics"][k] != base["metrics"][k]})
+            problems.append(
+                f"{name}: deterministic metrics drifted ({changed}); "
+                "refresh the baseline with --update if intentional")
+    for name in sorted(set(candidate) - set(baseline["benchmarks"])):
+        problems.append(f"{name}: not in baseline; run --update to "
+                        "establish its trajectory")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("candidate", type=pathlib.Path,
+                        help="pytest-benchmark JSON of this run")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative wall-clock regression "
+                             "(default 0.20)")
+    parser.add_argument("--floor", type=float, default=1.0,
+                        help="ignore wall-clock regressions below this "
+                             "many seconds (noise floor)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    parser.add_argument("--headroom", type=float, default=1.5,
+                        help="with --update: record mean_s as "
+                             "reference mean x this factor (absorbs "
+                             "runner-class variance; default 1.5)")
+    args = parser.parse_args(argv)
+
+    candidate = load_candidate(args.candidate)
+    if not candidate:
+        print("candidate run recorded no benchmarks", file=sys.stderr)
+        return 2
+    if args.update:
+        update_baseline(candidate, args.baseline, headroom=args.headroom)
+        return 0
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; establish one with "
+              "--update", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    problems = compare(candidate, baseline, args.tolerance, args.floor)
+    if problems:
+        print("benchmark regression gate FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"benchmark regression gate OK "
+          f"({len(baseline['benchmarks'])} benchmarks within "
+          f"{args.tolerance:.0%} of baseline, metrics stable)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@ Quickstart
 See ``examples/quickstart.py`` for an end-to-end deployment.
 """
 
-__version__ = "1.0.0"
-
 from . import units  # noqa: F401  (re-exported convenience)
 from .errors import ReproError  # noqa: F401
+
+__version__ = "1.0.0"

@@ -1,0 +1,162 @@
+"""Scenario-matrix runner: the full catalog, both platform kinds, one JSON.
+
+Each case gets a *fresh* converged site and fleet (faults never bleed
+between cases), runs the same open-loop traffic, injects its fault at
+the same scheduled time, and contributes one row to the machine-readable
+``chaos_scorecard.json``.  Everything derives from the seed and the
+simulation clock, so the same seed produces a byte-identical scorecard.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.site import build_sandia_site
+from ..fleet import (AutoscalerConfig, Fleet, FleetConfig, PoissonSchedule,
+                     SloSpec)
+from .orchestrator import ChaosOrchestrator, ResilienceReport
+from .scenarios import ChaosScenario, catalog
+from .supervisor import SupervisorConfig
+
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+
+#: Which site platform hosts the fleet for each platform kind.
+PLATFORM_FLEETS = {"hpc": "hops", "k8s": "goodall"}
+
+
+@dataclass(frozen=True)
+class ChaosRunConfig:
+    """Matrix-wide knobs; ``quick`` for CI, ``long`` for the nightly."""
+
+    seed: int = 42
+    mode: str = "quick"
+    rate_rps: float = 0.15
+    horizon: float = 3600.0
+    inject_at: float = 900.0
+    fault_duration: float = 600.0
+    probe_interval: float = 15.0
+    initial_replicas: int = 2
+    supervisor_interval: float = 30.0
+
+    @classmethod
+    def quick(cls, seed: int = 42) -> "ChaosRunConfig":
+        return cls(seed=seed)
+
+    @classmethod
+    def long(cls, seed: int = 42) -> "ChaosRunConfig":
+        return cls(seed=seed, mode="long", rate_rps=0.25,
+                   horizon=4 * 3600.0, inject_at=1800.0,
+                   fault_duration=1200.0)
+
+
+def _build_fleet(config: ChaosRunConfig, fleet_platform: str) -> Fleet:
+    site = build_sandia_site(seed=config.seed, hops_nodes=6,
+                             eldorado_nodes=4, goodall_nodes=5,
+                             cee_nodes=1)
+    fleet_config = FleetConfig(
+        model=QUANT, tensor_parallel_size=2,
+        platforms=(fleet_platform,), router_platform="hops",
+        policy="least-outstanding",
+        slo=SloSpec(ttft_target=10.0, e2e_target=120.0),
+        autoscaler=AutoscalerConfig(
+            min_replicas=config.initial_replicas, max_replicas=3,
+            target_outstanding=8.0))
+    return Fleet(site, fleet_config)
+
+
+def run_case(scenario: ChaosScenario | str, platform_kind: str,
+             config: ChaosRunConfig | None = None,
+             fleet_platform: str | None = None):
+    """One (scenario, platform) cell: returns ``(row, report, res)``."""
+    config = config or ChaosRunConfig()
+    if isinstance(scenario, str):
+        scenario = catalog(names=[scenario])[0]
+    if platform_kind not in PLATFORM_FLEETS:
+        raise ValueError(f"platform kind must be one of "
+                         f"{sorted(PLATFORM_FLEETS)}: {platform_kind!r}")
+    fleet_platform = fleet_platform or PLATFORM_FLEETS[platform_kind]
+    fleet = _build_fleet(config, fleet_platform)
+    orchestrator = ChaosOrchestrator(
+        fleet,
+        supervisor=SupervisorConfig(interval=config.supervisor_interval),
+        probe_interval=config.probe_interval)
+    schedule = PoissonSchedule(config.rate_rps)
+
+    def case(env):
+        yield from fleet.start(initial_replicas=config.initial_replicas)
+        result = yield from orchestrator.run_case(
+            scenario, schedule, config.horizon, config.inject_at,
+            fault_duration=config.fault_duration)
+        return result
+
+    kernel = fleet.kernel
+    report, res = kernel.run(until=kernel.spawn(case(kernel),
+                                                name="chaos:case"))
+    fleet.shutdown()
+    row = _case_row(platform_kind, fleet_platform, scenario, report, res)
+    return row, report, res
+
+
+def _case_row(platform_kind: str, fleet_platform: str,
+              scenario: ChaosScenario, report,
+              res: ResilienceReport) -> dict:
+    return {
+        "platform": platform_kind,
+        "fleet_platform": fleet_platform,
+        "scenario": scenario.name,
+        "layer": scenario.layer,
+        "resilience": res.to_json(),
+        "fleet": {
+            "arrivals": report.arrivals,
+            "errors": report.slo.errors,
+            "attainment": round(report.slo.attainment, 4),
+            "peak_replicas": report.peak_replicas,
+            "final_replicas": report.final_replicas,
+            "scale_events": len(report.scale_events),
+        },
+    }
+
+
+def run_matrix(platform_kinds=("hpc", "k8s"), seed: int = 42,
+               mode: str = "quick", scenarios: list[str] | None = None,
+               on_case: Callable[[dict, ResilienceReport], None]
+               | None = None) -> dict:
+    """The full applicable catalog on every requested platform kind."""
+    config = (ChaosRunConfig.long(seed) if mode == "long"
+              else ChaosRunConfig.quick(seed))
+    cases = []
+    for kind in platform_kinds:
+        for scenario in catalog(kind, scenarios):
+            row, _report, res = run_case(scenario, kind, config)
+            cases.append(row)
+            if on_case is not None:
+                on_case(row, res)
+    cases.sort(key=lambda c: (c["platform"], c["scenario"]))
+    mttrs = [c["resilience"]["mttr_s"] for c in cases
+             if c["resilience"]["mttr_s"] is not None]
+    recovered = sum(c["resilience"]["recovery_ok"] for c in cases)
+    return {
+        "schema": "chaos_scorecard/v1",
+        "seed": seed,
+        "mode": config.mode,
+        "platforms": sorted(platform_kinds),
+        "cases": cases,
+        "summary": {
+            "cases": len(cases),
+            "recovered": int(recovered),
+            "mttr_mean_s": (round(sum(mttrs) / len(mttrs), 1)
+                            if mttrs else None),
+            "mttr_max_s": round(max(mttrs), 1) if mttrs else None,
+            "requests_lost_total": sum(
+                c["resilience"]["requests_lost"] for c in cases),
+            "requests_retried_total": sum(
+                c["resilience"]["requests_retried"] for c in cases),
+        },
+    }
+
+
+def scorecard_text(scorecard: dict) -> str:
+    """Canonical serialization: byte-identical for identical runs."""
+    return json.dumps(scorecard, indent=2, sort_keys=True) + "\n"

@@ -12,6 +12,9 @@ Commands
                         plus a flash crowd, autoscaled across platforms;
                         optionally write the JSON scorecard with
                         ``--out FILE``.
+``chaos``               run the fault-injection scenario matrix on HPC
+                        and/or Kubernetes fleets and emit the
+                        deterministic ``chaos_scorecard.json``.
 ``site``                print the converged-site inventory.
 """
 
@@ -158,6 +161,34 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import run_matrix
+    from .chaos.runner import scorecard_text
+    platforms = tuple(args.platform or ("hpc", "k8s"))
+    mode = "long" if args.long else "quick"
+    print(f"chaos matrix: platforms={list(platforms)} mode={mode} "
+          f"seed={args.seed}")
+    scorecard = run_matrix(
+        platforms, seed=args.seed, mode=mode, scenarios=args.scenario,
+        on_case=lambda row, res: print("  " + res.summary()))
+    summary = scorecard["summary"]
+    if summary["cases"] == 0:
+        print("no catalog scenario matched the requested platform/"
+              "scenario filters; nothing was tested", file=sys.stderr)
+        return 2
+    print(f"\n{summary['recovered']}/{summary['cases']} scenarios "
+          f"recovered; mttr mean={summary['mttr_mean_s']}s "
+          f"max={summary['mttr_max_s']}s; "
+          f"lost={summary['requests_lost_total']} "
+          f"retried={summary['requests_retried_total']}")
+    if args.out:
+        import pathlib
+        path = pathlib.Path(args.out)
+        path.write_text(scorecard_text(scorecard))
+        print(f"wrote scorecard to {path}")
+    return 0 if summary["recovered"] == summary["cases"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,6 +252,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="end-to-end latency target, seconds")
     fleet.add_argument("--out", default=None,
                        help="write the JSON scorecard to this file")
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection scenario matrix with resilience "
+                      "scorecards")
+    chaos.add_argument("--platform", action="append",
+                       choices=["hpc", "k8s"],
+                       help="platform kind to test (repeatable; "
+                            "default: both)")
+    chaos.add_argument("--scenario", action="append",
+                       help="run only these catalog scenarios "
+                            "(repeatable; default: full catalog)")
+    chaos.add_argument("--long", action="store_true",
+                       help="nightly long-run mode (4 h horizon, longer "
+                            "faults, heavier traffic)")
+    chaos.add_argument("--out", default=None,
+                       help="write chaos_scorecard.json here")
     return parser
 
 
@@ -233,6 +280,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "ablation": _cmd_ablation,
         "fleet": _cmd_fleet,
+        "chaos": _cmd_chaos,
     }[args.command]
     return handler(args)
 

@@ -79,11 +79,11 @@ class ImageManifest:
 
     @property
     def size(self) -> int:
-        return sum(l.size for l in self.layers)
+        return sum(layer.size for layer in self.layers)
 
     @property
     def digest(self) -> str:
-        joined = ",".join(l.digest for l in self.layers)
+        joined = ",".join(layer.digest for layer in self.layers)
         return "sha256:" + hashlib.sha256(joined.encode()).hexdigest()[:16]
 
     def retag(self, repository: str | None = None,

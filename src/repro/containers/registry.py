@@ -41,13 +41,26 @@ class ImageCache:
         return ref in self.images
 
     def missing_bytes(self, manifest: ImageManifest) -> int:
-        return sum(l.size for l in manifest.layers
-                   if l.digest not in self.layers)
+        return sum(layer.size for layer in manifest.layers
+                   if layer.digest not in self.layers)
 
     def admit(self, manifest: ImageManifest) -> None:
         for layer in manifest.layers:
             self.layers.add(layer.digest)
         self.images[manifest.ref] = manifest
+
+    def evict(self, ref: str) -> bool:
+        """Drop an image from the cache (GC / node reimage); layers still
+        referenced by other cached images are kept."""
+        manifest = self.images.pop(ref, None)
+        if manifest is None:
+            return False
+        still_needed = {layer.digest for image in self.images.values()
+                        for layer in image.layers}
+        for layer in manifest.layers:
+            if layer.digest not in still_needed:
+                self.layers.discard(layer.digest)
+        return True
 
 
 class Registry:
@@ -71,11 +84,19 @@ class Registry:
         self.scans: dict[str, ScanResult] = {}
         self.mirrors_to: list[tuple["Registry", float]] = []
         self.pull_count: dict[str, int] = {}
+        self.available = True
 
     # -- control plane ---------------------------------------------------------
 
     def add_mirror(self, target: "Registry", lag: float = 60.0) -> None:
         self.mirrors_to.append((target, lag))
+
+    def set_available(self, up: bool) -> None:
+        """Chaos control: a registry in outage fails every pull."""
+        self.available = bool(up)
+        self.kernel.trace.emit(
+            "registry.restored" if up else "registry.outage",
+            registry=self.name)
 
     def resolve(self, ref: str) -> ImageManifest:
         repo, tag = parse_ref(ref)
@@ -144,6 +165,10 @@ class Registry:
         Transfers only missing layer bytes; concurrent pulls contend on the
         registry's access link via the flow network.
         """
+        if not self.available:
+            raise ImagePullError(
+                f"registry {self.name!r} is unavailable (outage)",
+                sim_time=self.kernel.now)
         try:
             manifest = self.resolve(ref)
         except NotFoundError as exc:

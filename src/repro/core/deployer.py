@@ -123,8 +123,8 @@ class Deployer:
         manifest = registry.resolve(variant.image_ref)
         profile = package.profile(profile_name)
 
-        chosen = node or self._pick_node(platform, params,
-                                         service_port=package.service_port)
+        chosen = node or self.pick_node(platform, params,
+                                        service_port=package.service_port)
         gpus = int(params.get("tensor_parallel_size", 1))
         command = package.command(params)
         opts = RunOpts(
@@ -160,14 +160,23 @@ class Deployer:
             node=chosen.hostname)
         return deployment
 
-    def _pick_node(self, platform: HPCPlatform, params: dict[str, Any],
-                   service_port: int | None = None) -> Node:
+    def pick_node(self, platform: HPCPlatform, params: dict[str, Any],
+                  service_port: int | None = None,
+                  exclude: "set[str] | None" = None) -> Node:
         """Prefer idle nodes with the service port free; fall back to any
-        node with enough free GPUs."""
+        node with enough free GPUs.
+
+        ``exclude`` lets callers resolving a *batch* of placements (the
+        fleet deploying several replicas concurrently) keep two deploys
+        off the same node before either has bound its port.
+        """
         from ..net.http import lookup
         need = int(params.get("tensor_parallel_size", 1))
+        exclude = exclude or set()
         fallback: Node | None = None
         for candidate in platform.nodes:
+            if candidate.hostname in exclude:
+                continue
             if not candidate.up or candidate.gpus_free < need:
                 continue
             port_busy = (service_port is not None and lookup(

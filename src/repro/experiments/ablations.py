@@ -6,7 +6,6 @@ print them.
 
 from __future__ import annotations
 
-from ..containers import RunOpts
 from ..core import CaseStudyWorkflow, apply_s3_routing_fix, build_sandia_site
 from ..cluster.profiles import perf_profile
 from ..hardware import gpu_spec

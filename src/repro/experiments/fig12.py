@@ -18,7 +18,6 @@ from ..cluster.profiles import perf_profile
 from ..storage.mounts import PfsMount
 from ..vllm import (CrashAfterRequests, EngineArgs, FaultPlan,
                     MultiNodeEngineLauncher)
-from ..wlm.base import JobState
 from .common import FigureResult
 
 B405 = "meta-llama/Llama-3.1-405B-Instruct"

@@ -18,7 +18,7 @@ holds a cooldown before reconsidering.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError, ReproError, StateError

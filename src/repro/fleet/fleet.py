@@ -84,6 +84,8 @@ class FleetReport:
     scale_events: list[ScaleEvent]
     replica_timeline: list[tuple[float, int]]
     snapshots: list[dict] = field(default_factory=list)
+    #: chaos-orchestrator resilience scorecard (None outside chaos runs)
+    resilience: dict | None = None
 
     @property
     def peak_replicas(self) -> int:
@@ -110,7 +112,7 @@ class FleetReport:
         return "\n".join(lines)
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "label": self.label,
             "duration_s": round(self.duration, 1),
             "arrivals": self.arrivals,
@@ -122,6 +124,9 @@ class FleetReport:
                                  for t, n in self.replica_timeline],
             "snapshots": self.snapshots,
         }
+        if self.resilience is not None:
+            out["resilience"] = self.resilience
+        return out
 
 
 class Fleet:
@@ -144,6 +149,7 @@ class Fleet:
         self.router_host: str = ""
         self._next_id = 0
         self._next_platform = 0
+        self._pending_nodes: set[str] = set()  # HPC deploys in flight
         self._client: HttpClient | None = None
         self._seeded = False
         self._scenario_ran = False
@@ -230,7 +236,8 @@ class Fleet:
         return sum(
             1 for kn in platform.cluster.nodes
             if kn.node.up and
-            kn.node.spec.gpu_count - committed.get(kn.node.hostname, 0) >= tp)
+            kn.node.available_gpu_count
+            - committed.get(kn.node.hostname, 0) >= tp)
 
     def _next_platform_with_capacity(self, reserved: dict[str, int]
                                      | None = None):
@@ -261,17 +268,34 @@ class Fleet:
         a sibling fails mid-flight, so no replica can leak untracked.
         """
         kernel = self.kernel
-        placements: list[tuple[object, str]] = []
+        placements: list[tuple[object, str, "Node | None"]] = []
         reserved: dict[str, int] = {}
+        reserved_nodes: set[str] = set()
         for _ in range(count):
             platform = self._next_platform_with_capacity(reserved)
             reserved[platform.name] = reserved.get(platform.name, 0) + 1
             self._next_id += 1
-            placements.append((platform, f"vllm-r{self._next_id}"))
-        procs = [kernel.spawn(self._deploy_settled(platform, name),
-                              name=f"fleet:deploy:{name}")
-                 for platform, name in placements]
-        yield kernel.all_of(procs)   # wrappers never fail the AllOf
+            node = None
+            if isinstance(platform, HPCPlatform):
+                # Resolve concrete nodes up front so two deploys — same
+                # batch or a concurrent batch (autoscaler + supervisor) —
+                # cannot race onto one node's service port.
+                node = self.wf.deployer.pick_node(
+                    platform,
+                    {"tensor_parallel_size":
+                     self.config.tensor_parallel_size},
+                    service_port=self.wf.package.service_port,
+                    exclude=reserved_nodes | self._pending_nodes)
+                reserved_nodes.add(node.hostname)
+            placements.append((platform, f"vllm-r{self._next_id}", node))
+        self._pending_nodes |= reserved_nodes
+        try:
+            procs = [kernel.spawn(self._deploy_settled(platform, name, node),
+                                  name=f"fleet:deploy:{name}")
+                     for platform, name, node in placements]
+            yield kernel.all_of(procs)   # wrappers never fail the AllOf
+        finally:
+            self._pending_nodes -= reserved_nodes
         added, failures = [], []
         for proc in procs:
             if isinstance(proc.value, Replica):
@@ -290,21 +314,21 @@ class Fleet:
                 f"(first: {failures[0]}); {len(added)} added")
         return added
 
-    def _deploy_settled(self, platform, name: str):
+    def _deploy_settled(self, platform, name: str, node=None):
         """Generator: deploy one replica; returns it, or the error string."""
         try:
-            replica = yield from self._deploy_replica(platform, name)
+            replica = yield from self._deploy_replica(platform, name, node)
         except ReproError as exc:
             self.kernel.trace.emit("fleet.deploy_failed", replica=name,
                                    platform=platform.name, error=str(exc))
             return str(exc)
         return replica
 
-    def _deploy_replica(self, platform, name: str):
+    def _deploy_replica(self, platform, name: str, node=None):
         deployment = yield from self.wf.deploy_model(
             platform.name, self.config.model,
             tensor_parallel_size=self.config.tensor_parallel_size,
-            extra_params={"name": name})
+            node=node, extra_params={"name": name})
         if isinstance(platform, K8sPlatform):
             host, port = self._k8s_backend(platform, name)
         else:
@@ -320,6 +344,69 @@ class Fleet:
                     and pod.phase is PodPhase.RUNNING and pod.ready):
                 return pod.node_name, self.wf.package.service_port
         raise StateError(f"no ready pod for release {release_name!r}")
+
+    def replica_status(self, replica: Replica) -> tuple[str, str]:
+        """Health of one replica: ``(state, detail)``.
+
+        * ``"ok"`` — serving (container running / pod ready on the
+          registered backend host);
+        * ``"moved"`` — a K8s pod is ready but on a *different* node than
+          the router knows (restarted elsewhere after eviction); detail
+          is the new hostname;
+        * ``"degraded"`` — pods exist but none is ready (CrashLoopBackOff,
+          ImagePullBackOff, rescheduling in flight);
+        * ``"dead"`` — nothing backs the replica anymore.
+        """
+        deployment = replica.deployment
+        if deployment.container is not None:      # HPC replica
+            if deployment.container.running:
+                return "ok", ""
+            return "dead", (f"container exited "
+                            f"(code={deployment.container.exit_code})")
+        platform = self.site.platform(replica.platform_name)
+        pods = [p for p in platform.cluster.api.list("Pod")
+                if p.meta.labels.get("app") == replica.name and not p.deleted]
+        ready = [p for p in pods
+                 if p.phase is PodPhase.RUNNING and p.ready]
+        if ready:
+            if ready[0].node_name != replica.backend_host:
+                return "moved", ready[0].node_name
+            return "ok", ""
+        if pods:
+            return "degraded", pods[0].message or pods[0].phase.value
+        return "dead", "no pods left for release"
+
+    def rebind_replica(self, replica: Replica, new_host: str) -> None:
+        """Re-point the router at a replica whose pod moved nodes."""
+        old = replica.backend
+        replica.backend_host = new_host
+        if self.router_app is not None:
+            self.router_app.remove_backend(*old)
+            self.router_app.add_backend(*replica.backend)
+        self.kernel.trace.emit("fleet.rebind", replica=replica.name,
+                               old=f"{old[0]}:{old[1]}", new=new_host)
+
+    def discard_replica(self, replica: Replica) -> None:
+        """Deregister and stop a dead replica immediately (no drain)."""
+        if replica in self.replicas:
+            self.replicas.remove(replica)
+            self.replica_timeline.append((self.kernel.now,
+                                          len(self.replicas)))
+        if self.router_app is not None:
+            self.router_app.remove_backend(*replica.backend)
+        replica.deployment.stop()
+        self.kernel.trace.emit("fleet.discard", replica=replica.name)
+
+    def replace_replica(self, replica: Replica):
+        """Generator: discard a dead replica and deploy a successor.
+
+        Raises :class:`StateError` when the successor cannot deploy (no
+        capacity, registry outage) — the caller owns retry policy; the
+        dead replica is deregistered either way.
+        """
+        self.discard_replica(replica)
+        added = yield from self.add_replicas(1)
+        return added[0]
 
     def remove_replica(self, replica: Replica | None = None,
                        drain_timeout: float = 180.0):

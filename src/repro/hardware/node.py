@@ -7,7 +7,7 @@ resources (GPUs in use, memory, running containers' footprints).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import CapacityError, ConfigurationError
 from ..units import GiB
@@ -64,6 +64,7 @@ class Node:
         self.spec = spec
         self._gpu_free = list(range(spec.gpu_count))
         self._gpu_used: set[int] = set()
+        self._gpu_failed: set[int] = set()
         self.memory_used = 0
         self.labels: dict[str, str] = {}
         self.up = True
@@ -77,6 +78,16 @@ class Node:
     @property
     def gpus_used(self) -> int:
         return len(self._gpu_used)
+
+    @property
+    def gpus_failed(self) -> int:
+        return len(self._gpu_failed)
+
+    @property
+    def available_gpu_count(self) -> int:
+        """GPUs the node can offer at all: spec count minus failed devices
+        (what a device plugin reports as allocatable)."""
+        return self.spec.gpu_count - len(self._gpu_failed)
 
     def allocate_gpus(self, count: int) -> list[int]:
         """Reserve ``count`` GPUs, returning their device indices."""
@@ -97,8 +108,48 @@ class Node:
                 raise ConfigurationError(
                     f"{self.hostname}: GPU {idx} was not allocated")
             self._gpu_used.remove(idx)
-            self._gpu_free.append(idx)
+            # A device that failed while allocated does not rejoin the
+            # free pool until repaired.
+            if idx not in self._gpu_failed:
+                self._gpu_free.append(idx)
         self._gpu_free.sort()
+
+    # -- device faults (ECC) ----------------------------------------------------
+
+    def fail_gpu(self, index: int | None = None) -> int:
+        """Mark one GPU failed (uncorrectable ECC); returns its index.
+
+        Without ``index``, prefers an allocated device (faults under load
+        are the interesting case), else the lowest free one.  Failed
+        devices leave the allocatable pool until :meth:`repair_gpu`.
+        """
+        if index is None:
+            if self._gpu_used:
+                index = min(self._gpu_used)
+            elif self._gpu_free:
+                index = self._gpu_free[0]
+            else:
+                raise ConfigurationError(
+                    f"{self.hostname}: no GPU left to fail")
+        if index in self._gpu_failed:
+            raise ConfigurationError(
+                f"{self.hostname}: GPU {index} already failed")
+        if index not in self._gpu_used and index not in self._gpu_free:
+            raise ConfigurationError(
+                f"{self.hostname}: no GPU {index}")
+        self._gpu_failed.add(index)
+        if index in self._gpu_free:
+            self._gpu_free.remove(index)
+        return index
+
+    def repair_gpu(self, index: int) -> None:
+        if index not in self._gpu_failed:
+            raise ConfigurationError(
+                f"{self.hostname}: GPU {index} is not failed")
+        self._gpu_failed.remove(index)
+        if index not in self._gpu_used and index not in self._gpu_free:
+            self._gpu_free.append(index)
+            self._gpu_free.sort()
 
     # -- host memory ------------------------------------------------------------
 

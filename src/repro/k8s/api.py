@@ -9,9 +9,9 @@ self-healing behavior.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable
 
-from ..errors import ConfigurationError, NotFoundError, StateError
+from ..errors import NotFoundError, StateError
 from .objects import KObject
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -11,8 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..errors import APIError
-from ..net.http import HttpClient, HttpRequest, HttpResponse, HttpService
-from .api import WatchEvent
+from ..net.http import HttpClient, HttpRequest, HttpService
 from .objects import Ingress, PodPhase, Service
 
 if TYPE_CHECKING:  # pragma: no cover

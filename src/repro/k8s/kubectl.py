@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from ..units import fmt_duration
 from .cluster import KubernetesCluster
-from .objects import Pod, PodPhase
+from .objects import Pod
 
 
 def _table(headers: list[str], rows: list[list[str]]) -> str:

@@ -1,7 +1,9 @@
 """Kubelet: runs pods assigned to its node via the CRI runtime.
 
-Implements init containers, crash-loop backoff restarts, and pod teardown.
-The backoff schedule (10 s doubling, capped at 5 min) mirrors Kubernetes.
+Implements init containers, crash-loop backoff restarts, image-pull and
+resource backoff (``ImagePullBackOff`` during a registry outage, GPU
+exhaustion after device faults), and pod teardown.  The backoff schedule
+(10 s doubling, capped at 5 min) mirrors Kubernetes.
 """
 
 from __future__ import annotations
@@ -9,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..containers import RunOpts
+from ..errors import CapacityError, ImagePullError
 from ..simkernel import Interrupted
 from .api import WatchEvent
 from .objects import KContainerSpec, Pod, PodPhase
@@ -76,15 +79,36 @@ class Kubelet:
             extras=extras,
         )
 
-    def _pod_lifecycle(self, pod: Pod):
+    def _start_container(self, pod: Pod, cspec: KContainerSpec):
+        """Generator: start one container, holding the pod in backoff when
+        the image cannot be pulled (registry outage) or node resources are
+        exhausted (e.g. a GPU lost to an ECC fault) instead of wedging the
+        lifecycle process."""
         runtime = self.cluster.cri
         node = self.knode.node
+        attempts = 0
+        while True:
+            try:
+                container = yield from runtime.run(
+                    node, cspec.image, self._opts_for(pod, cspec))
+                return container
+            except (ImagePullError, CapacityError) as exc:
+                attempts += 1
+                kind = ("ImagePullBackOff"
+                        if isinstance(exc, ImagePullError) else "OutOfGpu")
+                pod.message = f"{kind}: {exc}"
+                self.cluster.api.update(pod)
+                self.kernel.trace.emit("k8s.start_backoff",
+                                       pod=pod.meta.name, kind=kind,
+                                       attempts=attempts)
+                yield self.kernel.timeout(self._backoff(attempts))
+
+    def _pod_lifecycle(self, pod: Pod):
         try:
             # Init containers run to completion, in order.
             for init in pod.spec.init_containers:
                 while True:
-                    container = yield from runtime.run(
-                        node, init.image, self._opts_for(pod, init))
+                    container = yield from self._start_container(pod, init)
                     code = yield container.exited
                     if code == 0:
                         break
@@ -101,8 +125,7 @@ class Kubelet:
             # Main container with restart policy.
             while True:
                 cspec = pod.spec.main
-                container = yield from runtime.run(
-                    node, cspec.image, self._opts_for(pod, cspec))
+                container = yield from self._start_container(pod, cspec)
                 self.containers[pod.meta.uid] = container
                 pod.phase = PodPhase.RUNNING
                 pod.message = "Started"

@@ -5,8 +5,6 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
-
 from ..errors import ConfigurationError
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from .api import ApiServer, WatchEvent
+from .api import WatchEvent
 from .objects import Pod, PodPhase, ResourceQuota
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -68,7 +68,9 @@ class PodScheduler:
                        for k, v in pod.spec.node_selector.items()):
                 continue
             committed = self._committed_gpus(knode.node.hostname)
-            free = knode.node.spec.gpu_count - committed
+            # allocatable = spec GPUs minus devices failed out (ECC) —
+            # what the device plugin would report.
+            free = knode.node.available_gpu_count - committed
             if free < pod.spec.total_gpus:
                 continue
             candidates.append((committed, knode))

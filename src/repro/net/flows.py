@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..errors import ConfigurationError
 from ..simkernel import Event
@@ -74,9 +74,13 @@ def max_min_fair_rates(flows: Sequence["Flow"]) -> dict["Flow", float]:
             if share < best_share:
                 best_share = share
                 best_link = link
-        # Flows whose rate_cap binds before any link does.
-        capped = [f for f in unfixed
-                  if f.rate_cap is not None and f.rate_cap <= best_share]
+        # Flows whose rate_cap binds before any link does.  Iteration is
+        # ordered by flow id everywhere below: identity-ordered sets would
+        # change float accumulation order (and thus traces) run-to-run.
+        capped = sorted(
+            (f for f in unfixed
+             if f.rate_cap is not None and f.rate_cap <= best_share),
+            key=lambda f: f.id)
         if capped:
             # Fix the most-constrained capped flow(s) first.
             tightest = min(f.rate_cap for f in capped)  # type: ignore[type-var]
@@ -92,7 +96,8 @@ def max_min_fair_rates(flows: Sequence["Flow"]) -> dict["Flow", float]:
             for flow in unfixed:
                 rates[flow] = math.inf
             break
-        for flow in members[best_link] & unfixed:
+        for flow in sorted(members[best_link] & unfixed,
+                           key=lambda f: f.id):
             rates[flow] = best_share
             unfixed.discard(flow)
             for link in flow.path:
@@ -171,7 +176,8 @@ class FlowNetwork:
         self.active.add(flow)
         self._reallocate()
         self.kernel.trace.emit("net.flow.start", flow=flow.name,
-                               nbytes=nbytes, links=[l.name for l in flow.path])
+                               nbytes=nbytes,
+                               links=[link.name for link in flow.path])
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
@@ -196,6 +202,16 @@ class FlowNetwork:
 
     # -- internals ---------------------------------------------------------------
 
+    def _ordered(self) -> list[Flow]:
+        """Active flows in creation order.
+
+        ``active`` is a set of identity-hashed objects: iterating it
+        directly would let the max-min fair tie-break (and completion
+        callback order) vary run-to-run with object addresses, breaking
+        the same-seed-same-trace guarantee.
+        """
+        return sorted(self.active, key=lambda f: f.id)
+
     def _settle(self) -> None:
         """Credit bytes transferred since the last rate change."""
         now = self.kernel.now
@@ -213,12 +229,12 @@ class FlowNetwork:
         """Recompute rates and (re)schedule the next completion."""
         self._generation += 1
         gen = self._generation
-        rates = max_min_fair_rates(list(self.active))
+        rates = max_min_fair_rates(self._ordered())
         for flow, rate in rates.items():
             flow.rate = rate
 
         # Finish any flow that is already done (zero remaining or inf rate).
-        finished = [f for f in self.active
+        finished = [f for f in self._ordered()
                     if f.remaining <= self._tolerance(f)
                     or math.isinf(f.rate)]
         for flow in finished:
@@ -249,14 +265,15 @@ class FlowNetwork:
             if gen != self._generation:
                 return  # stale timer from an older allocation
             self._settle()
-            finished = [f for f in self.active
+            finished = [f for f in self._ordered()
                         if f.remaining <= self._tolerance(f)]
             if not finished:
                 # The timer fired exactly at the earliest ETA, so the
                 # argmin flow is done up to float rounding; force it.
-                due = min(self.active,
-                          key=lambda f: f.remaining / f.rate
-                          if f.rate > 0 else math.inf)
+                due = min(self._ordered(),
+                          key=lambda f: (f.remaining / f.rate
+                                         if f.rate > 0 else math.inf,
+                                         f.id))
                 finished = [due]
             for flow in finished:
                 self._complete(flow)

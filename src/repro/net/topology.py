@@ -9,7 +9,7 @@ onto a slow campus path), falling back to fewest-hops shortest path.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..errors import ConfigurationError, NetworkUnreachable, NotFoundError
 from .flows import Flow, FlowNetwork, Link
@@ -52,6 +52,8 @@ class Fabric:
         # names or "zone:<zone>"; more-specific (host,host) wins.
         self._route_overrides: dict[tuple[str, str], list[str]] = {}
         self.base_latency = 0.0002  # per hop, seconds
+        self.latency_factor = 1.0   # chaos: site-wide latency multiplier
+        self._down_hosts: set[str] = set()
 
     # -- construction ----------------------------------------------------------
 
@@ -101,6 +103,30 @@ class Fabric:
     def remove_route(self, src: str, dst: str) -> None:
         self._route_overrides.pop((src, dst), None)
 
+    # -- fault injection ---------------------------------------------------------
+
+    def partition_host(self, name: str) -> None:
+        """Cut a host off the fabric: every path to or from it fails with
+        :class:`NetworkUnreachable` until :meth:`heal_host`."""
+        if name not in self.hosts:
+            raise NotFoundError(f"unknown host {name!r}")
+        self._down_hosts.add(name)
+        self.kernel.trace.emit("net.partition", host=name)
+
+    def heal_host(self, name: str) -> None:
+        self._down_hosts.discard(name)
+        self.kernel.trace.emit("net.heal", host=name)
+
+    def partitioned(self, name: str) -> bool:
+        return name in self._down_hosts
+
+    def set_latency_factor(self, factor: float) -> None:
+        """Scale every per-hop latency (chaos latency-spike injection)."""
+        if factor <= 0:
+            raise ConfigurationError(f"latency factor must be > 0: {factor}")
+        self.latency_factor = float(factor)
+        self.kernel.trace.emit("net.latency_factor", factor=factor)
+
     # -- path resolution -----------------------------------------------------------
 
     def _selectors(self, host: Host) -> list[str]:
@@ -110,6 +136,11 @@ class Fabric:
         """Resolve the vertex path from src host to dst host."""
         if src == dst:
             return [src]
+        for endpoint in (src, dst):
+            if endpoint in self._down_hosts:
+                raise NetworkUnreachable(
+                    f"host {endpoint!r} is partitioned from the fabric",
+                    sim_time=self.kernel.now)
         s, d = self.hosts.get(src), self.hosts.get(dst)
         if s is None or d is None:
             raise NotFoundError(f"unknown host in route {src!r} -> {dst!r}")
@@ -163,7 +194,8 @@ class Fabric:
 
     def latency(self, src: str, dst: str) -> float:
         """One-way latency along the resolved path."""
-        return self.base_latency * max(1, len(self.vertex_path(src, dst)) - 1)
+        return (self.base_latency * self.latency_factor
+                * max(1, len(self.vertex_path(src, dst)) - 1))
 
     # -- transfers --------------------------------------------------------------------
 

@@ -62,6 +62,8 @@ class LlmRouter(ContainerApp):
         self.backends: list[Backend] = []
         self.service: HttpService | None = None
         self.policy = "round-robin"
+        self.failed_forwards = 0   # forward attempts that errored or 5xx'd
+        self.retried_ok = 0        # requests that succeeded after a failover
         self._rr_by_pool: dict[tuple[str, ...], int] = {}
         self._client: HttpClient | None = None
 
@@ -90,7 +92,7 @@ class LlmRouter(ContainerApp):
     def run(self, ctx: ContainerContext):
         # Periodic health checks run alongside request serving.
         while not ctx.stop_event.triggered:
-            done = yield ctx.kernel.any_of(
+            yield ctx.kernel.any_of(
                 [ctx.stop_event, ctx.kernel.timeout(self.HEALTH_INTERVAL)])
             if ctx.stop_event.triggered:
                 return
@@ -159,6 +161,8 @@ class LlmRouter(ContainerApp):
             } for b in self.backends],
             "healthy": sum(b.healthy for b in self.backends),
             "outstanding": sum(b.outstanding for b in self.backends),
+            "failed_forwards": self.failed_forwards,
+            "retried_ok": self.retried_ok,
         }
 
     # -- routing ----------------------------------------------------------------------
@@ -185,6 +189,7 @@ class LlmRouter(ContainerApp):
         if not self.backends:   # dynamic removal can empty the pool
             return HttpResponse(503, json={"error": "no backends"})
         last_error: HttpResponse | None = None
+        failed_attempts = 0
         for backend in self._pick():
             backend.outstanding += 1
             try:
@@ -195,6 +200,8 @@ class LlmRouter(ContainerApp):
                 backend.consecutive_failures += 1
                 if backend.consecutive_failures >= self.UNHEALTHY_AFTER:
                     backend.healthy = False
+                self.failed_forwards += 1
+                failed_attempts += 1
                 last_error = HttpResponse(502, json={"error": str(exc)})
                 continue
             finally:
@@ -206,10 +213,15 @@ class LlmRouter(ContainerApp):
                 backend.consecutive_failures += 1
                 if backend.consecutive_failures >= self.UNHEALTHY_AFTER:
                     backend.healthy = False
+                self.failed_forwards += 1
+                failed_attempts += 1
                 last_error = response
                 continue
             backend.consecutive_failures = 0
             backend.served += 1
+            if failed_attempts:
+                # The request was saved by failover: retried, not lost.
+                self.retried_ok += 1
             return response
         return last_error or HttpResponse(503, json={
             "error": "no healthy backends"})

@@ -6,7 +6,8 @@ import heapq
 from typing import Any, Generator, Iterable, Optional
 
 from ..errors import StateError
-from .events import PRIORITY_NORMAL, PRIORITY_URGENT, AllOf, AnyOf, Event, Interrupted, Timeout
+from .events import (PRIORITY_NORMAL, PRIORITY_URGENT, AllOf, AnyOf, Event,
+                     Interrupted, Timeout)
 from .rng import RngRegistry
 from .tracing import Tracer
 
@@ -136,6 +137,15 @@ class SimKernel:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def at(self, when: float, value: Any = None) -> Timeout:
+        """A timeout firing at *absolute* simulated time ``when``.
+
+        Times already in the past fire immediately — schedulers (e.g. the
+        chaos orchestrator) can plan injections before knowing how long
+        bring-up takes.
+        """
+        return Timeout(self, max(0.0, when - self.now), value)
 
     def spawn(self, generator: ProcGen, name: str = "") -> Process:
         """Start a new process from a generator."""

@@ -10,11 +10,11 @@ support them unless the env var is set to ``when_required``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fnmatch import fnmatch
 from typing import TYPE_CHECKING, Iterable
 
-from ..errors import APIError, ConfigurationError
+from ..errors import APIError
 from .object_store import ObjectStore
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -34,6 +34,22 @@ class FaultPlan:
                 raise EngineCrash(reason, sim_time=engine.kernel.now)
 
 
+def attach(engine: "LLMEngine",
+           *triggers: Callable[["LLMEngine"], str | None]) -> FaultPlan:
+    """Arm triggers on a *live* engine (chaos runtime injection).
+
+    Triggers are checked at the engine's next iteration — an idle engine
+    crashes when load next arrives, which is how latent faults (leaks,
+    collective timeouts) manifest in practice.
+    """
+    if engine.fault_plan is None:
+        engine.fault_plan = FaultPlan(*triggers)
+    else:
+        for trigger in triggers:
+            engine.fault_plan.add(trigger)
+    return engine.fault_plan
+
+
 def CrashAfterRequests(n: int, reason: str = "memory leak: engine OOM"
                        ) -> Callable[["LLMEngine"], str | None]:
     """Crash once ``n`` requests have been accepted (cumulative load

@@ -10,17 +10,17 @@ nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..containers.image import ImageManifest, register_app
 from ..containers.runtime import (Container, ContainerApp, ContainerContext,
                                   ContainerRuntime, RunOpts)
-from ..errors import CapacityError, ConfigurationError, ContainerCrash
+from ..errors import ConfigurationError, ContainerCrash
 from ..hardware.node import Node
 from ..models.catalog import ModelCard
 from ..models.weights import validate_fit
-from ..net.http import HttpResponse, HttpService
+from ..net.http import HttpService
 from ..rayclu import RayCluster
 from ..simkernel import Event
 from .config import EngineArgs
@@ -130,7 +130,7 @@ class MultiNodeEngineLauncher:
         yield from ray.wait_for_size(len(nodes))
 
         # vLLM allocates GPU bundles through Ray placement groups.
-        group = ray.create_placement_group(
+        ray.create_placement_group(
             gpus_per_bundle=args.tensor_parallel_size,
             n_bundles=args.pipeline_parallel_size)
 

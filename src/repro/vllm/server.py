@@ -15,8 +15,6 @@ Startup sequence (each stage can fail the way the paper describes):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
 from ..errors import (APIError, CapacityError, ConfigurationError,
                       ContainerCrash, NetworkUnreachable, NotFoundError)
 from ..containers.image import register_app
@@ -146,7 +144,7 @@ class VllmOpenAIServer(ContainerApp):
     def run(self, ctx: ContainerContext):
         assert self.engine is not None
         engine_proc = self.engine.start()
-        outcome = yield ctx.kernel.any_of([ctx.stop_event, engine_proc])
+        yield ctx.kernel.any_of([ctx.stop_event, engine_proc])
         if engine_proc.triggered and not engine_proc.ok:
             raise engine_proc.value  # engine crash -> container exit 1
         return

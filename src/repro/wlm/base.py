@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 from ..errors import ConfigurationError, JobKilled, SchedulingError

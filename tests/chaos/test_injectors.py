@@ -1,0 +1,164 @@
+"""Unit tests for the per-layer fault-injection primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers.image import make_layers, ImageManifest
+from repro.containers.registry import ImageCache, Registry
+from repro.errors import (ConfigurationError, ImagePullError,
+                          NetworkUnreachable)
+from repro.hardware.gpu import gpu_spec
+from repro.hardware.node import NodeSpec, Node
+from repro.net.topology import Fabric
+from repro.simkernel import SimKernel
+from repro.units import GiB, MiB, gbps
+
+
+def _fabric():
+    kernel = SimKernel(seed=1)
+    fabric = Fabric(kernel)
+    fabric.add_host("a")
+    fabric.add_host("b")
+    fabric.add_switch("sw")
+    fabric.connect("a", "sw", gbps(10))
+    fabric.connect("b", "sw", gbps(10))
+    return kernel, fabric
+
+
+def test_partition_host_blocks_paths_and_heals():
+    _, fabric = _fabric()
+    assert fabric.vertex_path("a", "b") == ["a", "sw", "b"]
+    fabric.partition_host("b")
+    assert fabric.partitioned("b")
+    with pytest.raises(NetworkUnreachable):
+        fabric.vertex_path("a", "b")
+    with pytest.raises(NetworkUnreachable):
+        fabric.vertex_path("b", "a")
+    fabric.heal_host("b")
+    assert fabric.vertex_path("a", "b") == ["a", "sw", "b"]
+
+
+def test_partition_unknown_host_rejected():
+    from repro.errors import NotFoundError
+    _, fabric = _fabric()
+    with pytest.raises(NotFoundError):
+        fabric.partition_host("nope")
+
+
+def test_latency_factor_scales_and_validates():
+    _, fabric = _fabric()
+    base = fabric.latency("a", "b")
+    fabric.set_latency_factor(100.0)
+    assert fabric.latency("a", "b") == pytest.approx(100.0 * base)
+    fabric.set_latency_factor(1.0)
+    assert fabric.latency("a", "b") == pytest.approx(base)
+    with pytest.raises(ConfigurationError):
+        fabric.set_latency_factor(0.0)
+
+
+def _node(gpus: int = 4) -> Node:
+    spec = NodeSpec(name="n", cpus=8, memory_bytes=64 * GiB,
+                    gpus=tuple([gpu_spec("H100-SXM-80G")] * gpus))
+    return Node("node01", spec)
+
+
+def test_fail_free_gpu_leaves_pool():
+    node = _node()
+    index = node.fail_gpu(3)
+    assert index == 3
+    assert node.gpus_free == 3
+    assert node.available_gpu_count == 3
+    assert node.gpus_failed == 1
+    # Cannot allocate more than the healthy pool.
+    taken = node.allocate_gpus(3)
+    assert 3 not in taken
+    with pytest.raises(Exception):
+        node.allocate_gpus(1)
+
+
+def test_fail_allocated_gpu_held_out_on_release():
+    node = _node()
+    taken = node.allocate_gpus(2)
+    index = node.fail_gpu()          # prefers an allocated device
+    assert index in taken
+    node.release_gpus(taken)
+    assert node.gpus_free == 3       # failed one did not rejoin
+    node.repair_gpu(index)
+    assert node.gpus_free == 4
+    assert node.gpus_failed == 0
+
+
+def test_fail_and_repair_validation():
+    node = _node(1)
+    index = node.fail_gpu()
+    with pytest.raises(ConfigurationError):
+        node.fail_gpu()              # nothing left to fail
+    with pytest.raises(ConfigurationError):
+        node.repair_gpu(99)
+    node.repair_gpu(index)
+    with pytest.raises(ConfigurationError):
+        node.repair_gpu(index)
+
+
+def _registry():
+    kernel, fabric = _fabric()
+    fabric.add_host("reg")
+    fabric.connect("reg", "sw", gbps(10))
+    registry = Registry(kernel, fabric, "test", "reg")
+    manifest = ImageManifest(
+        repository="acme/app", tag="v1",
+        layers=make_layers("acme:v1", 100 * MiB, count=2))
+    registry.seed(manifest)
+    return kernel, registry, manifest
+
+
+def _pull(kernel, registry, cache, ref):
+    def proc(env):
+        manifest = yield from registry.pull(cache, ref)
+        return manifest
+    return kernel.run(until=kernel.spawn(proc(kernel)))
+
+
+def test_registry_outage_fails_pulls_until_restored():
+    kernel, registry, manifest = _registry()
+    cache = ImageCache("a")
+    registry.set_available(False)
+    with pytest.raises(ImagePullError):
+        _pull(kernel, registry, cache, manifest.ref)
+    registry.set_available(True)
+    pulled = _pull(kernel, registry, cache, manifest.ref)
+    assert pulled.ref == manifest.ref
+    assert cache.has_image(manifest.ref)
+
+
+def test_cache_evict_keeps_shared_layers():
+    _, _, manifest = _registry()
+    other = ImageManifest(repository="acme/app", tag="v2",
+                          layers=manifest.layers[:1]
+                          + tuple(make_layers("acme:v2", 10 * MiB,
+                                              count=1)))
+    cache = ImageCache("a")
+    cache.admit(manifest)
+    cache.admit(other)
+    assert cache.evict(manifest.ref)
+    assert not cache.has_image(manifest.ref)
+    # The layer shared with v2 survives; v1's unique layer is gone.
+    assert manifest.layers[0].digest in cache.layers
+    assert manifest.layers[1].digest not in cache.layers
+    assert not cache.evict(manifest.ref)   # second evict is a no-op
+
+
+def test_kernel_at_fires_at_absolute_time():
+    kernel = SimKernel()
+    log = []
+
+    def proc(env):
+        yield env.timeout(5.0)
+        yield env.at(30.0)
+        log.append(env.now)
+        yield env.at(10.0)           # in the past: fires immediately
+        log.append(env.now)
+
+    kernel.run(until=kernel.spawn(proc(kernel)))
+    assert log == [30.0, 30.0]
