@@ -223,7 +223,9 @@ class ChaosOrchestrator:
                     platform_name: str | None = None):
         """Generator: inject several faults over a single traffic run.
 
-        ``plan`` is ``[(offset_seconds, scenario), ...]``.  Returns
+        ``plan`` is ``[(offset_seconds, scenario), ...]``; an optional
+        third element overrides ``fault_duration`` for that injection
+        (campaign specs carry per-event durations).  Returns
         ``(FleetReport, segments)`` where each segment reports the
         recovery window between its injection and the next one.
         """
@@ -234,14 +236,16 @@ class ChaosOrchestrator:
         self._target_replicas = len(fleet.replicas)
         platform_name = platform_name or fleet.config.platforms[0]
         start = kernel.now
-        plan = sorted(plan, key=lambda item: item[0])
+        plan = sorted(((item[0], item[1],
+                        item[2] if len(item) > 2 else fault_duration)
+                       for item in plan), key=lambda item: item[0])
         injections: list[dict] = []
 
         def injector(env):
-            for offset, scenario in plan:
+            for offset, scenario, duration in plan:
                 yield env.at(start + offset)
                 injections.append(self._inject_now(scenario, platform_name,
-                                                   fault_duration))
+                                                   duration))
 
         stop = kernel.event()
         kernel.spawn(self.supervisor.run(stop), name="chaos:supervisor")

@@ -9,13 +9,11 @@ simulation clock, so the same seed produces a byte-identical scorecard.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from typing import Callable
 
-from ..core.site import build_sandia_site
-from ..fleet import (AutoscalerConfig, Fleet, FleetConfig, PoissonSchedule,
-                     SloSpec)
+from ..experiments.common import canonical_json_text
+from ..fleet import AutoscalerConfig, SloSpec
 from .orchestrator import ChaosOrchestrator, ResilienceReport
 from .scenarios import ChaosScenario, catalog
 from .supervisor import SupervisorConfig
@@ -51,19 +49,31 @@ class ChaosRunConfig:
                    fault_duration=1200.0)
 
 
-def _build_fleet(config: ChaosRunConfig, fleet_platform: str) -> Fleet:
-    site = build_sandia_site(seed=config.seed, hops_nodes=6,
-                             eldorado_nodes=4, goodall_nodes=5,
-                             cee_nodes=1)
-    fleet_config = FleetConfig(
-        model=QUANT, tensor_parallel_size=2,
-        platforms=(fleet_platform,), router_platform="hops",
-        policy="least-outstanding",
+def case_spec(config: ChaosRunConfig, fleet_platform: str):
+    """The matrix cell as a declarative :class:`ScenarioSpec`.
+
+    Chaos cases construct their site and fleet through the campaign
+    spec, so the matrix runner and the campaign runner provably build
+    identical worlds for identical knobs.
+    """
+    # Deferred import: repro.campaign.spec <-> repro.chaos is a cycle at
+    # module scope (the spec validates scenario names against the
+    # catalog).
+    from ..campaign.spec import ScenarioSpec, ScheduleSpec, SiteSpec
+    return ScenarioSpec(
+        name=f"chaos:{fleet_platform}", seed=config.seed, model=QUANT,
+        tensor_parallel_size=2, platforms=(fleet_platform,),
+        router_platform="hops", policy="least-outstanding",
+        initial_replicas=config.initial_replicas, horizon=config.horizon,
+        site=SiteSpec(hops_nodes=6, eldorado_nodes=4, goodall_nodes=5,
+                      cee_nodes=1),
+        schedule=ScheduleSpec(kind="poisson", rate_rps=config.rate_rps),
         slo=SloSpec(ttft_target=10.0, e2e_target=120.0),
         autoscaler=AutoscalerConfig(
             min_replicas=config.initial_replicas, max_replicas=3,
-            target_outstanding=8.0))
-    return Fleet(site, fleet_config)
+            target_outstanding=8.0),
+        probe_interval=config.probe_interval,
+        supervisor_interval=config.supervisor_interval)
 
 
 def run_case(scenario: ChaosScenario | str, platform_kind: str,
@@ -77,12 +87,13 @@ def run_case(scenario: ChaosScenario | str, platform_kind: str,
         raise ValueError(f"platform kind must be one of "
                          f"{sorted(PLATFORM_FLEETS)}: {platform_kind!r}")
     fleet_platform = fleet_platform or PLATFORM_FLEETS[platform_kind]
-    fleet = _build_fleet(config, fleet_platform)
+    spec = case_spec(config, fleet_platform)
+    fleet = spec.build_fleet(spec.build_site())
     orchestrator = ChaosOrchestrator(
         fleet,
-        supervisor=SupervisorConfig(interval=config.supervisor_interval),
-        probe_interval=config.probe_interval)
-    schedule = PoissonSchedule(config.rate_rps)
+        supervisor=SupervisorConfig(interval=spec.supervisor_interval),
+        probe_interval=spec.probe_interval)
+    schedule = spec.schedule.build()
 
     def case(env):
         yield from fleet.start(initial_replicas=config.initial_replicas)
@@ -159,4 +170,4 @@ def run_matrix(platform_kinds=("hpc", "k8s"), seed: int = 42,
 
 def scorecard_text(scorecard: dict) -> str:
     """Canonical serialization: byte-identical for identical runs."""
-    return json.dumps(scorecard, indent=2, sort_keys=True) + "\n"
+    return canonical_json_text(scorecard)

@@ -15,6 +15,11 @@ Commands
 ``chaos``               run the fault-injection scenario matrix on HPC
                         and/or Kubernetes fleets and emit the
                         deterministic ``chaos_scorecard.json``.
+``campaign``            expand a declarative scenario grid (platform x
+                        schedule x chaos x seed x ...) and run every
+                        cell across a ``multiprocessing`` pool; emits
+                        ``campaign_scorecard.json``, byte-identical for
+                        any ``--workers`` value.
 ``site``                print the converged-site inventory.
 """
 
@@ -117,36 +122,42 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
-    from .fleet import (AutoscalerConfig, DiurnalSchedule, Fleet,
-                        FleetConfig, FlashCrowdSchedule, SloSpec)
-    site = build_sandia_site(seed=args.seed, hops_nodes=8, eldorado_nodes=4,
-                             goodall_nodes=4, cee_nodes=2)
+def _fleet_spec(args: argparse.Namespace):
+    """The ``repro fleet`` flags as a declarative ScenarioSpec."""
+    from .campaign import ScenarioSpec, ScheduleSpec, SiteSpec
+    from .fleet import AutoscalerConfig, SloSpec
     platforms = tuple(p.strip() for p in args.platforms.split(",")
                       if p.strip())
-    config = FleetConfig(
-        model=args.model,
-        tensor_parallel_size=args.tp,
-        platforms=platforms,
-        policy=args.policy,
+    return ScenarioSpec(
+        name="cli-fleet", seed=args.seed, model=args.model,
+        tensor_parallel_size=args.tp, platforms=platforms,
+        policy=args.policy, initial_replicas=args.min_replicas,
+        horizon=args.hours * 3600.0,
+        site=SiteSpec(hops_nodes=8, eldorado_nodes=4, goodall_nodes=4,
+                      cee_nodes=2),
+        schedule=ScheduleSpec(
+            kind="diurnal", base_rps=args.base_rate,
+            peak_rps=args.peak_rate, peak_hour=args.peak_hour,
+            flash_mult=max(args.flash_mult, 1.0),
+            flash_start=args.flash_hour * 3600.0,
+            flash_duration=args.flash_minutes * 60.0),
         slo=SloSpec(ttft_target=args.ttft_slo, e2e_target=args.e2e_slo),
         autoscaler=AutoscalerConfig(
             min_replicas=args.min_replicas,
             max_replicas=args.max_replicas))
-    fleet = Fleet(site, config)
-    schedule = DiurnalSchedule(base_rps=args.base_rate,
-                               peak_rps=args.peak_rate,
-                               peak_hour=args.peak_hour)
-    if args.flash_mult > 1:
-        schedule = FlashCrowdSchedule(
-            schedule, start=args.flash_hour * 3600.0,
-            duration=args.flash_minutes * 60.0,
-            multiplier=args.flash_mult)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .experiments.common import canonical_json_text
+    spec = _fleet_spec(args)
+    site = spec.build_site()
+    fleet = spec.build_fleet(site)
+    schedule = spec.schedule.build()
 
     def scenario(env):
-        yield from fleet.start(initial_replicas=args.min_replicas)
+        yield from fleet.start(initial_replicas=spec.initial_replicas)
         report = yield from fleet.run_scenario(
-            schedule, horizon=args.hours * 3600.0, label="cli-fleet")
+            schedule, horizon=spec.horizon, label=spec.name)
         return report
 
     report = site.kernel.run(until=site.kernel.spawn(scenario(site.kernel)))
@@ -156,9 +167,75 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.out:
         import pathlib
         path = pathlib.Path(args.out)
-        path.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+        path.write_text(canonical_json_text(report.to_json()))
         print(f"wrote scorecard to {path}")
     return 0
+
+
+def _parse_axis(text: str) -> tuple[str, list]:
+    """``schedule.kind=poisson,diurnal`` -> (path, typed value list)."""
+    path, sep, raw = text.partition("=")
+    if not sep or not path or not raw:
+        raise SystemExit(f"--axis must look like PATH=V1,V2,...: {text!r}")
+    values: list = []
+    for token in raw.split(","):
+        token = token.strip()
+        try:
+            values.append(int(token))
+        except ValueError:
+            try:
+                values.append(float(token))
+            except ValueError:
+                values.append(token)
+    return path, values
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import (CampaignGrid, CampaignRunner, demo_grid,
+                           scorecard_text, smoke_grid)
+    if args.spec:
+        grid = CampaignGrid.from_file(args.spec)
+    elif args.smoke:
+        grid = smoke_grid(seed=args.seed)
+    else:
+        grid = demo_grid(seed=args.seed)
+    for axis in args.axis or []:
+        path, values = _parse_axis(axis)
+        grid.axes[path] = values
+    cells = grid.expand()
+    print(f"campaign {grid.name!r}: {len(cells)} cells "
+          f"({' x '.join(f'{len(v)} {k}' for k, v in sorted(grid.axes.items()))})"
+          if grid.axes else
+          f"campaign {grid.name!r}: {len(cells)} cells")
+    if args.list:
+        for spec, _axes in cells:
+            print(f"  {spec.spec_hash()}  {spec.name}")
+        return 0
+
+    def on_cell(row: dict) -> None:
+        if "error" in row:
+            print(f"  FAILED {row['cell']}: {row['error']}")
+        else:
+            print(f"  done {row['cell']}: arrivals={row['arrivals']} "
+                  f"attainment={row['attainment']:.2%} "
+                  f"replicas<= {row['peak_replicas']}")
+
+    runner = CampaignRunner(grid, workers=args.workers)
+    scorecard = runner.run(on_cell=on_cell)
+    summary = scorecard["summary"]
+    mttr = summary["mttr_mean_s"]
+    print(f"\n{summary['cells']} cells ({summary['failed']} failed), "
+          f"{summary['arrivals_total']} arrivals, "
+          f"attainment mean={summary['attainment_mean']}, "
+          f"chaos {summary['recovered']}/{summary['chaos_cells']} "
+          f"recovered, mttr mean="
+          f"{'n/a' if mttr is None else f'{mttr}s'}")
+    if args.out:
+        import pathlib
+        path = pathlib.Path(args.out)
+        path.write_text(scorecard_text(scorecard))
+        print(f"wrote scorecard to {path}")
+    return 1 if summary["failed"] else 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -268,6 +345,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "faults, heavier traffic)")
     chaos.add_argument("--out", default=None,
                        help="write chaos_scorecard.json here")
+
+    campaign = sub.add_parser(
+        "campaign", help="expand a scenario grid and run every cell "
+                         "across a worker pool")
+    campaign.add_argument("--spec", default=None,
+                          help="campaign file (YAML or JSON: base spec + "
+                               "axes + explicit cells)")
+    campaign.add_argument("--axis", action="append", metavar="PATH=V1,V2",
+                          help="override/add one sweep axis (repeatable), "
+                               "e.g. schedule.kind=poisson,diurnal")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="process-pool size (1 runs inline; the "
+                               "scorecard is identical either way)")
+    campaign.add_argument("--smoke", action="store_true",
+                          help="built-in 4-cell CI grid instead of the "
+                               "24-cell demo grid")
+    campaign.add_argument("--list", action="store_true",
+                          help="print the expanded cells and exit")
+    campaign.add_argument("--out", default=None,
+                          help="write campaign_scorecard.json here")
     return parser
 
 
@@ -281,6 +378,7 @@ def main(argv: list[str] | None = None) -> int:
         "ablation": _cmd_ablation,
         "fleet": _cmd_fleet,
         "chaos": _cmd_chaos,
+        "campaign": _cmd_campaign,
     }[args.command]
     return handler(args)
 

@@ -1,11 +1,30 @@
-"""Shared plumbing for experiment drivers: result shaping and ASCII plots."""
+"""Shared plumbing for experiment drivers: result shaping, canonical
+scorecard serialization, and ASCII plots."""
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 
 from ..bench.sweep import SweepResult
+
+
+def canonical_json_text(payload: dict) -> str:
+    """The one true scorecard serialization.
+
+    Sorted keys, two-space indent, trailing newline, NaN rejected — so
+    identical runs (fleet, chaos, campaign) are byte-identical files and
+    CI can gate determinism with ``cmp``.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True,
+                      allow_nan=False) + "\n"
+
+
+def scorecard_digest(payload: dict) -> str:
+    """SHA-256 of the canonical serialization (artifact fingerprint)."""
+    return hashlib.sha256(canonical_json_text(payload).encode()).hexdigest()
 
 
 @dataclass

@@ -95,6 +95,23 @@ class FleetReport:
     def final_replicas(self) -> int:
         return self.replica_timeline[-1][1] if self.replica_timeline else 0
 
+    @property
+    def replica_seconds(self) -> float:
+        """Integral of replica count over the scenario: the cost metric.
+
+        Campaign aggregates divide goodput by this to price resilience
+        (how much extra capacity a chaos policy burns).
+        """
+        if not self.replica_timeline:
+            return 0.0
+        end = self.replica_timeline[0][0] + self.duration
+        total = 0.0
+        for i, (t, n) in enumerate(self.replica_timeline):
+            t_next = (self.replica_timeline[i + 1][0]
+                      if i + 1 < len(self.replica_timeline) else end)
+            total += n * max(0.0, min(t_next, end) - t)
+        return total
+
     def summary(self) -> str:
         hours = self.duration / 3600.0
         lines = [f"fleet scenario {self.label!r}: {self.arrivals} arrivals "
@@ -118,6 +135,7 @@ class FleetReport:
             "arrivals": self.arrivals,
             "peak_replicas": self.peak_replicas,
             "final_replicas": self.final_replicas,
+            "replica_seconds": round(self.replica_seconds, 1),
             "slo": self.slo.to_json(),
             "scale_events": [e.row() for e in self.scale_events],
             "replica_timeline": [(round(t, 1), n)
@@ -470,6 +488,13 @@ class Fleet:
             ttft=ttft, latency=kernel.now - submitted,
             prompt_tokens=sample.prompt_tokens, output_tokens=out_tokens,
             ok=ok, error=error))
+        # Request-level golden-trace record: the seed-sensitive part of
+        # the day, so trace digests distinguish runs that differ only in
+        # arrival randomness.
+        kernel.trace.emit(
+            "fleet.request", tenant=tenant, ok=ok,
+            ttft=round(ttft, 6), latency=round(kernel.now - submitted, 6),
+            output_tokens=out_tokens)
 
     # -- scenarios --------------------------------------------------------------
 

@@ -67,10 +67,20 @@ class RequestRecord:
 
 @dataclass
 class SloSnapshot:
-    """Rolling-window view at one instant."""
+    """Rolling-window view at one instant.
+
+    A window with zero finished requests is *vacuously healthy*: there
+    is nothing to violate, so ``attainment`` is 1.0, ``slo_met`` is
+    true, every rate is 0.0, and every percentile is 0.0 — never NaN or
+    ``None``, so snapshots always serialize cleanly and autoscaler /
+    chaos-probe consumers need no special casing.  ``samples`` carries
+    the window population so those consumers can still distinguish
+    "healthy" from "idle".
+    """
 
     time: float
     window: float
+    samples: int = 0                # finished requests in the window
     completions: int = 0
     errors: int = 0
     error_rate: float = 0.0
@@ -89,6 +99,7 @@ class SloSnapshot:
     def row(self) -> dict:
         return {
             "t": round(self.time, 1),
+            "samples": self.samples,
             "completions": self.completions,
             "errors": self.errors,
             "error_rate": round(self.error_rate, 4),
@@ -201,6 +212,8 @@ class SloReport:
 
 
 def _percentiles(values: list[float]) -> dict[str, float]:
+    # Zero observations -> all-zero percentiles (never NaN): reports for
+    # idle or all-error runs must still serialize with allow_nan=False.
     if not values:
         return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
     arr = np.asarray(values)
@@ -262,6 +275,11 @@ class SloTracker:
     # -- views ------------------------------------------------------------------
 
     def snapshot(self) -> SloSnapshot:
+        """The rolling-window view right now.
+
+        Empty windows return the vacuously-healthy defaults documented
+        on :class:`SloSnapshot`; every field is always a finite number.
+        """
         now = self.kernel.now
         self._trim(now)
         snap = SloSnapshot(time=now, window=self.spec.window)
@@ -271,6 +289,7 @@ class SloTracker:
         oks = [r for r in records if r.ok]
         good = sum(self.is_good(r) for r in records)
         span = min(self.spec.window, max(now - self.started_at, 1e-9))
+        snap.samples = len(records)
         snap.completions = len(oks)
         snap.errors = len(records) - len(oks)
         snap.error_rate = snap.errors / len(records)

@@ -66,7 +66,14 @@ class ArrivalSchedule:
 
     def mean_rate(self, start: float = 0.0, horizon: float = DAY,
                   samples: int = 1440) -> float:
-        """Numerical average of :meth:`rate` (sizing helper)."""
+        """Numerical average of :meth:`rate` (sizing helper).
+
+        Degenerate inputs are rejected up front — ``np.mean`` over zero
+        samples would silently return NaN.
+        """
+        if horizon <= 0 or samples < 1:
+            raise ConfigurationError(
+                "mean_rate needs horizon > 0 and samples >= 1")
         ts = np.linspace(start, start + horizon, samples, endpoint=False)
         return float(np.mean([self.rate(t) for t in ts]))
 

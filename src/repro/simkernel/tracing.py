@@ -7,6 +7,8 @@ coupling to internals.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
@@ -27,6 +29,13 @@ class TraceRecord:
             return self.fields[item]
         except KeyError as exc:  # pragma: no cover - debug aid
             raise AttributeError(item) from exc
+
+
+def _jsonable(obj: Any) -> Any:
+    """Digest fallback for non-JSON field values (numpy scalars, enums)."""
+    if hasattr(obj, "item"):            # numpy integer / bool scalars
+        return obj.item()
+    return repr(obj)
 
 
 class Tracer:
@@ -59,6 +68,22 @@ class Tracer:
 
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         self._subscribers.append(callback)
+
+    def digest(self) -> str:
+        """Canonical SHA-256 over every record (time, kind, fields).
+
+        Two simulations that interleaved events identically produce the
+        same digest — in one process or across a worker pool — which
+        makes this the golden-trace witness for determinism tests and
+        campaign scorecards.
+        """
+        h = hashlib.sha256()
+        for record in self.records:
+            h.update(json.dumps(
+                [record.time, record.kind, record.fields],
+                sort_keys=True, default=_jsonable).encode())
+            h.update(b"\n")
+        return h.hexdigest()
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         return [r for r in self.records if r.kind == kind]

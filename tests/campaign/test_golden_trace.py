@@ -1,0 +1,46 @@
+"""Golden-trace determinism: same cell, same bytes, any process pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (CampaignGrid, CampaignRunner, ScenarioSpec,
+                            ScheduleSpec, SiteSpec, run_cell)
+
+SPEC = ScenarioSpec(
+    name="golden", seed=4242, horizon=900.0,
+    site=SiteSpec(hops_nodes=4, eldorado_nodes=2, goodall_nodes=3,
+                  cee_nodes=1),
+    platforms=("hops", "goodall"),
+    schedule=ScheduleSpec(kind="diurnal", base_rps=0.05, peak_rps=0.2,
+                          period=3600.0, peak_hour=0.125))
+
+
+def _digest_of_fleet_day() -> tuple[str, dict]:
+    row = run_cell(SPEC)
+    return row["trace_digest"], row
+
+
+def test_trace_digest_byte_stable_across_runs():
+    """Two fresh simulations of one spec leave identical event traces."""
+    digest_a, row_a = _digest_of_fleet_day()
+    digest_b, row_b = _digest_of_fleet_day()
+    assert digest_a == digest_b
+    assert row_a == row_b
+
+
+def test_trace_digest_sensitive_to_seed():
+    import dataclasses
+    other = dataclasses.replace(SPEC, seed=4243)
+    assert run_cell(other)["trace_digest"] != _digest_of_fleet_day()[0]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_worker_processes_reproduce_the_inline_digest(workers):
+    """A pool worker's simulation of a cell matches the parent's own."""
+    grid = CampaignGrid(base=SPEC, axes={"seed": [4242]}, name="golden")
+    scorecard = CampaignRunner(grid, workers=workers).run()
+    (row,) = scorecard["cells"]
+    assert row["trace_digest"] == _digest_of_fleet_day()[0]
+    assert row["arrivals"] == run_cell(
+        grid.expand()[0][0])["arrivals"]

@@ -1,0 +1,122 @@
+"""Property-based tests for arrival-schedule thinning (hypothesis).
+
+The thinning sampler is the statistical foundation of every fleet and
+campaign scenario: if its empirical rate drifts from the declared rate
+function, every SLO and autoscaling result downstream is noise.  These
+properties pin it across the whole parameter space, not a few examples.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fleet.traffic import (DiurnalSchedule, FlashCrowdSchedule,
+                                 PoissonSchedule)
+
+# Poisson counts: |N - mean| <= 6 * sqrt(mean) fails with p ~ 2e-9 per
+# draw — effectively never across the example budget, while still
+# catching any systematic rate bias.
+SIGMAS = 6.0
+
+rates = st.floats(min_value=0.5, max_value=20.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _diurnals(draw_base, draw_peak):
+    return DiurnalSchedule(base_rps=min(draw_base, draw_peak),
+                           peak_rps=max(draw_base, draw_peak))
+
+
+diurnal_schedules = st.builds(_diurnals, rates, rates)
+poisson_schedules = st.builds(PoissonSchedule, rates)
+schedules = st.one_of(poisson_schedules, diurnal_schedules)
+
+
+@given(rate=rates, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_poisson_empirical_rate_matches_mean_rate(rate, seed):
+    rng = np.random.default_rng(seed)
+    horizon = max(400.0 / rate, 100.0)      # expect >= ~400 arrivals
+    times = list(PoissonSchedule(rate).arrivals(rng, 0.0, horizon))
+    expected = rate * horizon
+    assert abs(len(times) - expected) <= SIGMAS * math.sqrt(expected)
+
+
+@given(schedule=schedules, seed=seeds,
+       start=st.floats(min_value=0.0, max_value=3600.0))
+@settings(max_examples=30, deadline=None)
+def test_arrivals_sorted_and_inside_window(schedule, seed, start):
+    rng = np.random.default_rng(seed)
+    horizon = 600.0
+    times = list(schedule.arrivals(rng, start, horizon))
+    assert all(start <= t < start + horizon for t in times)
+    assert all(a < b for a, b in zip(times, times[1:]))
+
+
+@given(schedule=diurnal_schedules, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_diurnal_empirical_rate_matches_mean_rate(schedule, seed):
+    rng = np.random.default_rng(seed)
+    horizon = max(600.0 / schedule.mean_rate(horizon=86400.0), 600.0)
+    times = list(schedule.arrivals(rng, 0.0, horizon))
+    expected = schedule.mean_rate(0.0, horizon, samples=4096) * horizon
+    assert abs(len(times) - expected) <= SIGMAS * math.sqrt(expected) + 1
+
+
+@given(schedule=schedules,
+       mult=st.floats(min_value=1.0, max_value=50.0),
+       t=st.floats(min_value=0.0, max_value=7200.0))
+@settings(max_examples=50, deadline=None)
+def test_flash_rate_never_below_inner(schedule, mult, t):
+    flash = FlashCrowdSchedule(schedule, start=1000.0, duration=900.0,
+                               multiplier=mult, ramp=120.0)
+    assert flash.rate(t) >= schedule.rate(t) - 1e-12
+    assert flash.peak_rate() >= schedule.peak_rate()
+
+
+@given(schedule=poisson_schedules,
+       mult=st.floats(min_value=2.0, max_value=20.0))
+@settings(max_examples=20, deadline=None)
+def test_flash_plateau_rate_is_inner_times_multiplier(schedule, mult):
+    flash = FlashCrowdSchedule(schedule, start=1000.0, duration=900.0,
+                               multiplier=mult, ramp=120.0)
+    mid = 1000.0 + 450.0                    # well inside both ramps
+    assert flash.rate(mid) == pytest.approx(schedule.rate(mid) * mult)
+    outside = 100.0
+    assert flash.rate(outside) == pytest.approx(schedule.rate(outside))
+
+
+@given(rate=rates, mult=st.floats(min_value=2.0, max_value=10.0),
+       seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_flash_burst_window_carries_the_extra_load(rate, mult, seed):
+    """Arrivals inside the burst window track the multiplied rate."""
+    flash = FlashCrowdSchedule(PoissonSchedule(rate), start=0.0,
+                               duration=max(900.0, 400.0 / rate),
+                               multiplier=mult, ramp=0.0)
+    rng = np.random.default_rng(seed)
+    times = list(flash.arrivals(rng, 0.0, flash.duration))
+    expected = rate * mult * flash.duration
+    assert abs(len(times) - expected) <= SIGMAS * math.sqrt(expected)
+
+
+@given(schedule=schedules, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_same_seed_same_arrival_stream(schedule, seed):
+    a = list(schedule.arrivals(np.random.default_rng(seed), 0.0, 300.0))
+    b = list(schedule.arrivals(np.random.default_rng(seed), 0.0, 300.0))
+    assert a == b
+
+
+def test_mean_rate_rejects_degenerate_inputs():
+    schedule = PoissonSchedule(1.0)
+    with pytest.raises(ConfigurationError):
+        schedule.mean_rate(horizon=0.0)
+    with pytest.raises(ConfigurationError):
+        schedule.mean_rate(samples=0)
+    assert schedule.mean_rate(horizon=60.0) == pytest.approx(1.0)
