@@ -333,13 +333,19 @@ def scorecard_text(scorecard: dict) -> str:
 
 def demo_grid(seed: int = 42) -> CampaignGrid:
     """The default 24-cell demo: 2 platforms x 2 schedules x 2 chaos
-    modes x 3 seeds, half an hour of simulated traffic per cell."""
+    modes x 3 seeds, half an hour of simulated traffic per cell.
+
+    Arrival rates are sized for the streaming hot path (~2 req/s per
+    cell, an order of magnitude above the original demo): ~85k requests
+    across the grid, which the coalesced engine and O(1) metrics path
+    simulate in seconds per cell (see ``benchmarks/bench_hotpath.py``).
+    """
     base = ScenarioSpec(
         name="demo", seed=seed, horizon=1800.0, initial_replicas=2,
         site=SiteSpec(hops_nodes=6, eldorado_nodes=2, goodall_nodes=4,
                       cee_nodes=1),
-        schedule=ScheduleSpec(kind="poisson", rate_rps=0.2, base_rps=0.05,
-                              peak_rps=0.3, period=3600.0, peak_hour=0.25),
+        schedule=ScheduleSpec(kind="poisson", rate_rps=2.0, base_rps=0.5,
+                              peak_rps=3.0, period=3600.0, peak_hour=0.25),
         slo=SloSpec(ttft_target=10.0, e2e_target=120.0),
         autoscaler=AutoscalerConfig(min_replicas=2, max_replicas=3))
     return CampaignGrid(

@@ -199,6 +199,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         grid = smoke_grid(seed=args.seed)
     else:
         grid = demo_grid(seed=args.seed)
+    if args.rate_scale != 1.0:
+        import dataclasses
+        if args.rate_scale <= 0:
+            raise SystemExit("--rate-scale must be positive")
+        sched = grid.base.schedule
+        grid.base = dataclasses.replace(grid.base, schedule=dataclasses.replace(
+            sched, rate_rps=sched.rate_rps * args.rate_scale,
+            base_rps=sched.base_rps * args.rate_scale,
+            peak_rps=sched.peak_rps * args.rate_scale))
     for axis in args.axis or []:
         path, values = _parse_axis(axis)
         grid.axes[path] = values
@@ -361,6 +370,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--smoke", action="store_true",
                           help="built-in 4-cell CI grid instead of the "
                                "24-cell demo grid")
+    campaign.add_argument("--rate-scale", type=float, default=1.0,
+                          help="multiply every arrival rate in the "
+                               "grid's base schedule (load scaling for "
+                               "hot-path benchmarking)")
     campaign.add_argument("--list", action="store_true",
                           help="print the expanded cells and exit")
     campaign.add_argument("--out", default=None,

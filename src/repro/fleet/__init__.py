@@ -14,6 +14,7 @@ from .autoscaler import (Autoscaler, AutoscalerConfig, LoadSample,
 from .fleet import Fleet, FleetConfig, FleetReport, Replica
 from .slo import (RequestRecord, SloReport, SloSnapshot, SloSpec,
                   SloTracker, TenantStats)
+from .stats import LogHistogram
 from .traffic import (ArrivalSchedule, DiurnalSchedule, FlashCrowdSchedule,
                       PoissonSchedule, Tenant, TenantMix, TrafficGenerator)
 
@@ -27,6 +28,7 @@ __all__ = [
     "FleetConfig",
     "FleetReport",
     "LoadSample",
+    "LogHistogram",
     "PoissonSchedule",
     "Replica",
     "RequestRecord",

@@ -49,6 +49,10 @@ class AutoscalerConfig:
     drain_timeout: float = 180.0
 
     def __post_init__(self):
+        # Validate every knob ScenarioSpec can reach: a degenerate
+        # config must fail at construction, not as a ZeroDivisionError
+        # (target_outstanding=0) or a silently stuck loop (max_step_up=0,
+        # negative cooldowns) deep inside a campaign cell.
         if not (1 <= self.min_replicas <= self.max_replicas):
             raise ConfigurationError(
                 "need 1 <= min_replicas <= max_replicas")
@@ -58,6 +62,14 @@ class AutoscalerConfig:
         if self.scale_down_threshold >= self.target_outstanding:
             raise ConfigurationError(
                 "scale_down_threshold must be below target_outstanding")
+        if self.max_step_up < 1:
+            raise ConfigurationError("max_step_up must be >= 1")
+        if self.up_cooldown < 0 or self.down_cooldown < 0:
+            raise ConfigurationError("cooldowns must be >= 0")
+        if self.low_streak < 1:
+            raise ConfigurationError("low_streak must be >= 1")
+        if self.drain_timeout < 0:
+            raise ConfigurationError("drain_timeout must be >= 0")
 
 
 @dataclass

@@ -14,6 +14,14 @@ questions online:
 *Goodput* follows the serving-systems convention: completions that met
 every per-request objective, per second — throughput that violates the
 SLO does not count.
+
+The tracker is *streaming*: window aggregates (good/ok/error counts,
+token sums) update O(1) on :meth:`SloTracker.observe` and trim, and
+every quantile — the reported p50/p95/p99 **and** the ``slo_met``
+attainment gate — comes from one shared
+:class:`~repro.fleet.stats.LogHistogram` estimator, so
+:meth:`SloTracker.snapshot` never materializes or sorts the window and
+its cost is independent of how many requests were ever observed.
 """
 
 from __future__ import annotations
@@ -22,9 +30,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-import numpy as np
-
 from ..errors import ConfigurationError
+from .stats import LogHistogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simkernel import SimKernel
@@ -211,19 +218,13 @@ class SloReport:
         }
 
 
-def _percentiles(values: list[float]) -> dict[str, float]:
-    # Zero observations -> all-zero percentiles (never NaN): reports for
-    # idle or all-error runs must still serialize with allow_nan=False.
-    if not values:
-        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
-    arr = np.asarray(values)
-    return {"p50": float(np.percentile(arr, 50)),
-            "p95": float(np.percentile(arr, 95)),
-            "p99": float(np.percentile(arr, 99))}
-
-
 class SloTracker:
-    """Online SLO accounting: O(1) per observation, windowed snapshots."""
+    """Online SLO accounting: O(1) per observation, O(1)-window snapshots.
+
+    The rolling window keeps the raw records (ordered by completion
+    time) only so aged-out records can be *subtracted* from the running
+    aggregates; nothing ever iterates, copies, or sorts the window.
+    """
 
     def __init__(self, kernel: "SimKernel", spec: SloSpec):
         self.kernel = kernel
@@ -231,13 +232,20 @@ class SloTracker:
         self.started_at = kernel.now
         self.submitted = 0
         self._window: deque[RequestRecord] = deque()
+        # Rolling-window aggregates (maintained by _window_add/_remove).
+        self._w_ok = 0
+        self._w_errors = 0
+        self._w_good = 0
+        self._w_tokens = 0
+        self._w_ttft = LogHistogram()
+        self._w_e2e = LogHistogram()
         # Whole-run accumulators.
         self.completed = 0
         self.errors = 0
         self.good = 0
         self.output_tokens = 0
-        self._all_ttfts: list[float] = []
-        self._all_e2es: list[float] = []
+        self._run_ttft = LogHistogram()
+        self._run_e2e = LogHistogram()
         self.per_tenant: dict[str, TenantStats] = {}
 
     # -- ingestion --------------------------------------------------------------
@@ -250,16 +258,28 @@ class SloTracker:
                 and record.latency <= self.spec.e2e_target)
 
     def observe(self, record: RequestRecord) -> None:
-        self._window.append(record)
-        self._trim(record.completed)
+        window = self._window
+        if not window or record.completed >= window[-1].completed:
+            window.append(record)
+        else:
+            # Straggler from a concurrent replica completing out of
+            # order: insert in completion order so trimming by the
+            # (sorted) front can never be blocked by a late record
+            # parked ahead of older ones.
+            idx = len(window) - 1
+            while idx > 0 and window[idx - 1].completed > record.completed:
+                idx -= 1
+            window.insert(idx, record)
+        self._window_add(record)
+        self._trim(window[-1].completed)
         tenant = self.per_tenant.setdefault(record.tenant, TenantStats())
         if record.ok:
             self.completed += 1
             tenant.completed += 1
             self.output_tokens += record.output_tokens
             tenant.output_tokens += record.output_tokens
-            self._all_ttfts.append(record.ttft)
-            self._all_e2es.append(record.latency)
+            self._run_ttft.add(record.ttft)
+            self._run_e2e.add(record.latency)
         else:
             self.errors += 1
             tenant.errors += 1
@@ -267,10 +287,33 @@ class SloTracker:
             self.good += 1
             tenant.good += 1
 
+    def _window_add(self, record: RequestRecord) -> None:
+        if record.ok:
+            self._w_ok += 1
+            self._w_tokens += record.output_tokens
+            self._w_ttft.add(record.ttft)
+            self._w_e2e.add(record.latency)
+        else:
+            self._w_errors += 1
+        if self.is_good(record):
+            self._w_good += 1
+
+    def _window_remove(self, record: RequestRecord) -> None:
+        if record.ok:
+            self._w_ok -= 1
+            self._w_tokens -= record.output_tokens
+            self._w_ttft.remove(record.ttft)
+            self._w_e2e.remove(record.latency)
+        else:
+            self._w_errors -= 1
+        if self.is_good(record):
+            self._w_good -= 1
+
     def _trim(self, now: float) -> None:
         floor = now - self.spec.window
-        while self._window and self._window[0].completed < floor:
-            self._window.popleft()
+        window = self._window
+        while window and window[0].completed < floor:
+            self._window_remove(window.popleft())
 
     # -- views ------------------------------------------------------------------
 
@@ -279,35 +322,30 @@ class SloTracker:
 
         Empty windows return the vacuously-healthy defaults documented
         on :class:`SloSnapshot`; every field is always a finite number.
+        Both the reported percentiles and the ``slo_met`` gate come from
+        the *same* :class:`~repro.fleet.stats.LogHistogram` estimator,
+        so they can never disagree about where a percentile sits.
         """
         now = self.kernel.now
         self._trim(now)
         snap = SloSnapshot(time=now, window=self.spec.window)
-        records = list(self._window)
-        if not records:
+        samples = self._w_ok + self._w_errors
+        if samples == 0:
             return snap
-        oks = [r for r in records if r.ok]
-        good = sum(self.is_good(r) for r in records)
         span = min(self.spec.window, max(now - self.started_at, 1e-9))
-        snap.samples = len(records)
-        snap.completions = len(oks)
-        snap.errors = len(records) - len(oks)
-        snap.error_rate = snap.errors / len(records)
-        snap.throughput_rps = len(oks) / span
-        snap.goodput_rps = good / span
-        snap.output_tok_per_s = sum(r.output_tokens for r in oks) / span
-        snap.attainment = good / len(records)
-        ttft = _percentiles([r.ttft for r in oks])
-        e2e = _percentiles([r.latency for r in oks])
-        snap.ttft_p50, snap.ttft_p95, snap.ttft_p99 = (
-            ttft["p50"], ttft["p95"], ttft["p99"])
-        snap.e2e_p50, snap.e2e_p95, snap.e2e_p99 = (
-            e2e["p50"], e2e["p95"], e2e["p99"])
+        snap.samples = samples
+        snap.completions = self._w_ok
+        snap.errors = self._w_errors
+        snap.error_rate = self._w_errors / samples
+        snap.throughput_rps = self._w_ok / span
+        snap.goodput_rps = self._w_good / span
+        snap.output_tok_per_s = self._w_tokens / span
+        snap.attainment = self._w_good / samples
         p = self.spec.percentile
-        ttft_at_p = (float(np.percentile([r.ttft for r in oks], p))
-                     if oks else 0.0)
-        e2e_at_p = (float(np.percentile([r.latency for r in oks], p))
-                    if oks else 0.0)
+        ttft_q = self._w_ttft.quantiles((50.0, p, 95.0, 99.0))
+        e2e_q = self._w_e2e.quantiles((50.0, p, 95.0, 99.0))
+        snap.ttft_p50, ttft_at_p, snap.ttft_p95, snap.ttft_p99 = ttft_q
+        snap.e2e_p50, e2e_at_p, snap.e2e_p95, snap.e2e_p99 = e2e_q
         snap.slo_met = (snap.error_rate <= self.spec.max_error_rate
                         and ttft_at_p <= self.spec.ttft_target
                         and e2e_at_p <= self.spec.e2e_target)
@@ -322,7 +360,7 @@ class SloTracker:
             errors=self.errors,
             good=self.good,
             output_tokens=self.output_tokens,
-            ttft_percentiles=_percentiles(self._all_ttfts),
-            e2e_percentiles=_percentiles(self._all_e2es),
+            ttft_percentiles=self._run_ttft.percentile_dict(),
+            e2e_percentiles=self._run_e2e.percentile_dict(),
             per_tenant=dict(self.per_tenant),
         )

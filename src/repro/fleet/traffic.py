@@ -29,13 +29,42 @@ if TYPE_CHECKING:  # pragma: no cover
 
 DAY = 86400.0
 
+#: Candidate arrivals drawn per vectorized RNG call during thinning.
+THINNING_BATCH = 1024
+
+
+def _thin_batched(schedule: "ArrivalSchedule", rng: np.random.Generator,
+                  start: float, end: float, envelope: float,
+                  batch: int = THINNING_BATCH) -> Iterator[float]:
+    """Lewis-Shedler thinning over ``[start, end)`` in candidate batches.
+
+    The hot path of every fleet scenario: instead of two scalar RNG
+    calls (gap + accept draw) per candidate event, candidates are drawn
+    ``batch`` at a time with vectorized exponential/uniform draws and the
+    acceptance test evaluates :meth:`ArrivalSchedule.rate_array` once per
+    batch.  Yields exactly the accepted arrival times, ascending.
+    """
+    if envelope <= 0:
+        raise ConfigurationError("schedule peak rate must be positive")
+    t = start
+    scale = 1.0 / envelope
+    while t < end:
+        gaps = rng.exponential(scale, size=batch)
+        accepts = rng.random(batch)
+        times = t + np.cumsum(gaps)
+        t = float(times[-1])
+        keep = accepts * envelope <= schedule.rate_array(times)
+        for value in times[keep & (times < end)]:
+            yield float(value)
+
 
 class ArrivalSchedule:
     """A time-varying arrival-rate function, sampled by thinning.
 
     Subclasses implement :meth:`rate` (instantaneous requests/second at
     simulated time ``t``) and :meth:`peak_rate` (a tight upper bound used
-    as the thinning envelope).
+    as the thinning envelope); overriding :meth:`rate_array` with a
+    vectorized form keeps batched thinning off the per-event Python path.
     """
 
     def rate(self, t: float) -> float:  # pragma: no cover - interface
@@ -44,25 +73,21 @@ class ArrivalSchedule:
     def peak_rate(self) -> float:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def rate_array(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rate`; subclasses override with pure numpy."""
+        return np.fromiter((self.rate(float(t)) for t in ts),
+                           dtype=float, count=len(ts))
+
     def arrivals(self, rng: np.random.Generator, start: float,
                  horizon: float) -> Iterator[float]:
         """Yield absolute arrival times in ``[start, start + horizon)``.
 
-        Non-homogeneous Poisson process via Lewis-Shedler thinning: draw
-        candidate arrivals at the peak rate, accept each with probability
-        ``rate(t) / peak``.
+        Non-homogeneous Poisson process via batched Lewis-Shedler
+        thinning: candidates are drawn at the peak rate in vectorized
+        blocks, each accepted with probability ``rate(t) / peak``.
         """
-        peak = self.peak_rate()
-        if peak <= 0:
-            raise ConfigurationError("schedule peak rate must be positive")
-        t = start
-        end = start + horizon
-        while True:
-            t += rng.exponential(1.0 / peak)
-            if t >= end:
-                return
-            if rng.random() * peak <= self.rate(t):
-                yield t
+        yield from _thin_batched(self, rng, start, start + horizon,
+                                 self.peak_rate())
 
     def mean_rate(self, start: float = 0.0, horizon: float = DAY,
                   samples: int = 1440) -> float:
@@ -90,6 +115,9 @@ class PoissonSchedule(ArrivalSchedule):
 
     def rate(self, t: float) -> float:
         return self.rate_rps
+
+    def rate_array(self, ts: np.ndarray) -> np.ndarray:
+        return np.full(len(ts), self.rate_rps)
 
     def peak_rate(self) -> float:
         return self.rate_rps
@@ -119,6 +147,11 @@ class DiurnalSchedule(ArrivalSchedule):
     def rate(self, t: float) -> float:
         phase = 2.0 * math.pi * (t - self.peak_hour * 3600.0) / self.period
         blend = 0.5 * (1.0 + math.cos(phase))  # 1 at peak_hour, 0 opposite
+        return self.base_rps + (self.peak_rps - self.base_rps) * blend
+
+    def rate_array(self, ts: np.ndarray) -> np.ndarray:
+        phase = 2.0 * np.pi * (ts - self.peak_hour * 3600.0) / self.period
+        blend = 0.5 * (1.0 + np.cos(phase))
         return self.base_rps + (self.peak_rps - self.base_rps) * blend
 
     def peak_rate(self) -> float:
@@ -157,14 +190,26 @@ class FlashCrowdSchedule(ArrivalSchedule):
     def rate(self, t: float) -> float:
         return self.inner.rate(t) * self.factor(t)
 
+    def rate_array(self, ts: np.ndarray) -> np.ndarray:
+        dt = ts - self.start
+        inside = (dt >= 0) & (dt <= self.duration)
+        if self.ramp > 0:
+            edge = np.minimum(dt, self.duration - dt)
+            ramped = 1.0 + (self.multiplier - 1.0) * np.minimum(
+                edge / self.ramp, 1.0)
+            factor = np.where(inside, ramped, 1.0)
+        else:
+            factor = np.where(inside, self.multiplier, 1.0)
+        return self.inner.rate_array(ts) * factor
+
     def peak_rate(self) -> float:
         return self.inner.peak_rate() * self.multiplier
 
     def arrivals(self, rng: np.random.Generator, start: float,
                  horizon: float) -> Iterator[float]:
-        """Piecewise thinning: only the burst window pays the multiplied
-        envelope, so a short flash on a long day does not reject
-        ``multiplier``-fold candidates for the whole horizon."""
+        """Piecewise batched thinning: only the burst window pays the
+        multiplied envelope, so a short flash on a long day does not
+        reject ``multiplier``-fold candidates for the whole horizon."""
         end = start + horizon
         flash_start, flash_end = self.start, self.start + self.duration
         inner_peak = self.inner.peak_rate()
@@ -177,13 +222,7 @@ class FlashCrowdSchedule(ArrivalSchedule):
         for seg_start, seg_end, envelope in segments:
             if seg_start >= seg_end:
                 continue
-            t = seg_start
-            while True:
-                t += rng.exponential(1.0 / envelope)
-                if t >= seg_end:
-                    break
-                if rng.random() * envelope <= self.rate(t):
-                    yield t
+            yield from _thin_batched(self, rng, seg_start, seg_end, envelope)
 
 
 @dataclass(frozen=True)

@@ -64,7 +64,16 @@ class LlmRouter(ContainerApp):
         self.policy = "round-robin"
         self.failed_forwards = 0   # forward attempts that errored or 5xx'd
         self.retried_ok = 0        # requests that succeeded after a failover
-        self._rr_by_pool: dict[tuple[str, ...], int] = {}
+        # Routing-pool epoch: bumped on every membership or health
+        # transition.  The serving pool and rotation index are cached
+        # per epoch, so the per-request path allocates nothing and the
+        # rotation state is O(1) no matter how much churn the pool sees
+        # (the old per-composition counter table grew without bound
+        # under chaos add/remove/quarantine cycles).
+        self._epoch = 0
+        self._cache_epoch = -1
+        self._pool: list[Backend] = []
+        self._rr_idx = 0
         self._client: HttpClient | None = None
 
     def startup(self, ctx: ContainerContext):
@@ -114,12 +123,20 @@ class LlmRouter(ContainerApp):
             except (APIError, NetworkUnreachable, ReproError):
                 ok = False
             if ok:
-                backend.healthy = True
+                if not backend.healthy:
+                    backend.healthy = True
+                    self._epoch += 1
                 backend.consecutive_failures = 0
             else:
-                backend.consecutive_failures += 1
-                if backend.consecutive_failures >= self.UNHEALTHY_AFTER:
-                    backend.healthy = False
+                self._note_failure(backend)
+
+    def _note_failure(self, backend: Backend) -> None:
+        """One failed probe/forward; quarantines after UNHEALTHY_AFTER."""
+        backend.consecutive_failures += 1
+        if (backend.healthy
+                and backend.consecutive_failures >= self.UNHEALTHY_AFTER):
+            backend.healthy = False
+            self._epoch += 1
 
     # -- dynamic membership (fleet control plane) ---------------------------------
 
@@ -129,6 +146,7 @@ class LlmRouter(ContainerApp):
         if backend is None:
             backend = Backend(host, int(port))
             self.backends.append(backend)
+            self._epoch += 1
         return backend
 
     def remove_backend(self, host: str, port: int) -> bool:
@@ -137,12 +155,7 @@ class LlmRouter(ContainerApp):
         if backend is None:
             return False
         self.backends.remove(backend)
-        # Drop rotation counters that reference the departed backend so
-        # churn cannot grow the table without bound.
-        current = {b.key for b in self.backends}
-        self._rr_by_pool = {pool: idx for pool, idx
-                            in self._rr_by_pool.items()
-                            if set(pool) <= current}
+        self._epoch += 1
         return True
 
     def find_backend(self, host: str, port: int) -> Backend | None:
@@ -167,21 +180,44 @@ class LlmRouter(ContainerApp):
 
     # -- routing ----------------------------------------------------------------------
 
-    def _pick(self) -> list[Backend]:
-        healthy = [b for b in self.backends if b.healthy]
-        pool = healthy or list(self.backends)
-        # Rotation is tracked per pool *composition*: a single counter
-        # modulo a shrinking healthy pool skews the rotation after
-        # failover (and after dynamic add/remove).
-        key = tuple(b.key for b in pool)
-        idx = self._rr_by_pool.get(key, 0)
-        self._rr_by_pool[key] = idx + 1
-        start = idx % len(pool)
-        rotated = pool[start:] + pool[:start]
-        if self.policy == "least-outstanding":
-            # Stable sort: the rotation above breaks ties fairly.
-            return sorted(rotated, key=lambda b: b.outstanding)
-        return rotated
+    def _serving_pool(self) -> list[Backend]:
+        """The routable pool, rebuilt only when the epoch moved.
+
+        Rebuilding resets the rotation index, so the rotation is always
+        relative to the current pool composition — a single counter
+        modulo a shrinking healthy pool would skew the rotation after
+        failover (and after dynamic add/remove).
+        """
+        if self._cache_epoch != self._epoch:
+            healthy = [b for b in self.backends if b.healthy]
+            self._pool = healthy or list(self.backends)
+            self._cache_epoch = self._epoch
+            self._rr_idx = 0
+        return self._pool
+
+    def _pick(self):
+        """Yield backends in try-order for one request.
+
+        Lazy: the steady-state (first attempt succeeds) costs one index
+        bump and zero allocations; the failover tail is only ordered
+        when an attempt actually fails.
+        """
+        pool = self._serving_pool()
+        n = len(pool)
+        idx = self._rr_idx
+        self._rr_idx = idx + 1
+        if self.policy != "least-outstanding":
+            for i in range(n):
+                yield pool[(idx + i) % n]
+            return
+        # Least-outstanding: min scan with the rotation breaking ties
+        # fairly; the (rare) failover tail re-ranks with fresh counts.
+        best = min(range(n), key=lambda i: pool[(idx + i) % n].outstanding)
+        yield pool[(idx + best) % n]
+        rest = sorted((i for i in range(n) if i != best),
+                      key=lambda i: pool[(idx + i) % n].outstanding)
+        for i in rest:
+            yield pool[(idx + i) % n]
 
     def _handle(self, request):
         if request.path.startswith("/router/"):
@@ -197,9 +233,7 @@ class LlmRouter(ContainerApp):
                     request.method, backend.host, backend.port, request.path,
                     json=request.json, headers=request.headers)
             except (APIError, NetworkUnreachable, ReproError) as exc:
-                backend.consecutive_failures += 1
-                if backend.consecutive_failures >= self.UNHEALTHY_AFTER:
-                    backend.healthy = False
+                self._note_failure(backend)
                 self.failed_forwards += 1
                 failed_attempts += 1
                 last_error = HttpResponse(502, json={"error": str(exc)})
@@ -210,9 +244,7 @@ class LlmRouter(ContainerApp):
                 # Server errors count toward quarantine too: faster than
                 # waiting out the periodic health pass, and it covers
                 # backends whose health endpoint lies.
-                backend.consecutive_failures += 1
-                if backend.consecutive_failures >= self.UNHEALTHY_AFTER:
-                    backend.healthy = False
+                self._note_failure(backend)
                 self.failed_forwards += 1
                 failed_attempts += 1
                 last_error = response

@@ -62,6 +62,7 @@ class Request:
         self.tokens_generated = 0
         self.preemptions = 0
         self.needs_prefill = True
+        self.active = False       # currently in the running batch
         self.first_token: Event = kernel.event()
         self.done: Event = kernel.event()
 
@@ -102,7 +103,9 @@ class LLMEngine:
         self.total_requests = 0
         self.iterations = 0
         self.crashed: EngineCrash | None = None
-        self._wake: Event | None = None
+        self._kv_tokens = 0       # running total of in-batch context tokens
+        self._wake: Event | None = None       # idle engine, waiting for load
+        self._jump_wake: Event | None = None  # coalesced decode in progress
         self._proc = None
 
     # -- public API -------------------------------------------------------------------
@@ -126,7 +129,18 @@ class LLMEngine:
         self.total_requests += 1
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
+        self.nudge()
         return request
+
+    def nudge(self) -> None:
+        """Interrupt a coalesced decode sleep at the current instant.
+
+        New arrivals (and live fault attachment) must be noticed at the
+        next iteration *boundary*, exactly as in per-iteration stepping;
+        a no-op unless a fast-forward sleep is in flight.
+        """
+        if self._jump_wake is not None and not self._jump_wake.triggered:
+            self._jump_wake.succeed()
 
     def start(self):
         """Spawn the engine loop; returns the process."""
@@ -139,7 +153,8 @@ class LLMEngine:
 
     @property
     def kv_tokens_in_use(self) -> int:
-        return sum(r.total_tokens for r in self.running)
+        """Context tokens held by the running batch (O(1) counter)."""
+        return self._kv_tokens
 
     def metrics(self) -> dict:
         """Prometheus-style snapshot (vLLM's /metrics equivalent)."""
@@ -165,30 +180,165 @@ class LLMEngine:
     # -- engine loop -------------------------------------------------------------------
 
     def _loop(self):
+        kernel = self.kernel
         try:
             while True:
                 if not self.running and not self.waiting:
-                    self._wake = self.kernel.event()
+                    self._wake = kernel.event()
                     yield self._wake
                     self._wake = None
                 self._check_faults()
                 prefill_tokens = self._admit()
                 if not self.running:
                     continue
-                batch = len(self.running)
-                step = self.perf.decode_iteration_time(
-                    batch, self.kv_tokens_in_use)
+                const, kv_coeff = self.perf.decode_coeffs(len(self.running))
+                step = const + kv_coeff * self._kv_tokens
                 if prefill_tokens:
                     step += self.perf.prefill_time(prefill_tokens)
-                yield self.kernel.timeout(step)
+                yield kernel.timeout(step)
                 self.iterations += 1
                 self._advance_all()
+                if self.fault_plan is None and self.running:
+                    yield from self._fast_forward()
         except Interrupted:
             self._fail_outstanding(APIError(503, "engine stopped"))
         except EngineCrash as crash:
             self.crashed = crash
             self._fail_outstanding(crash)
             raise
+
+    # -- coalesced decode (the hot-path fast-forward) ----------------------------------
+
+    #: Below this many provably-eventless iterations, per-iteration
+    #: stepping is cheaper than planning a jump.
+    MIN_JUMP = 4
+
+    def _fast_forward(self):
+        """Run many decode iterations under a single kernel sleep.
+
+        Between iteration boundaries the batch can only change at a
+        finish, a preemption, an admission, a first token, or a fault
+        check — :meth:`_plan_jump` counts how many iterations are
+        provably free of all five, and that whole stretch collapses into
+        one timeout whose duration is the closed-form sum of the
+        per-iteration costs (affine in KV tokens, which grow by
+        ``batch`` per iteration).  A new arrival interrupts the sleep
+        via :meth:`nudge`; the elapsed whole iterations are applied in
+        bulk, the iteration in flight completes at normal granularity,
+        and the main loop admits at the boundary — bit-for-bat the same
+        token counts, TTFTs, and finish times as per-iteration stepping
+        (timing differs only by float-sum rounding).  Disabled whenever
+        a fault plan is armed: those contracts are per-iteration.
+        """
+        j = self._plan_jump()
+        if j < self.MIN_JUMP:
+            return
+        kernel = self.kernel
+        batch = len(self.running)
+        const, kv_coeff = self.perf.decode_coeffs(batch)
+        per_iter = const + kv_coeff * self._kv_tokens
+        kv_growth = kv_coeff * batch
+
+        def cum(m: int) -> float:
+            """Time for the first ``m`` jump iterations."""
+            return m * per_iter + kv_growth * (m * (m - 1) * 0.5)
+
+        self._jump_wake = kernel.event()
+        sleep = kernel.timeout(cum(j))
+        started = kernel.now
+        try:
+            yield kernel.any_of([self._jump_wake, sleep])
+        finally:
+            self._jump_wake = None
+        if sleep.processed:
+            self._apply_iterations(j)
+            return
+        # Nudged mid-sleep: bulk-apply the whole iterations already
+        # elapsed, finish the one in flight at normal granularity, then
+        # let the main loop admit at the boundary.
+        elapsed = kernel.now - started
+        m = self._completed_iterations(elapsed, cum, j)     # m < j
+        self._apply_iterations(m)
+        remainder = cum(m + 1) - elapsed
+        if remainder > 0:
+            yield kernel.timeout(remainder)
+        self._apply_iterations(1)
+
+    def _plan_jump(self) -> int:
+        """Iterations guaranteed free of finishes, first tokens,
+        admissions, and preemptions — eligible for one coalesced sleep.
+
+        A *blocked* waiting queue cannot unblock mid-jump (free KV
+        blocks only shrink between finishes and the batch-size cap only
+        loosens at one) — but an *admissible* head must be admitted at
+        this boundary, exactly as per-iteration stepping would: a
+        request that arrived during the previous iteration's sleep had
+        no jump wake to nudge, so it must not be slept past here.
+        """
+        running = self.running
+        waiting = self.waiting
+        if waiting and (len(running) < self.args.max_num_seqs
+                        and self.blocks.can_allocate(
+                            waiting[0].total_tokens)):
+            return 0
+        j = min(r.max_new_tokens - r.tokens_generated for r in running) - 1
+        if j < 1:
+            return 0
+        for request in running:
+            if request.needs_prefill:   # first token pending
+                return 0
+        blocks = self.blocks
+        free = blocks.free_blocks
+        bs = blocks.block_size
+        # Worst case every sequence crosses a block edge once per ``bs``
+        # iterations; bound j so the crossings cannot exhaust the free
+        # blocks (which would mean a mid-jump preemption).
+        counts = [0] * bs
+        for request in running:
+            counts[(request.total_tokens - 1) % bs] += 1
+
+        def crossings(jj: int) -> int:
+            return sum(c * ((s + jj) // bs)
+                       for s, c in enumerate(counts) if c)
+
+        if crossings(j) > free:
+            lo, hi = 0, j
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if crossings(mid) <= free:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            j = lo
+        return j
+
+    @staticmethod
+    def _completed_iterations(progress: float, cum, j: int) -> int:
+        """Largest ``m < j`` with ``cum(m) <= progress`` (binary search)."""
+        lo, hi = 0, j - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if cum(mid) <= progress:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _apply_iterations(self, m: int) -> None:
+        """Bulk-apply ``m`` whole iterations planned by :meth:`_plan_jump`
+        (no finishes, prefills, or preemptions occur within them)."""
+        if m <= 0:
+            return
+        blocks = self.blocks
+        for request in self.running:
+            blocks.append_tokens(request.id, m)
+            request.tokens_generated += m
+        grown = m * len(self.running)
+        self.total_output_tokens += grown
+        self._kv_tokens += grown
+        self.iterations += m
+
+    # -- per-iteration stepping --------------------------------------------------------
 
     def _check_faults(self) -> None:
         if self.fault_plan is not None:
@@ -205,35 +355,59 @@ class LLMEngine:
             self.waiting.popleft()
             self.blocks.allocate(nxt.id, needed)
             nxt.needs_prefill = True
+            nxt.active = True
             prefill += needed
             self.running.append(nxt)
+            self._kv_tokens += needed
         return prefill
 
     def _advance_all(self) -> None:
         now = self.kernel.now
+        running = self.running
         finished: list[Request] = []
-        for request in list(self.running):
-            if request not in self.running:
-                continue  # got preempted while advancing others
-            if not self._ensure_appendable(request):
-                # Cache completely full with this sequence alone: cap it.
-                finished.append(request)
-                continue
-            if request not in self.running:
-                continue
-            self.blocks.append_token(request.id)
-            request.tokens_generated += 1
-            self.total_output_tokens += 1
-            if request.needs_prefill:
-                request.needs_prefill = False
-                if request.first_token_at is None:
-                    request.first_token_at = now
-                    request.first_token.succeed(now)
-            if request.tokens_generated >= request.max_new_tokens:
-                finished.append(request)
+        if self.blocks.free_blocks >= len(running):
+            # Fast path: every sequence can take a token even if each
+            # one crosses a block edge — no preemption is possible, so
+            # no batch copy and no per-request membership checks.
+            advanced = len(running)
+            for request in running:
+                self.blocks.append_token(request.id)
+                request.tokens_generated += 1
+                if request.needs_prefill:
+                    request.needs_prefill = False
+                    if request.first_token_at is None:
+                        request.first_token_at = now
+                        request.first_token.succeed(now)
+                if request.tokens_generated >= request.max_new_tokens:
+                    finished.append(request)
+        else:
+            advanced = 0
+            for request in list(running):
+                if not request.active:
+                    continue  # got preempted while advancing others
+                if not self._ensure_appendable(request):
+                    # Cache completely full with this sequence alone: cap it.
+                    finished.append(request)
+                    continue
+                if not request.active:
+                    continue
+                self.blocks.append_token(request.id)
+                request.tokens_generated += 1
+                advanced += 1
+                if request.needs_prefill:
+                    request.needs_prefill = False
+                    if request.first_token_at is None:
+                        request.first_token_at = now
+                        request.first_token.succeed(now)
+                if request.tokens_generated >= request.max_new_tokens:
+                    finished.append(request)
+        self.total_output_tokens += advanced
+        self._kv_tokens += advanced
         for request in finished:
-            self.running.remove(request)
+            running.remove(request)
+            request.active = False
             self.blocks.free(request.id)
+            self._kv_tokens -= request.total_tokens
             request.finished_at = now
             if request.first_token_at is None:
                 request.first_token_at = now
@@ -257,7 +431,9 @@ class LLMEngine:
 
     def _preempt(self, victim: Request) -> None:
         self.running.remove(victim)
+        victim.active = False
         self.blocks.free(victim.id)
+        self._kv_tokens -= victim.total_tokens
         victim.preemptions += 1
         victim.needs_prefill = True  # recompute on readmission
         self.waiting.appendleft(victim)
@@ -269,7 +445,9 @@ class LLMEngine:
             if not request.done.triggered:
                 request.done.fail(exc)
         for request in self.running:
+            request.active = False
             if self.blocks.holds(request.id):
                 self.blocks.free(request.id)
         self.running.clear()
         self.waiting.clear()
+        self._kv_tokens = 0

@@ -47,6 +47,9 @@ def attach(engine: "LLMEngine",
     else:
         for trigger in triggers:
             engine.fault_plan.add(trigger)
+    # A coalesced decode sleep must notice the new plan at its next
+    # iteration boundary (idle engines still wait for load, per above).
+    engine.nudge()
     return engine.fault_plan
 
 

@@ -83,6 +83,31 @@ class BlockManager:
             self._held[seq_id] += 1
         self._tokens[seq_id] = tokens + 1
 
+    def append_tokens(self, seq_id: int, n: int) -> None:
+        """Grow a sequence by ``n`` tokens in one bookkeeping update.
+
+        Equivalent to ``n`` calls of :meth:`append_token` (the engine's
+        coalesced fast-forward uses it after proving capacity); raises
+        without side effects when the blocks are not available.
+        """
+        if n < 0:
+            raise ConfigurationError("negative token count")
+        if seq_id not in self._held:
+            raise StateError(f"sequence {seq_id} has no blocks")
+        tokens = self._tokens[seq_id]
+        # New blocks consumed = multiples of block_size crossed by
+        # appends tokens+1 .. tokens+n (a crossing happens on the append
+        # made while the current block is exactly full); floor division
+        # keeps the formula right at tokens == 0.
+        need = ((tokens + n - 1) // self.block_size
+                - (tokens - 1) // self.block_size)
+        if need > self.free_blocks:
+            raise CapacityError(
+                f"need {need} blocks, {self.free_blocks} free")
+        self.free_blocks -= need
+        self._held[seq_id] += need
+        self._tokens[seq_id] = tokens + n
+
     def free(self, seq_id: int) -> None:
         if seq_id not in self._held:
             raise StateError(f"sequence {seq_id} has no blocks")

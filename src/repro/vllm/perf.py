@@ -74,6 +74,7 @@ class PerfModel:
         self.tp = tensor_parallel
         self.pp = pipeline_parallel
         self.profile = profile or PerfProfile()
+        self._coeff_cache: dict[int, tuple[float, float]] = {}
 
     # -- derived rates -------------------------------------------------------------
 
@@ -101,6 +102,35 @@ class PerfModel:
 
     # -- decode ------------------------------------------------------------------------
 
+    def decode_coeffs(self, batch_size: int) -> tuple[float, float]:
+        """Decode cost as an affine function of total KV tokens.
+
+        For a fixed batch, one iteration costs ``const + kv_coeff * kv``:
+        weights/FLOPs/overhead do not depend on context length and the
+        KV stream is linear in it.  The engine's per-iteration hot loop
+        (and its multi-iteration fast-forward, which needs the closed
+        form) reads these two memoized scalars instead of re-deriving
+        the roofline every token.
+        """
+        cached = self._coeff_cache.get(batch_size)
+        if cached is not None:
+            return cached
+        p = self.profile
+        microbatch = max(1.0, batch_size / self.pp)
+        # Per-stage, per-microbatch costs (per GPU within the TP group):
+        weight_read = (self.card.active_weight_bytes / (self.pp * self.tp)
+                       ) / self._bw_eff
+        kv_coeff = ((microbatch / batch_size)
+                    * (self.card.kv_bytes_per_token / self.pp) / self.tp
+                    ) / self._bw_eff * self.pp
+        flops = (2.0 * self.card.active_params / self.pp * microbatch
+                 ) / (self.tp * self._flops_eff)
+        stage = (weight_read + flops
+                 + p.t_overhead / self.pp + p.t_pp_comm * (self.pp > 1))
+        coeffs = (stage * self.pp, kv_coeff)
+        self._coeff_cache[batch_size] = coeffs
+        return coeffs
+
     def decode_iteration_time(self, batch_size: int,
                               kv_tokens_total: int) -> float:
         """One engine iteration: every running sequence advances a token.
@@ -113,19 +143,8 @@ class PerfModel:
         """
         if batch_size <= 0:
             return 0.0
-        p = self.profile
-        microbatch = max(1.0, batch_size / self.pp)
-        # Per-stage, per-microbatch costs (per GPU within the TP group):
-        weight_read = (self.card.active_weight_bytes / (self.pp * self.tp)
-                       ) / self._bw_eff
-        kv_read = ((kv_tokens_total / batch_size) * microbatch
-                   * (self.card.kv_bytes_per_token / self.pp) / self.tp
-                   ) / self._bw_eff
-        flops = (2.0 * self.card.active_params / self.pp * microbatch
-                 ) / (self.tp * self._flops_eff)
-        stage = (weight_read + kv_read + flops
-                 + p.t_overhead / self.pp + p.t_pp_comm * (self.pp > 1))
-        return stage * self.pp
+        const, kv_coeff = self.decode_coeffs(batch_size)
+        return const + kv_coeff * kv_tokens_total
 
     def single_stream_rate(self, context_tokens: int = 512) -> float:
         """Tokens/second for one request (batch 1) — sanity helper."""

@@ -19,6 +19,21 @@ def test_autoscaler_config_validation():
         AutoscalerConfig(target_outstanding=0.0)
     with pytest.raises(ConfigurationError):
         AutoscalerConfig(target_outstanding=4.0, scale_down_threshold=4.0)
+    # Degenerate knobs ScenarioSpec can construct must fail up front
+    # rather than ZeroDivisionError / silently stall the control loop.
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(max_step_up=0)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(up_cooldown=-1.0)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(down_cooldown=-0.1)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(low_streak=0)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(drain_timeout=-5.0)
+    with pytest.raises(ConfigurationError):
+        AutoscalerConfig(interval=0.0)
+    assert AutoscalerConfig(up_cooldown=0.0, down_cooldown=0.0) is not None
 
 
 def test_desired_replicas_clamped():

@@ -82,7 +82,10 @@ def test_snapshot_percentiles_and_slo_met(tracker):
         slo.observe(_record(30.0 + i, ttft=0.2, latency=1.0))
     snap = slo.snapshot()
     assert snap.slo_met
-    assert snap.ttft_p95 == pytest.approx(0.2)
+    # Percentiles come from the shared streaming estimator: exact to
+    # within its documented relative-error bound (~1%), not bit-exact.
+    assert snap.ttft_p95 == pytest.approx(
+        0.2, rel=slo._w_ttft.rel_error_bound())
     assert snap.goodput_rps == snap.throughput_rps > 0
     # Now blow the TTFT target at the tracked percentile.
     for i in range(20):

@@ -213,6 +213,36 @@ def test_stats_reports_outstanding_and_served(rig):
     assert stats["backends"][0]["served"] == 3
 
 
+def test_rotation_state_bounded_under_churn(rig):
+    """Chaos-style churn (add/remove/quarantine cycles) must not grow
+    the router's rotation state: the old per-composition counter table
+    kept one entry per pool composition ever seen, unbounded over long
+    campaigns.  The epoch-cached rotation is O(current pool)."""
+    s1 = _backend(rig, "hops01")
+    s2 = _backend(rig, "hops02")
+    router_host, app = _start_router(rig, ["hops01", "hops02"])
+    for cycle in range(50):
+        # Every cycle creates a composition never seen before (member
+        # churn) plus health flips (quarantine churn).
+        app.add_backend(f"ephemeral{cycle:03d}", 8000)
+        s1["healthy"] = cycle % 2 == 0
+        for _ in range(2 * LlmRouter.UNHEALTHY_AFTER):
+            _post(rig.kernel, rig.fabric, "registry", router_host, 4000,
+                  "/v1/chat/completions", {"messages": []})
+        app.remove_backend(f"ephemeral{cycle:03d}", 8000)
+    s1["healthy"] = True
+    assert not hasattr(app, "_rr_by_pool")      # the unbounded table is gone
+    assert len(app._serving_pool()) <= len(app.backends) == 2
+    assert isinstance(app._rr_idx, int)
+    # Rotation still serves and fails over correctly after the churn.
+    rig.kernel.run(until=rig.kernel.now + 2 * LlmRouter.HEALTH_INTERVAL)
+    s1["calls"] = s2["calls"] = 0
+    for _ in range(6):
+        assert _post(rig.kernel, rig.fabric, "registry", router_host, 4000,
+                     "/v1/chat/completions", {"messages": []}).ok
+    assert s1["calls"] == s2["calls"] == 3
+
+
 def test_unknown_policy_crashes_startup(rig):
     from repro.errors import ContainerCrash
     _backend(rig, "hops01")
