@@ -12,7 +12,7 @@ worker count.
 """
 
 from .runner import (SCHEMA, CampaignGrid, CampaignRunner, demo_grid,
-                     run_cell, scorecard_text, smoke_grid)
+                     run_cell, scorecard_text, sessions_grid, smoke_grid)
 from .spec import (ChaosEventSpec, ScenarioSpec, ScheduleSpec, SiteSpec,
                    TenantSpec, coerce_chaos, get_path, set_path)
 
@@ -30,6 +30,7 @@ __all__ = [
     "get_path",
     "run_cell",
     "scorecard_text",
+    "sessions_grid",
     "set_path",
     "smoke_grid",
 ]

@@ -143,11 +143,14 @@ def run_cell(spec: ScenarioSpec) -> dict:
     mix = spec.build_mix(kernel)
     by_name = {s.name: s for s in catalog()}
 
+    sessions = spec.sessions if spec.sessions.enabled else None
+
     def cell(env):
         yield from fleet.start(initial_replicas=spec.initial_replicas)
         if not spec.chaos:
             report = yield from fleet.run_scenario(
-                schedule, spec.horizon, mix=mix, label=spec.name)
+                schedule, spec.horizon, mix=mix, label=spec.name,
+                sessions=sessions)
             return report
         orchestrator = ChaosOrchestrator(
             fleet,
@@ -158,12 +161,12 @@ def run_cell(spec: ScenarioSpec) -> dict:
             report, _res = yield from orchestrator.run_case(
                 by_name[event.scenario], schedule, spec.horizon,
                 event.inject_at, fault_duration=event.fault_duration,
-                mix=mix)
+                mix=mix, sessions=sessions)
             return report
         plan = [(e.inject_at, by_name[e.scenario], e.fault_duration)
                 for e in spec.chaos]
         report, segments = yield from orchestrator.run_gameday(
-            plan, schedule, spec.horizon, mix=mix)
+            plan, schedule, spec.horizon, mix=mix, sessions=sessions)
         # Lift whole-cell verdicts out of the per-segment reports so
         # scorecard aggregates (recovered counts, MTTR curves) treat
         # gameday cells like single-fault cells: recovered means every
@@ -181,7 +184,7 @@ def run_cell(spec: ScenarioSpec) -> dict:
     digest = kernel.trace.digest()
     fleet.shutdown()
     slo = report.slo
-    return {
+    row = {
         "cell": spec.name,
         "spec_hash": spec.spec_hash(),
         "seed": spec.seed,
@@ -200,6 +203,14 @@ def run_cell(spec: ScenarioSpec) -> dict:
         "resilience": report.resilience,
         "trace_digest": digest,
     }
+    if report.sessions is not None:
+        # Session cells carry the conversational scorecard: workload
+        # accounting plus the per-turn TTFT split and prefix-cache
+        # effectiveness the sweep axes (turns x think x cache) act on.
+        row["sessions"] = report.sessions
+        row["turn_ttft"] = slo.turns
+        row["cache"] = slo.cache
+    return row
 
 
 def _run_cell_payload(payload: dict) -> dict:
@@ -321,6 +332,16 @@ def _axis_aggregate(path: str, rows: list[dict]) -> dict:
                 [c["replica_seconds"] for c in cells], 1),
             "mttr_mean_s": _mean(mttrs, 1),
         }
+        # Session marginals (only for grids that ran session cells):
+        # later-turn TTFT vs the axis is the cache-effectiveness curve.
+        later = [c["turn_ttft"]["later"]["mean_s"] for c in cells
+                 if isinstance(c.get("turn_ttft"), dict)
+                 and c["turn_ttft"].get("later", {}).get("n")]
+        hit_rates = [c["cache"]["hit_rate"] for c in cells
+                     if isinstance(c.get("cache"), dict)]
+        if later or hit_rates:
+            out[value]["ttft_later_mean_s"] = _mean(later, 4)
+            out[value]["cache_hit_rate_mean"] = _mean(hit_rates, 4)
     return out
 
 
@@ -356,6 +377,44 @@ def demo_grid(seed: int = 42) -> CampaignGrid:
             "chaos": ["none", "node_crash"],
             "seed": [seed, seed + 1, seed + 2],
         })
+
+
+def sessions_grid(seed: int = 42) -> CampaignGrid:
+    """The built-in conversational sweep: turns x think-time x cache.
+
+    9 cells of multi-turn traffic (30 simulated minutes each) under
+    the cache-affinity router: conversation length {3, 6} x think time
+    {10 s, 45 s} x prefix cache {on, off}, plus an explicit
+    small-KV-budget cell.  The
+    ``sessions.prefix_caching`` margin is the headline (later-turn TTFT
+    with and without block reuse); the ``gpu_memory_utilization`` cell
+    shows eviction pressure eating the hit rate.
+    """
+    from ..sessions import SessionSpec
+    base = ScenarioSpec(
+        name="sessions", seed=seed, horizon=1800.0, initial_replicas=2,
+        policy="cache-affinity",
+        site=SiteSpec(hops_nodes=6, eldorado_nodes=2, goodall_nodes=4,
+                      cee_nodes=1),
+        schedule=ScheduleSpec(kind="poisson", rate_rps=0.25),
+        slo=SloSpec(ttft_target=10.0, e2e_target=120.0),
+        autoscaler=AutoscalerConfig(min_replicas=2, max_replicas=3),
+        sessions=SessionSpec(enabled=True, mean_turns=5, min_turns=2,
+                             think_mean_s=20.0))
+    return CampaignGrid(
+        base=base, name="sessions-9",
+        axes={
+            "sessions.mean_turns": [3.0, 6.0],
+            "sessions.think_mean_s": [10.0, 45.0],
+            "sessions.prefix_caching": [True, False],
+        },
+        cells=[
+            # ~4.5x less KV than the 0.90 default on H100: eviction
+            # pressure visibly dents the hit rate without starving
+            # max_model_len.
+            {"name": "sessions/small-kv",
+             "gpu_memory_utilization": 0.50},
+        ])
 
 
 def smoke_grid(seed: int = 42) -> CampaignGrid:

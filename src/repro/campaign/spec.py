@@ -29,6 +29,7 @@ from ..fleet.slo import SloSpec
 from ..fleet.traffic import (DAY, ArrivalSchedule, DiurnalSchedule,
                              FlashCrowdSchedule, PoissonSchedule, Tenant,
                              TenantMix)
+from ..sessions.spec import SessionSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.site import ConvergedSite
@@ -166,6 +167,12 @@ class ScenarioSpec:
     chaos: tuple[ChaosEventSpec, ...] = ()
     probe_interval: float = 15.0
     supervisor_interval: float = 30.0
+    #: Multi-turn conversational workload; when ``sessions.enabled`` the
+    #: schedule emits session *starts* and replicas serve with prefix
+    #: caching per ``sessions.prefix_caching``.
+    sessions: SessionSpec = field(default_factory=SessionSpec)
+    #: vLLM's KV-memory knob — the campaign-sweepable "cache size" axis.
+    gpu_memory_utilization: float = 0.90
 
     def __post_init__(self):
         # Forgiving construction: the ergonomic spellings accepted by
@@ -177,6 +184,13 @@ class ScenarioSpec:
         object.__setattr__(self, "chaos", coerce_chaos(self.chaos))
         if not isinstance(self.tenants, tuple):
             object.__setattr__(self, "tenants", tuple(self.tenants))
+        if isinstance(self.sessions, dict):
+            object.__setattr__(self, "sessions",
+                               _make(SessionSpec, self.sessions, "sessions"))
+        if not (0.1 <= self.gpu_memory_utilization <= 1.0):
+            raise ConfigurationError(
+                f"gpu_memory_utilization {self.gpu_memory_utilization} "
+                "out of range (0.1..1.0)")
         if not self.name:
             raise ConfigurationError("spec needs a non-empty name")
         if not self.platforms:
@@ -243,6 +257,9 @@ class ScenarioSpec:
                 for t in data["tenants"])
         if "chaos" in data:
             data["chaos"] = coerce_chaos(data["chaos"])
+        if isinstance(data.get("sessions"), dict):
+            data["sessions"] = _make(SessionSpec, data["sessions"],
+                                     "sessions")
         return cls(**data)
 
     def to_file(self, path: str | pathlib.Path) -> None:
@@ -271,6 +288,15 @@ class ScenarioSpec:
 
     def build_fleet(self, site: "ConvergedSite") -> "Fleet":
         from ..fleet.fleet import Fleet, FleetConfig
+        # Non-default engine knobs only: the rendered `vllm serve`
+        # command (and so every deployment artifact) stays byte-stable
+        # for specs that do not touch them.
+        engine_params: dict = {}
+        if self.sessions.enabled and self.sessions.prefix_caching:
+            engine_params["enable_prefix_caching"] = True
+        if self.gpu_memory_utilization != 0.90:
+            engine_params["gpu_memory_utilization"] = \
+                self.gpu_memory_utilization
         config = FleetConfig(
             model=self.model,
             tensor_parallel_size=self.tensor_parallel_size,
@@ -278,7 +304,8 @@ class ScenarioSpec:
             router_platform=self.router_platform,
             policy=self.policy,
             slo=self.slo,
-            autoscaler=self.autoscaler)
+            autoscaler=self.autoscaler,
+            engine_params=engine_params)
         return Fleet(site, config)
 
     def build_mix(self, kernel: "SimKernel") -> TenantMix | None:
@@ -343,6 +370,8 @@ def set_path(spec: Any, path: str, value: Any) -> Any:
         value = (value,) if isinstance(value, str) else tuple(value)
     elif head == "chaos":
         value = coerce_chaos(value)
+    elif head == "sessions" and isinstance(value, dict):
+        value = _make(SessionSpec, value, "sessions")
     elif head == "tenants" and not isinstance(value, tuple):
         value = tuple(value)
     return dataclasses.replace(spec, **{head: value})

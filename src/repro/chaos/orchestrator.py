@@ -29,6 +29,7 @@ from .supervisor import ReplicaSupervisor, SupervisorConfig
 if TYPE_CHECKING:  # pragma: no cover
     from ..fleet.fleet import Fleet, FleetReport
     from ..fleet.traffic import ArrivalSchedule, TenantMix
+    from ..sessions import SessionSpec
 
 
 @dataclass
@@ -178,12 +179,15 @@ class ChaosOrchestrator:
                  schedule: "ArrivalSchedule", horizon: float,
                  inject_at: float, fault_duration: float = 600.0,
                  mix: "TenantMix | None" = None,
-                 platform_name: str | None = None):
+                 platform_name: str | None = None,
+                 sessions: "SessionSpec | None" = None):
         """Generator: one scenario over one traffic run.
 
         ``inject_at`` is seconds after traffic start.  Returns
         ``(FleetReport, ResilienceReport)``; the fleet report carries the
-        resilience scorecard in its ``resilience`` field.
+        resilience scorecard in its ``resilience`` field.  ``sessions``
+        plays the multi-turn conversational workload through the fault,
+        exactly as :meth:`Fleet.run_scenario` would.
         """
         fleet = self.fleet
         if fleet.router_app is None:
@@ -206,7 +210,8 @@ class ChaosOrchestrator:
         kernel.spawn(self._probe_loop(stop), name="chaos:probes")
         kernel.spawn(injector(kernel), name=f"chaos:inject:{scenario.name}")
         report = yield from fleet.run_scenario(
-            schedule, horizon, mix=mix, label=f"chaos:{scenario.name}")
+            schedule, horizon, mix=mix, label=f"chaos:{scenario.name}",
+            sessions=sessions)
         self._probe_once()      # end-of-run confirmation probe
         stop.succeed()
         resilience = self._resilience(scenario, platform_name, report,
@@ -220,7 +225,8 @@ class ChaosOrchestrator:
                     schedule: "ArrivalSchedule", horizon: float,
                     fault_duration: float = 600.0,
                     mix: "TenantMix | None" = None,
-                    platform_name: str | None = None):
+                    platform_name: str | None = None,
+                    sessions: "SessionSpec | None" = None):
         """Generator: inject several faults over a single traffic run.
 
         ``plan`` is ``[(offset_seconds, scenario), ...]``; an optional
@@ -252,7 +258,8 @@ class ChaosOrchestrator:
         kernel.spawn(self._probe_loop(stop), name="chaos:probes")
         kernel.spawn(injector(kernel), name="chaos:gameday")
         report = yield from fleet.run_scenario(
-            schedule, horizon, mix=mix, label="chaos:gameday")
+            schedule, horizon, mix=mix, label="chaos:gameday",
+            sessions=sessions)
         self._probe_once()
         stop.succeed()
         final_stats = fleet.router_app.stats()

@@ -20,6 +20,11 @@ Commands
                         cell across a ``multiprocessing`` pool; emits
                         ``campaign_scorecard.json``, byte-identical for
                         any ``--workers`` value.
+``sessions``            multi-turn conversational day: session starts on
+                        an arrival schedule, turns growing each prompt
+                        from the prior context, KV prefix caching and
+                        cache-affinity routing; prints the per-turn TTFT
+                        split and cache hit rates.
 ``site``                print the converged-site inventory.
 """
 
@@ -172,6 +177,67 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sessions_spec(args: argparse.Namespace):
+    """The ``repro sessions`` flags as a declarative ScenarioSpec."""
+    from .campaign import ScenarioSpec, ScheduleSpec, SiteSpec
+    from .fleet import AutoscalerConfig, SloSpec
+    from .sessions import SessionSpec
+    platforms = tuple(p.strip() for p in args.platforms.split(",")
+                      if p.strip())
+    caching = not args.no_prefix_cache
+    return ScenarioSpec(
+        name="cli-sessions", seed=args.seed, model=args.model,
+        tensor_parallel_size=args.tp, platforms=platforms,
+        policy=args.policy if caching else "least-outstanding",
+        initial_replicas=args.min_replicas,
+        horizon=args.hours * 3600.0,
+        site=SiteSpec(hops_nodes=8, eldorado_nodes=4, goodall_nodes=4,
+                      cee_nodes=2),
+        schedule=ScheduleSpec(
+            kind="diurnal", base_rps=args.base_rate,
+            peak_rps=args.peak_rate, peak_hour=args.peak_hour),
+        slo=SloSpec(ttft_target=args.ttft_slo, e2e_target=args.e2e_slo),
+        autoscaler=AutoscalerConfig(min_replicas=args.min_replicas,
+                                    max_replicas=args.max_replicas),
+        sessions=SessionSpec(
+            enabled=True, mean_turns=args.turns,
+            min_turns=args.min_turns, max_turns=args.max_turns,
+            think_mean_s=args.think, prefix_caching=caching),
+        gpu_memory_utilization=args.gpu_memory_utilization)
+
+
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    from .experiments.common import canonical_json_text
+    spec = _sessions_spec(args)
+    site = spec.build_site()
+    fleet = spec.build_fleet(site)
+    schedule = spec.schedule.build()
+
+    def scenario(env):
+        yield from fleet.start(initial_replicas=spec.initial_replicas)
+        report = yield from fleet.run_scenario(
+            schedule, horizon=spec.horizon, label=spec.name,
+            sessions=spec.sessions)
+        return report
+
+    report = site.kernel.run(until=site.kernel.spawn(scenario(site.kernel)))
+    fleet.shutdown()
+    print(report.summary())
+    sessions = report.sessions or {}
+    print(f"  sessions: {sessions.get('started', 0)} started, "
+          f"{sessions.get('turns_ok', 0)}/"
+          f"{sessions.get('turns_submitted', 0)} turns ok, "
+          f"{sessions.get('cut_by_horizon', 0)} cut by horizon, "
+          f"max context {sessions.get('context_tokens_max', 0)} tokens")
+    print(f"simulated time: {fmt_duration(site.kernel.now)}")
+    if args.out:
+        import pathlib
+        path = pathlib.Path(args.out)
+        path.write_text(canonical_json_text(report.to_json()))
+        print(f"wrote scorecard to {path}")
+    return 0
+
+
 def _parse_axis(text: str) -> tuple[str, list]:
     """``schedule.kind=poisson,diurnal`` -> (path, typed value list)."""
     path, sep, raw = text.partition("=")
@@ -192,11 +258,13 @@ def _parse_axis(text: str) -> tuple[str, list]:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import (CampaignGrid, CampaignRunner, demo_grid,
-                           scorecard_text, smoke_grid)
+                           scorecard_text, sessions_grid, smoke_grid)
     if args.spec:
         grid = CampaignGrid.from_file(args.spec)
     elif args.smoke:
         grid = smoke_grid(seed=args.seed)
+    elif args.sessions:
+        grid = sessions_grid(seed=args.seed)
     else:
         grid = demo_grid(seed=args.seed)
     if args.rate_scale != 1.0:
@@ -339,6 +407,44 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--out", default=None,
                        help="write the JSON scorecard to this file")
 
+    sessions = sub.add_parser(
+        "sessions", help="multi-turn conversational day with KV prefix "
+                         "caching and cache-affinity routing")
+    sessions.add_argument("--model", default=QUANT)
+    sessions.add_argument("--tp", type=int, default=2,
+                          help="tensor parallel size per replica")
+    sessions.add_argument("--platforms", default="hops,goodall",
+                          help="comma-separated replica placement targets")
+    sessions.add_argument("--policy", default="cache-affinity",
+                          choices=["round-robin", "least-outstanding",
+                                   "cache-affinity"])
+    sessions.add_argument("--hours", type=float, default=6.0,
+                          help="scenario length in simulated hours")
+    sessions.add_argument("--base-rate", type=float, default=0.02,
+                          help="night-time session starts/s")
+    sessions.add_argument("--peak-rate", type=float, default=0.12,
+                          help="diurnal peak session starts/s")
+    sessions.add_argument("--peak-hour", type=float, default=3.0,
+                          help="diurnal peak (simulated clock hour)")
+    sessions.add_argument("--turns", type=float, default=5.0,
+                          help="mean turns per session")
+    sessions.add_argument("--min-turns", type=int, default=1)
+    sessions.add_argument("--max-turns", type=int, default=16)
+    sessions.add_argument("--think", type=float, default=30.0,
+                          help="mean think time between turns, seconds")
+    sessions.add_argument("--no-prefix-cache", action="store_true",
+                          help="disable KV prefix caching (and fall back "
+                               "to least-outstanding routing)")
+    sessions.add_argument("--gpu-memory-utilization", type=float,
+                          default=0.90,
+                          help="vLLM KV-memory fraction (cache size knob)")
+    sessions.add_argument("--min-replicas", type=int, default=1)
+    sessions.add_argument("--max-replicas", type=int, default=4)
+    sessions.add_argument("--ttft-slo", type=float, default=10.0)
+    sessions.add_argument("--e2e-slo", type=float, default=120.0)
+    sessions.add_argument("--out", default=None,
+                          help="write the JSON scorecard to this file")
+
     chaos = sub.add_parser(
         "chaos", help="fault-injection scenario matrix with resilience "
                       "scorecards")
@@ -370,6 +476,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--smoke", action="store_true",
                           help="built-in 4-cell CI grid instead of the "
                                "24-cell demo grid")
+    campaign.add_argument("--sessions", action="store_true",
+                          help="built-in 9-cell conversational grid "
+                               "(turns x think-time x prefix cache)")
     campaign.add_argument("--rate-scale", type=float, default=1.0,
                           help="multiply every arrival rate in the "
                                "grid's base schedule (load scaling for "
@@ -390,6 +499,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "ablation": _cmd_ablation,
         "fleet": _cmd_fleet,
+        "sessions": _cmd_sessions,
         "chaos": _cmd_chaos,
         "campaign": _cmd_campaign,
     }[args.command]

@@ -113,6 +113,11 @@ def _vllm_command(params: dict[str, Any]) -> tuple[str, ...]:
         argv.append(f"--pipeline_parallel_size={pp}")
     if params.get("disable_log_requests", True):
         argv.append("--disable-log-requests")
+    if params.get("enable_prefix_caching"):
+        argv.append("--enable-prefix-caching")
+    gmu = params.get("gpu_memory_utilization")
+    if gmu is not None:
+        argv.append(f"--gpu_memory_utilization={float(gmu)}")
     max_len = params.get("max_model_len")
     if max_len is not None:
         argv.append(f"--max-model-len={int(max_len)}")

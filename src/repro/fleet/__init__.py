@@ -11,7 +11,7 @@ handle that ties them together behind one ``run_scenario()`` call.
 
 from .autoscaler import (Autoscaler, AutoscalerConfig, LoadSample,
                          ScaleEvent)
-from .fleet import Fleet, FleetConfig, FleetReport, Replica
+from .fleet import Fleet, FleetConfig, FleetReport, Replica, TurnResult
 from .slo import (RequestRecord, SloReport, SloSnapshot, SloSpec,
                   SloTracker, TenantStats)
 from .stats import LogHistogram
@@ -41,4 +41,5 @@ __all__ = [
     "TenantMix",
     "TenantStats",
     "TrafficGenerator",
+    "TurnResult",
 ]

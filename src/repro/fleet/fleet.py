@@ -39,6 +39,7 @@ from .traffic import ArrivalSchedule, TenantMix, TrafficGenerator
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.site import ConvergedSite
     from ..hardware.node import Node
+    from ..sessions import SessionSpec
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,10 @@ class FleetConfig:
     client_host: str = ""            # default: router platform service host
     snapshot_interval: float = 120.0
     drain_timeout: float = 1800.0    # scenario-end settle budget
+    #: extra ``vllm serve`` parameters applied to every replica deploy
+    #: (e.g. ``{"enable_prefix_caching": True}`` for session fleets, or
+    #: ``gpu_memory_utilization`` to sweep the KV-cache size).
+    engine_params: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -73,6 +78,18 @@ class Replica:
         return self.backend_host, self.backend_port
 
 
+@dataclass(frozen=True)
+class TurnResult:
+    """What one request (or session turn) looked like to its caller."""
+
+    ok: bool
+    ttft: float = 0.0
+    latency: float = 0.0
+    output_tokens: int = 0
+    cached_tokens: int = 0
+    error: str = ""
+
+
 @dataclass
 class FleetReport:
     """Scorecard of one scenario run."""
@@ -86,6 +103,9 @@ class FleetReport:
     snapshots: list[dict] = field(default_factory=list)
     #: chaos-orchestrator resilience scorecard (None outside chaos runs)
     resilience: dict | None = None
+    #: session-workload accounting (None for single-shot scenarios);
+    #: when set, ``arrivals`` counts session *starts*, not requests.
+    sessions: dict | None = None
 
     @property
     def peak_replicas(self) -> int:
@@ -144,6 +164,8 @@ class FleetReport:
         }
         if self.resilience is not None:
             out["resilience"] = self.resilience
+        if self.sessions is not None:
+            out["sessions"] = self.sessions
         return out
 
 
@@ -346,7 +368,8 @@ class Fleet:
         deployment = yield from self.wf.deploy_model(
             platform.name, self.config.model,
             tensor_parallel_size=self.config.tensor_parallel_size,
-            node=node, extra_params={"name": name})
+            node=node, extra_params={**self.config.engine_params,
+                                     "name": name})
         if isinstance(platform, K8sPlatform):
             host, port = self._k8s_backend(platform, name)
         else:
@@ -454,57 +477,91 @@ class Fleet:
 
     def submit(self, tenant: str, sample) -> None:
         """Open-loop entry: fire one request worker and return immediately."""
-        self.slo.note_submitted()
         self.inflight += 1
         self.kernel.spawn(self._request_worker(tenant, sample),
                           name=f"fleet:req:{tenant}")
 
     def _request_worker(self, tenant: str, sample):
+        try:
+            yield from self.request(tenant, sample.prompt_tokens,
+                                    sample.output_tokens)
+        finally:
+            # Unconditional: an exception escaping request() (teardown
+            # interrupt, malformed response) must not strand the drain
+            # loop on a permanently-elevated inflight count.
+            self.inflight -= 1
+
+    def request(self, tenant: str, prompt_tokens: int, output_tokens: int,
+                session: str | None = None, turn: int = 0):
+        """Generator: one request through the router, fully accounted.
+
+        The closed-loop entry point session turns use directly (the
+        open-loop :meth:`submit` wraps it in a fire-and-forget worker).
+        Observes the SLO tracker — with turn and prefix-cache telemetry
+        when ``session`` is set — and returns a :class:`TurnResult` the
+        session can grow its context from.
+        """
         kernel = self.kernel
+        self.slo.note_submitted()
         submitted = kernel.now
-        ok, error, ttft, out_tokens = False, "", 0.0, 0
+        ok, error, ttft, out_tokens, cached = False, "", 0.0, 0, 0
+        body = {"model": self.config.model,
+                "messages": [{"role": "user", "content": "<sampled>"}],
+                "repro_prompt_tokens": prompt_tokens,
+                "max_tokens": output_tokens,
+                "temperature": 0.7}
+        if session is not None:
+            body["repro_session"] = session
         try:
             response = yield from self._client.post(
                 self.router_host, self.config.router_port,
-                "/v1/chat/completions",
-                json={"model": self.config.model,
-                      "messages": [{"role": "user", "content": "<sampled>"}],
-                      "repro_prompt_tokens": sample.prompt_tokens,
-                      "max_tokens": sample.output_tokens,
-                      "temperature": 0.7})
+                "/v1/chat/completions", json=body)
             ok = response.ok
             if ok:
                 stats = response.json.get("repro_stats", {})
                 ttft = float(stats.get("ttft", 0.0))
+                cached = int(stats.get("cached_tokens", 0))
                 out_tokens = response.json["usage"]["completion_tokens"]
             else:
                 error = str((response.status, response.json))
         except (APIError, NetworkUnreachable, ReproError) as exc:
             error = str(exc)
-        finally:
-            self.inflight -= 1
         self.slo.observe(RequestRecord(
             tenant=tenant, submitted=submitted, completed=kernel.now,
             ttft=ttft, latency=kernel.now - submitted,
-            prompt_tokens=sample.prompt_tokens, output_tokens=out_tokens,
-            ok=ok, error=error))
+            prompt_tokens=prompt_tokens, output_tokens=out_tokens,
+            ok=ok, error=error, session=session or "", turn=turn,
+            cached_tokens=cached))
         # Request-level golden-trace record: the seed-sensitive part of
         # the day, so trace digests distinguish runs that differ only in
-        # arrival randomness.
+        # arrival randomness.  Session turns tag their turn index and
+        # cache hit so session-day digests pin the reuse behavior too.
         kernel.trace.emit(
             "fleet.request", tenant=tenant, ok=ok,
             ttft=round(ttft, 6), latency=round(kernel.now - submitted, 6),
-            output_tokens=out_tokens)
+            output_tokens=out_tokens,
+            **({"turn": turn, "cached_tokens": cached} if turn else {}))
+        return TurnResult(ok=ok, ttft=ttft, latency=kernel.now - submitted,
+                          output_tokens=out_tokens, cached_tokens=cached,
+                          error=error)
 
     # -- scenarios --------------------------------------------------------------
 
     def run_scenario(self, schedule: ArrivalSchedule, horizon: float,
-                     mix: TenantMix | None = None, label: str = "scenario"):
+                     mix: TenantMix | None = None, label: str = "scenario",
+                     sessions: "SessionSpec | None" = None):
         """Generator: play ``horizon`` seconds of open-loop traffic.
 
         Starts the autoscaler and a metrics monitor, waits for the arrival
         stream to end and in-flight requests to drain, then returns a
         :class:`FleetReport`.
+
+        With a ``sessions`` spec the schedule emits *session starts*
+        instead of single-shot requests: each start becomes a multi-turn
+        conversation whose follow-up turns self-schedule closed-loop
+        (serving latency + think time), carrying the session identity
+        that keys the engines' prefix caches and the router's
+        cache-affinity policy.
         """
         if self.router_app is None:
             raise StateError("call fleet.start() before run_scenario()")
@@ -517,8 +574,13 @@ class Fleet:
             self.snapshots = []
             self.replica_timeline = []
         self._scenario_ran = True
-        mix = mix or TenantMix.single(kernel)
-        traffic = TrafficGenerator(kernel, schedule, mix, self.submit)
+        from ..sessions import SessionTraffic
+        if sessions is not None and sessions.enabled:
+            traffic = SessionTraffic(kernel, schedule, sessions,
+                                     self.request, mix=mix)
+        else:
+            mix = mix or TenantMix.single(kernel)
+            traffic = TrafficGenerator(kernel, schedule, mix, self.submit)
         stop = kernel.event()
         kernel.spawn(self.autoscaler.run(stop), name="fleet:autoscaler")
         kernel.spawn(self._monitor(stop), name="fleet:monitor")
@@ -536,7 +598,9 @@ class Fleet:
             slo=self.slo.report(),
             scale_events=list(self.autoscaler.events),
             replica_timeline=list(self.replica_timeline),
-            snapshots=list(self.snapshots))
+            snapshots=list(self.snapshots),
+            sessions=(traffic.log.to_json()
+                      if isinstance(traffic, SessionTraffic) else None))
 
     def _monitor(self, stop_event):
         kernel = self.kernel

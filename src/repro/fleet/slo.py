@@ -59,7 +59,13 @@ class SloSpec:
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """One finished request as observed by the client."""
+    """One finished request as observed by the client.
+
+    ``turn`` is 0 for single-shot traffic and 1-based for session
+    turns; ``cached_tokens`` is how much of the prompt the serving
+    engine prefilled from its prefix cache (0 when caching is off or
+    the request missed).
+    """
 
     tenant: str
     submitted: float
@@ -70,6 +76,9 @@ class RequestRecord:
     output_tokens: int = 0
     ok: bool = True
     error: str = ""
+    session: str = ""
+    turn: int = 0
+    cached_tokens: int = 0
 
 
 @dataclass
@@ -102,6 +111,8 @@ class SloSnapshot:
     e2e_p95: float = 0.0
     e2e_p99: float = 0.0
     slo_met: bool = True
+    session_samples: int = 0        # finished session turns in the window
+    cache_hit_rate: float = 0.0     # fraction of them with a prefix hit
 
     def row(self) -> dict:
         return {
@@ -117,6 +128,9 @@ class SloSnapshot:
             "ttft_p95_s": round(self.ttft_p95, 3),
             "e2e_p95_s": round(self.e2e_p95, 3),
             "slo_met": self.slo_met,
+            **({"session_samples": self.session_samples,
+                "cache_hit_rate": round(self.cache_hit_rate, 4)}
+               if self.session_samples else {}),
         }
 
 
@@ -135,7 +149,13 @@ class TenantStats:
 
 @dataclass
 class SloReport:
-    """Whole-run scorecard."""
+    """Whole-run scorecard.
+
+    ``turns`` and ``cache`` are populated only when the run carried
+    session traffic: per-turn TTFT splits (the first turn pays a full
+    prefill; later turns should ride the prefix cache) and prefix-cache
+    effectiveness as observed by clients.
+    """
 
     spec: SloSpec
     duration: float
@@ -147,6 +167,8 @@ class SloReport:
     ttft_percentiles: dict[str, float]
     e2e_percentiles: dict[str, float]
     per_tenant: dict[str, TenantStats] = field(default_factory=dict)
+    turns: dict | None = None
+    cache: dict | None = None
 
     @property
     def attainment(self) -> float:
@@ -188,6 +210,18 @@ class SloReport:
                 f"  tenant {name:18s} completed={stats.completed:6d} "
                 f"errors={stats.errors:4d} "
                 f"attainment={stats.attainment:.2%}")
+        if self.turns is not None:
+            first, later = self.turns["first"], self.turns["later"]
+            lines.append(
+                f"  ttft by turn: first mean {first['mean_s']:.3f}s "
+                f"(n={first['n']}), later mean {later['mean_s']:.3f}s "
+                f"(n={later['n']})")
+        if self.cache is not None:
+            lines.append(
+                f"  prefix cache: hit rate {self.cache['hit_rate']:.2%} "
+                f"({self.cache['cached_tokens']} of "
+                f"{self.cache['prompt_tokens']} prompt tokens cached, "
+                f"{self.cache['cached_token_ratio']:.2%})")
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -215,7 +249,30 @@ class SloReport:
                 name: {"completed": s.completed, "errors": s.errors,
                        "attainment": round(s.attainment, 4)}
                 for name, s in self.per_tenant.items()},
+            **({"turns": self.turns} if self.turns is not None else {}),
+            **({"cache": self.cache} if self.cache is not None else {}),
         }
+
+
+@dataclass
+class _TurnTtft:
+    """Streaming TTFT aggregate for one turn class (first / later)."""
+
+    n: int = 0
+    ttft_sum: float = 0.0
+    hist: LogHistogram = field(default_factory=LogHistogram)
+
+    def add(self, ttft: float) -> None:
+        self.n += 1
+        self.ttft_sum += ttft
+        self.hist.add(ttft)
+
+    def to_json(self) -> dict:
+        out = {"n": self.n,
+               "mean_s": round(self.ttft_sum / self.n, 4) if self.n else 0.0}
+        out.update({k: round(v, 4)
+                    for k, v in self.hist.percentile_dict().items()})
+        return out
 
 
 class SloTracker:
@@ -239,6 +296,8 @@ class SloTracker:
         self._w_tokens = 0
         self._w_ttft = LogHistogram()
         self._w_e2e = LogHistogram()
+        self._w_session = 0
+        self._w_cache_hits = 0
         # Whole-run accumulators.
         self.completed = 0
         self.errors = 0
@@ -247,6 +306,13 @@ class SloTracker:
         self._run_ttft = LogHistogram()
         self._run_e2e = LogHistogram()
         self.per_tenant: dict[str, TenantStats] = {}
+        # Session-turn accumulators (all zero for single-shot traffic).
+        self.session_requests = 0       # ok requests with turn >= 1
+        self.cache_hit_requests = 0     # of those, cached_tokens > 0
+        self.cached_tokens = 0
+        self.session_prompt_tokens = 0
+        self._turn_stats = {
+            "first": _TurnTtft(), "later": _TurnTtft()}
 
     # -- ingestion --------------------------------------------------------------
 
@@ -280,6 +346,14 @@ class SloTracker:
             tenant.output_tokens += record.output_tokens
             self._run_ttft.add(record.ttft)
             self._run_e2e.add(record.latency)
+            if record.turn >= 1:
+                self.session_requests += 1
+                self.cached_tokens += record.cached_tokens
+                self.session_prompt_tokens += record.prompt_tokens
+                if record.cached_tokens > 0:
+                    self.cache_hit_requests += 1
+                key = "first" if record.turn == 1 else "later"
+                self._turn_stats[key].add(record.ttft)
         else:
             self.errors += 1
             tenant.errors += 1
@@ -293,6 +367,10 @@ class SloTracker:
             self._w_tokens += record.output_tokens
             self._w_ttft.add(record.ttft)
             self._w_e2e.add(record.latency)
+            if record.turn >= 1:
+                self._w_session += 1
+                if record.cached_tokens > 0:
+                    self._w_cache_hits += 1
         else:
             self._w_errors += 1
         if self.is_good(record):
@@ -304,6 +382,10 @@ class SloTracker:
             self._w_tokens -= record.output_tokens
             self._w_ttft.remove(record.ttft)
             self._w_e2e.remove(record.latency)
+            if record.turn >= 1:
+                self._w_session -= 1
+                if record.cached_tokens > 0:
+                    self._w_cache_hits -= 1
         else:
             self._w_errors -= 1
         if self.is_good(record):
@@ -349,9 +431,27 @@ class SloTracker:
         snap.slo_met = (snap.error_rate <= self.spec.max_error_rate
                         and ttft_at_p <= self.spec.ttft_target
                         and e2e_at_p <= self.spec.e2e_target)
+        snap.session_samples = self._w_session
+        if self._w_session:
+            snap.cache_hit_rate = self._w_cache_hits / self._w_session
         return snap
 
     def report(self) -> SloReport:
+        turns = cache = None
+        if self.session_requests:
+            turns = {key: stats.to_json()
+                     for key, stats in self._turn_stats.items()}
+            cache = {
+                "session_requests": self.session_requests,
+                "hits": self.cache_hit_requests,
+                "hit_rate": round(
+                    self.cache_hit_requests / self.session_requests, 4),
+                "cached_tokens": self.cached_tokens,
+                "prompt_tokens": self.session_prompt_tokens,
+                "cached_token_ratio": round(
+                    self.cached_tokens / self.session_prompt_tokens, 4)
+                if self.session_prompt_tokens else 0.0,
+            }
         return SloReport(
             spec=self.spec,
             duration=self.kernel.now - self.started_at,
@@ -363,4 +463,6 @@ class SloTracker:
             ttft_percentiles=self._run_ttft.percentile_dict(),
             e2e_percentiles=self._run_e2e.percentile_dict(),
             per_tenant=dict(self.per_tenant),
+            turns=turns,
+            cache=cache,
         )

@@ -271,10 +271,15 @@ class TenantMix:
                **sampler_kw) -> "TenantMix":
         return cls(kernel, [Tenant(name, 1.0, sampler_kw)])
 
+    def pick(self, rng: np.random.Generator) -> Tenant:
+        """Pick a tenant by weight (no request sampled — the session
+        workload draws its own lengths from per-session streams)."""
+        idx = int(np.searchsorted(self._cumulative, rng.random()))
+        return self.tenants[min(idx, len(self.tenants) - 1)]
+
     def draw(self, rng: np.random.Generator) -> tuple[str, SampledRequest]:
         """Pick a tenant by weight and sample one request from it."""
-        idx = int(np.searchsorted(self._cumulative, rng.random()))
-        tenant = self.tenants[min(idx, len(self.tenants) - 1)]
+        tenant = self.pick(rng)
         sample = self._samplers[tenant.name].sample(1)[0]
         return tenant.name, sample
 

@@ -8,6 +8,7 @@ fails over, giving HPC deployments K8s-like behavior.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..containers.image import (ExecutionExpectations, ImageManifest,
@@ -35,10 +36,21 @@ class Backend:
     consecutive_failures: int = 0
     outstanding: int = 0
     served: int = 0
+    # Prefix-cache telemetry (session requests only, observed from the
+    # ``repro_stats`` the vLLM backend attaches to each completion).
+    sessions_assigned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cached_tokens: int = 0
 
     @property
     def key(self) -> str:
         return f"{self.host}:{self.port}"
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 @register_app("llm-router")
@@ -47,7 +59,12 @@ class LlmRouter(ContainerApp):
 
     Env: ``ROUTER_PORT`` (default 4000), ``BACKENDS`` =
     ``host1:port1,host2:port2,...``, ``ROUTER_POLICY`` = ``round-robin``
-    (default) or ``least-outstanding``.
+    (default), ``least-outstanding``, or ``cache-affinity``
+    (session-sticky: requests carrying a ``repro_session`` key go to
+    the backend holding that conversation's KV prefix, falling back to
+    least-outstanding when the sticky backend is quarantined, removed,
+    or the session is new; ``/router/cache`` exposes the per-backend
+    prefix-cache telemetry).
 
     Backends may also be added and removed at runtime — either through
     :meth:`add_backend` / :meth:`remove_backend` (control-plane handle,
@@ -56,7 +73,11 @@ class LlmRouter(ContainerApp):
 
     UNHEALTHY_AFTER = 2
     HEALTH_INTERVAL = 15.0
-    POLICIES = ("round-robin", "least-outstanding")
+    POLICIES = ("round-robin", "least-outstanding", "cache-affinity")
+    #: Bound on remembered session -> backend stickiness entries; the
+    #: oldest-touched mapping is dropped first (a re-routed session just
+    #: warms a new backend's cache, so forgetting is safe).
+    AFFINITY_CAP = 65536
 
     def __init__(self):
         self.backends: list[Backend] = []
@@ -75,6 +96,9 @@ class LlmRouter(ContainerApp):
         self._pool: list[Backend] = []
         self._rr_idx = 0
         self._client: HttpClient | None = None
+        # cache-affinity state: session key -> backend key, LRU-bounded.
+        self._affinity: "OrderedDict[str, str]" = OrderedDict()
+        self.affinity_reassignments = 0   # sticky target lost (evict/churn)
 
     def startup(self, ctx: ContainerContext):
         ctx.check_expectations()
@@ -176,7 +200,44 @@ class LlmRouter(ContainerApp):
             "outstanding": sum(b.outstanding for b in self.backends),
             "failed_forwards": self.failed_forwards,
             "retried_ok": self.retried_ok,
+            "sessions_tracked": len(self._affinity),
+            "affinity_reassignments": self.affinity_reassignments,
         }
+
+    def _cache_report(self):
+        """Generator: per-backend prefix-cache stats for /router/cache.
+
+        The router-side view (hits/misses/cached tokens it observed on
+        forwarded session turns) is joined with each live backend's own
+        ``/metrics`` prefix-cache gauges (resident blocks, evictions) —
+        unreachable backends simply report ``engine: null``.
+        """
+        backends = []
+        for b in list(self.backends):
+            row = {
+                "backend": b.key,
+                "healthy": b.healthy,
+                "sessions_assigned": b.sessions_assigned,
+                "hits": b.cache_hits,
+                "misses": b.cache_misses,
+                "hit_rate": round(b.cache_hit_rate, 4),
+                "cached_tokens": b.cached_tokens,
+                "engine": None,
+            }
+            try:
+                response = yield from self._client.get(
+                    b.host, b.port, "/metrics")
+                if response.ok and isinstance(response.json, dict):
+                    row["engine"] = response.json.get("prefix_cache")
+            except (APIError, NetworkUnreachable, ReproError):
+                pass
+            backends.append(row)
+        return HttpResponse(200, json={
+            "policy": self.policy,
+            "sessions_tracked": len(self._affinity),
+            "affinity_reassignments": self.affinity_reassignments,
+            "backends": backends,
+        })
 
     # -- routing ----------------------------------------------------------------------
 
@@ -195,17 +256,47 @@ class LlmRouter(ContainerApp):
             self._rr_idx = 0
         return self._pool
 
-    def _pick(self):
+    def _pick(self, session: str | None = None):
         """Yield backends in try-order for one request.
 
         Lazy: the steady-state (first attempt succeeds) costs one index
         bump and zero allocations; the failover tail is only ordered
         when an attempt actually fails.
+
+        Under ``cache-affinity`` a session's sticky backend — the one
+        holding its KV prefix — is tried first as long as it is in the
+        serving pool; otherwise (new session, quarantined or removed
+        backend) the least-outstanding backend is chosen and becomes
+        the new sticky target, and the failover tail proceeds by
+        outstanding count.  The mapping to the backend that *actually
+        served* is confirmed in :meth:`_note_session_result`.
         """
         pool = self._serving_pool()
         n = len(pool)
         idx = self._rr_idx
         self._rr_idx = idx + 1
+        if self.policy == "cache-affinity" and session is not None:
+            sticky = self._affinity.get(session)
+            target = None
+            if sticky is not None:
+                for backend in pool:
+                    if backend.key == sticky:
+                        target = backend
+                        break
+                if target is None:
+                    self.affinity_reassignments += 1
+            if target is None:
+                best = min(range(n),
+                           key=lambda i: pool[(idx + i) % n].outstanding)
+                target = pool[(idx + best) % n]
+                self._remember(session, target)
+            else:
+                self._affinity.move_to_end(session)
+            yield target
+            rest = sorted((b for b in pool if b is not target),
+                          key=lambda b: b.outstanding)
+            yield from rest
+            return
         if self.policy != "least-outstanding":
             for i in range(n):
                 yield pool[(idx + i) % n]
@@ -219,14 +310,48 @@ class LlmRouter(ContainerApp):
         for i in rest:
             yield pool[(idx + i) % n]
 
+    def _remember(self, session: str, backend: Backend) -> None:
+        if self._affinity.get(session) != backend.key:
+            # Counts first placements AND reassignments: the telemetry
+            # answers "how many sessions landed on this backend".
+            backend.sessions_assigned += 1
+        self._affinity[session] = backend.key
+        self._affinity.move_to_end(session)
+        while len(self._affinity) > self.AFFINITY_CAP:
+            self._affinity.popitem(last=False)
+
+    def _note_session_result(self, session: str | None, backend: Backend,
+                             response: HttpResponse) -> None:
+        """Confirm stickiness + record cache telemetry after a success."""
+        if session is None:
+            return
+        if self._affinity.get(session) != backend.key:
+            # A failover landed the turn elsewhere: that backend now
+            # holds the freshest context blocks, so stick to it.
+            self._remember(session, backend)
+        body = response.json if isinstance(response.json, dict) else {}
+        stats = body.get("repro_stats")
+        if isinstance(stats, dict):
+            cached = int(stats.get("cached_tokens", 0))
+            if cached > 0:
+                backend.cache_hits += 1
+                backend.cached_tokens += cached
+            else:
+                backend.cache_misses += 1
+
     def _handle(self, request):
+        if request.path == "/router/cache" and request.method == "GET":
+            response = yield from self._cache_report()
+            return response
         if request.path.startswith("/router/"):
             return self._handle_admin(request)
         if not self.backends:   # dynamic removal can empty the pool
             return HttpResponse(503, json={"error": "no backends"})
+        session = (request.json.get("repro_session")
+                   if isinstance(request.json, dict) else None)
         last_error: HttpResponse | None = None
         failed_attempts = 0
-        for backend in self._pick():
+        for backend in self._pick(session=session):
             backend.outstanding += 1
             try:
                 response = yield from self._client.request(
@@ -251,6 +376,7 @@ class LlmRouter(ContainerApp):
                 continue
             backend.consecutive_failures = 0
             backend.served += 1
+            self._note_session_result(session, backend, response)
             if failed_attempts:
                 # The request was saved by failover: retried, not lost.
                 self.retried_ok += 1

@@ -1,0 +1,22 @@
+"""Sessions subsystem: multi-turn conversational workloads.
+
+Single-shot sampling (PR 1's fleet traffic) treats every request as
+independent; real converged-platform serving is dominated by
+*conversations* — sequences of turns whose prompts share an ever-growing
+prefix.  This package provides the workload half of that story:
+:class:`SessionSpec` (turn counts, think times, prompt growth) and
+:class:`SessionTraffic` (arrival schedules now emit session starts whose
+follow-up turns self-schedule on the simkernel).  The serving half —
+prefix caching in :mod:`repro.vllm.kvcache` and the router's
+cache-affinity policy — keys off the session identity these workloads
+attach to every turn.
+"""
+
+from .spec import SessionSpec
+from .workload import SessionLog, SessionTraffic
+
+__all__ = [
+    "SessionLog",
+    "SessionSpec",
+    "SessionTraffic",
+]

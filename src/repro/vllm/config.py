@@ -32,6 +32,7 @@ class EngineArgs:
     max_model_len: int | None = None
     gpu_memory_utilization: float = 0.90
     max_num_seqs: int = 1024
+    enable_prefix_caching: bool = False
     served_model_name: str | None = None
     host: str = "0.0.0.0"
     port: int = 8000
@@ -80,7 +81,8 @@ def parse_serve_command(command: tuple[str, ...]) -> EngineArgs:
             i += 1
         else:
             flag = token[2:]
-            if flag in ("disable-log-requests", "disable_log_requests"):
+            if flag in ("disable-log-requests", "disable_log_requests",
+                        "enable-prefix-caching", "enable_prefix_caching"):
                 value = "true"
                 i += 1
             else:
@@ -106,6 +108,8 @@ def parse_serve_command(command: tuple[str, ...]) -> EngineArgs:
         elif key == "port":
             kwargs[key] = int(value)
         elif key == "disable_log_requests":
+            kwargs[key] = value.lower() in ("1", "true", "yes")
+        elif key == "enable_prefix_caching":
             kwargs[key] = value.lower() in ("1", "true", "yes")
         elif key == "override_generation_config":
             try:

@@ -39,6 +39,7 @@ class RequestStats:
     ttft: float          # time to first token
     latency: float       # submit -> finish
     preemptions: int
+    cached_tokens: int = 0   # prompt tokens served from the prefix cache
 
     @property
     def decode_rate(self) -> float:
@@ -52,10 +53,12 @@ class Request:
     _ids = itertools.count(1)
 
     def __init__(self, kernel: "SimKernel", prompt_tokens: int,
-                 max_new_tokens: int):
+                 max_new_tokens: int, session_key: str | None = None):
         self.id = next(Request._ids)
         self.prompt_tokens = prompt_tokens
         self.max_new_tokens = max_new_tokens
+        self.session_key = session_key
+        self.cached_tokens = 0    # prefix-cache hit at latest admission
         self.submitted_at = kernel.now
         self.first_token_at: float | None = None
         self.finished_at: float | None = None
@@ -74,6 +77,7 @@ class Request:
             ttft=self.first_token_at - self.submitted_at,
             latency=self.finished_at - self.submitted_at,
             preemptions=self.preemptions,
+            cached_tokens=self.cached_tokens,
         )
 
     @property
@@ -94,7 +98,9 @@ class LLMEngine:
         self.perf = perf
         self.args = args
         self.name = name
-        self.blocks = BlockManager(kv_capacity_tokens)
+        self.blocks = BlockManager(
+            kv_capacity_tokens,
+            prefix_caching=getattr(args, "enable_prefix_caching", False))
         self.waiting: deque[Request] = deque()
         self.running: list[Request] = []
         self.fault_plan = fault_plan
@@ -114,8 +120,15 @@ class LLMEngine:
     def max_model_len(self) -> int:
         return self.args.max_model_len or self.card.max_context
 
-    def submit(self, prompt_tokens: int, max_new_tokens: int) -> Request:
-        """Enqueue a request; returns it (wait on ``request.done``)."""
+    def submit(self, prompt_tokens: int, max_new_tokens: int,
+               session_key: str | None = None) -> Request:
+        """Enqueue a request; returns it (wait on ``request.done``).
+
+        ``session_key`` names the request's append-only token stream
+        (one per conversation); with prefix caching enabled the engine
+        reuses any cached blocks of that stream for the prompt and
+        registers the full context back into the cache at finish.
+        """
         if self.crashed is not None:
             raise APIError(503, f"engine {self.name} has crashed")
         if prompt_tokens < 1 or max_new_tokens < 1:
@@ -124,7 +137,8 @@ class LLMEngine:
             raise APIError(
                 400, f"requested {prompt_tokens}+{max_new_tokens} tokens "
                      f"exceeds max_model_len={self.max_model_len}")
-        request = Request(self.kernel, prompt_tokens, max_new_tokens)
+        request = Request(self.kernel, prompt_tokens, max_new_tokens,
+                          session_key=session_key)
         self.waiting.append(request)
         self.total_requests += 1
         if self._wake is not None and not self._wake.triggered:
@@ -172,6 +186,7 @@ class LLMEngine:
             "num_preemptions_total": sum(
                 r.preemptions for r in self.completed)
             + sum(r.preemptions for r in self.running),
+            "prefix_cache": self.blocks.cache_stats(),
             "request_latency_p50": float(np.percentile(latencies, 50))
             if latencies else 0.0,
             "crashed": self.crashed is not None,
@@ -274,12 +289,20 @@ class LLMEngine:
         this boundary, exactly as per-iteration stepping would: a
         request that arrived during the previous iteration's sleep had
         no jump wake to nudge, so it must not be slept past here.
+
+        Prefix caching does not loosen this argument: admissibility
+        (:meth:`_can_admit`) reads cached hits plus evictable blocks,
+        and mid-jump neither can grow — registrations happen only at
+        finishes (none in a jump) and appends only consume capacity.
+        Evictable cached blocks *do* count toward the block-crossing
+        budget below: evictions cost no simulated time and pop a
+        deterministic LRU, so bulk-applied iterations evict exactly the
+        blocks per-iteration stepping would.
         """
         running = self.running
         waiting = self.waiting
         if waiting and (len(running) < self.args.max_num_seqs
-                        and self.blocks.can_allocate(
-                            waiting[0].total_tokens)):
+                        and self._can_admit(waiting[0])):
             return 0
         j = min(r.max_new_tokens - r.tokens_generated for r in running) - 1
         if j < 1:
@@ -288,7 +311,7 @@ class LLMEngine:
             if request.needs_prefill:   # first token pending
                 return 0
         blocks = self.blocks
-        free = blocks.free_blocks
+        free = blocks.free_blocks + blocks.evictable_blocks
         bs = blocks.block_size
         # Worst case every sequence crosses a block edge once per ``bs``
         # iterations; bound j so the crossings cannot exhaust the free
@@ -344,19 +367,39 @@ class LLMEngine:
         if self.fault_plan is not None:
             self.fault_plan.check(self)
 
+    def _can_admit(self, request: Request) -> bool:
+        """The one admission predicate, shared by :meth:`_admit` and
+        :meth:`_plan_jump`.
+
+        This sharing is the coalescing guard: per-iteration stepping and
+        the fast-forward planner must agree *exactly* on whether the
+        waiting head is admissible (prefix-cache hits and evictable
+        blocks included), or a jump could sleep past an admission the
+        stepwise engine would have made — breaking bit-identity.
+        """
+        return self.blocks.can_allocate(request.total_tokens,
+                                        prefix_key=request.session_key)
+
     def _admit(self) -> int:
-        """FCFS admission while KV blocks allow; returns prefill tokens."""
+        """FCFS admission while KV blocks allow; returns prefill tokens.
+
+        With prefix caching, tokens covered by cached blocks are
+        excluded from the returned prefill cost — the engine skips that
+        compute entirely, which is the TTFT win of a warm conversation.
+        """
         prefill = 0
         while self.waiting and len(self.running) < self.args.max_num_seqs:
             nxt = self.waiting[0]
             needed = nxt.total_tokens  # includes recompute after preemption
-            if not self.blocks.can_allocate(needed):
+            if not self._can_admit(nxt):
                 break
             self.waiting.popleft()
-            self.blocks.allocate(nxt.id, needed)
+            cached = self.blocks.allocate(nxt.id, needed,
+                                          prefix_key=nxt.session_key)
+            nxt.cached_tokens = cached
             nxt.needs_prefill = True
             nxt.active = True
-            prefill += needed
+            prefill += needed - cached
             self.running.append(nxt)
             self._kv_tokens += needed
         return prefill
@@ -406,7 +449,11 @@ class LLMEngine:
         for request in finished:
             running.remove(request)
             request.active = False
-            self.blocks.free(request.id)
+            # A finished conversation turn donates its full-context
+            # blocks to the prefix cache (zero-ref residents) so the
+            # next turn's prompt — prior context + new user text —
+            # prefills only the tail.
+            self.blocks.free(request.id, register_key=request.session_key)
             self._kv_tokens -= request.total_tokens
             request.finished_at = now
             if request.first_token_at is None:

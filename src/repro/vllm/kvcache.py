@@ -5,9 +5,24 @@ here as fixed-size token blocks allocated per sequence, enabling the
 scheduler to admit, grow, free, and preempt sequences without
 fragmentation.  Invariants (no leaks, no double frees, capacity respected)
 are property-tested.
+
+With ``prefix_caching`` enabled the manager also keeps a *content hash*
+table of full blocks, mirroring vLLM's automatic prefix caching: a
+finished sequence registers its context blocks under a prefix key, a
+later allocation with the same key reuses the longest cached block chain
+(ref-counted, shared, never copied), and blocks nobody references stay
+resident in an LRU until memory pressure evicts them.  Multi-turn
+conversations are the payoff: turn *k+1*'s prompt is turn *k*'s full
+context plus the new user text, so everything but the tail prefills for
+free.  Because synthetic workloads carry no token contents, block
+identity is ``(prefix key, block index)`` — exact for append-only
+per-session token streams, which is the only sharing the workload
+generator produces.
 """
 
 from __future__ import annotations
+
+from collections import Counter, OrderedDict
 
 from ..errors import CapacityError, ConfigurationError, StateError
 
@@ -20,19 +35,57 @@ def blocks_needed(n_tokens: int, block_size: int = BLOCK_SIZE) -> int:
     return -(-n_tokens // block_size) if n_tokens else 0
 
 
-class BlockManager:
-    """Allocates KV blocks to sequence ids."""
+def block_hash(prefix_key: str, index: int) -> str:
+    """Content identity of one full block of a prefix-keyed token stream."""
+    return f"{prefix_key}/{index}"
 
-    def __init__(self, capacity_tokens: int, block_size: int = BLOCK_SIZE):
+
+class BlockManager:
+    """Allocates KV blocks to sequence ids, optionally sharing prefixes.
+
+    Block accounting with prefix caching on::
+
+        total_blocks == free_blocks
+                        + sum(private blocks per sequence)
+                        + resident cached blocks   (each counted once,
+                                                    however many refs)
+
+    Cached blocks with a zero refcount live in an LRU; they are evicted
+    (becoming free blocks) only under memory pressure, so a warm cache
+    costs nothing until the space is actually needed.
+    """
+
+    def __init__(self, capacity_tokens: int, block_size: int = BLOCK_SIZE,
+                 prefix_caching: bool = False):
         if capacity_tokens <= 0:
             raise ConfigurationError("KV capacity must be positive")
         if block_size < 1:
             raise ConfigurationError("block size must be >= 1")
         self.block_size = block_size
+        self.prefix_caching = bool(prefix_caching)
         self.total_blocks = capacity_tokens // block_size
         self.free_blocks = self.total_blocks
-        self._held: dict[int, int] = {}    # seq id -> blocks
+        self._held: dict[int, int] = {}    # seq id -> private blocks
         self._tokens: dict[int, int] = {}  # seq id -> logical tokens
+        # seq id -> cached block hashes this sequence holds a ref on
+        # (always a prefix of the sequence's block list, in index order).
+        self._shared: dict[int, tuple[str, ...]] = {}
+        # block hash -> refcount; refcount-0 entries are also in _lru.
+        self._refs: dict[str, int] = {}
+        self._lru: "OrderedDict[str, None]" = OrderedDict()
+        # Cache-content epoch (bumped on register/evict, the only events
+        # that change _refs *membership*) + a one-entry memo for the
+        # prefix-hit walk: admission asks the same (key, tokens)
+        # question up to three times per boundary (_plan_jump, _admit,
+        # allocate), and a warm long-context chain is hundreds of
+        # blocks.
+        self._content_epoch = 0
+        self._hits_memo: tuple | None = None
+        # Telemetry (engine /metrics and the router's /router/cache).
+        self.cache_hit_blocks = 0
+        self.cache_miss_blocks = 0
+        self.cache_evictions = 0
+        self.cached_tokens_total = 0
 
     # -- queries ------------------------------------------------------------------
 
@@ -40,36 +93,108 @@ class BlockManager:
     def used_blocks(self) -> int:
         return self.total_blocks - self.free_blocks
 
+    @property
+    def resident_cached_blocks(self) -> int:
+        """Blocks currently in the prefix cache (referenced or LRU)."""
+        return len(self._refs)
+
+    @property
+    def evictable_blocks(self) -> int:
+        """Cached blocks nobody references (reclaimable on pressure)."""
+        return len(self._lru)
+
     def holds(self, seq_id: int) -> bool:
         return seq_id in self._held
 
     def tokens_of(self, seq_id: int) -> int:
         return self._tokens.get(seq_id, 0)
 
-    def can_allocate(self, n_tokens: int) -> bool:
-        return blocks_needed(n_tokens, self.block_size) <= self.free_blocks
+    def _prefix_hits(self, prefix_key: str | None,
+                     n_tokens: int) -> list[str]:
+        """Longest cached block chain usable by an ``n_tokens`` prompt.
+
+        Capped at ``(n_tokens - 1) // block_size`` so at least one token
+        is always computed (vLLM's full-hit rule: the last token's
+        logits must be produced by a real forward pass).
+        """
+        if not self.prefix_caching or not prefix_key:
+            return []
+        memo = self._hits_memo
+        if memo is not None and memo[0] == prefix_key \
+                and memo[1] == n_tokens and memo[2] == self._content_epoch:
+            return memo[3]
+        hits: list[str] = []
+        for i in range((n_tokens - 1) // self.block_size):
+            h = block_hash(prefix_key, i)
+            if h not in self._refs:
+                break
+            hits.append(h)
+        self._hits_memo = (prefix_key, n_tokens, self._content_epoch, hits)
+        return hits
+
+    def can_allocate(self, n_tokens: int,
+                     prefix_key: str | None = None) -> bool:
+        """Could :meth:`allocate` succeed right now?
+
+        Counts cached-prefix hits (which need no new blocks) and
+        zero-ref cached blocks (evictable on demand) — the *exact*
+        predicate :meth:`allocate` enforces, so admission decisions and
+        the engine's coalescing planner can never disagree with it.
+        """
+        hits = self._prefix_hits(prefix_key, n_tokens)
+        need = blocks_needed(n_tokens, self.block_size) - len(hits)
+        evictable = len(self._lru) - sum(
+            1 for h in hits if self._refs.get(h) == 0)
+        return need <= self.free_blocks + evictable
 
     def can_append(self, seq_id: int) -> bool:
         """Would appending one token to ``seq_id`` need a new block, and
-        if so is one free?"""
+        if so can one be found (free, or evicted from the LRU)?"""
         tokens = self._tokens[seq_id]
         if tokens % self.block_size != 0:
             return True  # room in the current block
-        return self.free_blocks >= 1
+        return self.free_blocks >= 1 or bool(self._lru)
 
     # -- mutations ------------------------------------------------------------------
 
-    def allocate(self, seq_id: int, n_tokens: int) -> None:
-        """Allocate blocks for a sequence's prompt."""
+    def allocate(self, seq_id: int, n_tokens: int,
+                 prefix_key: str | None = None) -> int:
+        """Allocate blocks for a sequence's prompt; returns cached tokens.
+
+        With a ``prefix_key``, the longest chain of cached full blocks
+        is shared (ref-counted) instead of allocated, and the return
+        value is how many prompt tokens those shared blocks cover — the
+        engine skips prefill compute for exactly that many tokens.
+        Raises without side effects when capacity is insufficient even
+        after evicting every unreferenced cached block.
+        """
         if seq_id in self._held:
             raise StateError(f"sequence {seq_id} already has blocks")
-        need = blocks_needed(n_tokens, self.block_size)
-        if need > self.free_blocks:
+        hits = self._prefix_hits(prefix_key, n_tokens)
+        need = blocks_needed(n_tokens, self.block_size) - len(hits)
+        evictable = len(self._lru) - sum(
+            1 for h in hits if self._refs.get(h) == 0)
+        if need > self.free_blocks + evictable:
             raise CapacityError(
-                f"need {need} blocks, {self.free_blocks} free")
+                f"need {need} blocks, {self.free_blocks} free "
+                f"+ {evictable} evictable")
+        for h in hits:           # take refs first: hits are not evictable
+            if self._refs[h] == 0:
+                del self._lru[h]
+            self._refs[h] += 1
+        while need > self.free_blocks:
+            self._evict_one()
         self.free_blocks -= need
         self._held[seq_id] = need
         self._tokens[seq_id] = n_tokens
+        if hits:
+            self._shared[seq_id] = tuple(hits)
+        if self.prefix_caching and prefix_key:
+            full = (n_tokens - 1) // self.block_size
+            self.cache_hit_blocks += len(hits)
+            self.cache_miss_blocks += full - len(hits)
+            self.cached_tokens_total += len(hits) * self.block_size
+        return len(hits) * self.block_size
 
     def append_token(self, seq_id: int) -> None:
         """Grow a sequence by one generated token."""
@@ -77,6 +202,8 @@ class BlockManager:
             raise StateError(f"sequence {seq_id} has no blocks")
         tokens = self._tokens[seq_id]
         if tokens % self.block_size == 0:
+            if self.free_blocks < 1 and self._lru:
+                self._evict_one()
             if self.free_blocks < 1:
                 raise CapacityError("KV cache exhausted")
             self.free_blocks -= 1
@@ -101,26 +228,114 @@ class BlockManager:
         # keeps the formula right at tokens == 0.
         need = ((tokens + n - 1) // self.block_size
                 - (tokens - 1) // self.block_size)
-        if need > self.free_blocks:
+        if need > self.free_blocks + len(self._lru):
             raise CapacityError(
-                f"need {need} blocks, {self.free_blocks} free")
+                f"need {need} blocks, {self.free_blocks} free "
+                f"+ {len(self._lru)} evictable")
+        while need > self.free_blocks:
+            self._evict_one()
         self.free_blocks -= need
         self._held[seq_id] += need
         self._tokens[seq_id] = tokens + n
 
-    def free(self, seq_id: int) -> None:
+    def free(self, seq_id: int, register_key: str | None = None) -> None:
+        """Release a sequence's blocks (and its cached-prefix refs).
+
+        With ``register_key`` (and prefix caching on), the sequence's
+        *full* context blocks beyond its shared prefix are handed to the
+        cache instead of freed: they become zero-ref residents, ready
+        for the conversation's next turn.  The partial tail block is
+        always freed — only full blocks have stable content identity.
+
+        Within a chain, blocks enter the LRU in *descending* index
+        order (tail oldest), so memory pressure trims chains from the
+        tail like vLLM's leaf-first eviction: the surviving head stays
+        a usable contiguous prefix instead of orphaning resident blocks
+        behind an evicted block 0.
+        """
         if seq_id not in self._held:
             raise StateError(f"sequence {seq_id} has no blocks")
-        self.free_blocks += self._held.pop(seq_id)
-        del self._tokens[seq_id]
+        tokens = self._tokens.pop(seq_id)
+        private = self._held.pop(seq_id)
+        shared = self._shared.pop(seq_id, ())
+        if self.prefix_caching and register_key:
+            registered = False
+            for i in reversed(range(len(shared), tokens // self.block_size)):
+                h = block_hash(register_key, i)
+                if h not in self._refs:
+                    self._refs[h] = 0
+                    self._lru[h] = None        # MRU end
+                    private -= 1               # stays resident, not freed
+                    registered = True
+            if registered:
+                self._content_epoch += 1
+        self.free_blocks += private
+        for h in reversed(shared):
+            self._release(h)
+
+    def drop_cache(self) -> int:
+        """Evict every unreferenced cached block; returns blocks freed."""
+        dropped = 0
+        while self._lru:
+            self._evict_one()
+            dropped += 1
+        return dropped
+
+    def _release(self, h: str) -> None:
+        count = self._refs[h] - 1
+        self._refs[h] = count
+        if count == 0:
+            self._lru[h] = None                # MRU end (just used)
+
+    def _evict_one(self) -> None:
+        h, _ = self._lru.popitem(last=False)   # LRU end
+        del self._refs[h]
+        self.free_blocks += 1
+        self.cache_evictions += 1
+        self._content_epoch += 1
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Prefix-cache counters (engine /metrics, router /router/cache)."""
+        lookups = self.cache_hit_blocks + self.cache_miss_blocks
+        return {
+            "enabled": self.prefix_caching,
+            "hit_blocks": self.cache_hit_blocks,
+            "miss_blocks": self.cache_miss_blocks,
+            "hit_rate": round(self.cache_hit_blocks / lookups, 4)
+            if lookups else 0.0,
+            "resident_blocks": self.resident_cached_blocks,
+            "evictable_blocks": self.evictable_blocks,
+            "evictions": self.cache_evictions,
+            "cached_tokens_total": self.cached_tokens_total,
+        }
 
     # -- invariant check (used by property tests) --------------------------------------
 
     def check_invariants(self) -> None:
-        held = sum(self._held.values())
-        assert held + self.free_blocks == self.total_blocks, \
-            "block accounting leak"
+        """Full accounting audit; raises AssertionError on any leak,
+        double free, or refcount drift.  Reused by the hypothesis suites
+        and the engine's kv-counter audits."""
+        private = sum(self._held.values())
+        assert private + self.free_blocks + len(self._refs) \
+            == self.total_blocks, "block accounting leak"
+        assert 0 <= self.free_blocks <= self.total_blocks, \
+            "free-block count out of range"
+        held_refs = Counter(h for hashes in self._shared.values()
+                            for h in hashes)
+        for h, count in self._refs.items():
+            assert count >= 0, f"negative refcount on {h}"
+            assert count == held_refs.get(h, 0), \
+                f"refcount drift on {h}: {count} != {held_refs.get(h, 0)}"
+            assert (count == 0) == (h in self._lru), \
+                f"LRU membership wrong for {h}"
+        for h in held_refs:
+            assert h in self._refs, f"dangling shared ref {h}"
         for seq_id, blocks in self._held.items():
-            assert blocks >= blocks_needed(self._tokens[seq_id],
-                                           self.block_size), \
-                f"sequence {seq_id} under-allocated"
+            shared = len(self._shared.get(seq_id, ()))
+            assert blocks + shared == blocks_needed(
+                self._tokens[seq_id], self.block_size), \
+                f"sequence {seq_id} block count drifted"
+        assert set(self._shared) <= set(self._held), \
+            "shared refs for unknown sequence"

@@ -192,8 +192,14 @@ class VllmOpenAIServer(ContainerApp):
                 text = str(body.get("prompt", ""))
             prompt_tokens = estimate_tokens(text)
         max_tokens = int(body.get("max_tokens", 1024))
+        # Conversation identity for prefix caching: ``cache_salt`` is
+        # vLLM's own field; ``repro_session`` is what the fleet's
+        # session workload sends.  Either keys the engine's block reuse.
+        session = body.get("repro_session") or body.get("cache_salt")
         try:
-            handle = self.engine.submit(int(prompt_tokens), max_tokens)
+            handle = self.engine.submit(
+                int(prompt_tokens), max_tokens,
+                session_key=str(session) if session else None)
         except APIError as exc:
             return HttpResponse(exc.status, json={"error": exc.message})
         try:
@@ -216,5 +222,6 @@ class VllmOpenAIServer(ContainerApp):
                       "total_tokens": stats.prompt_tokens
                       + stats.output_tokens},
             "repro_stats": {"ttft": stats.ttft, "latency": stats.latency,
-                            "preemptions": stats.preemptions},
+                            "preemptions": stats.preemptions,
+                            "cached_tokens": stats.cached_tokens},
         })

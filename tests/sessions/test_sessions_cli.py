@@ -1,0 +1,37 @@
+"""The ``repro sessions`` subcommand and ``repro campaign --sessions``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def test_sessions_command_runs_a_short_day(tmp_path, capsys):
+    out_path = tmp_path / "sessions_scorecard.json"
+    assert main(["sessions", "--hours", "0.5", "--base-rate", "0.03",
+                 "--peak-rate", "0.06", "--turns", "4", "--think", "15",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "prefix cache: hit rate" in out
+    assert "ttft by turn" in out
+    assert "sessions:" in out
+    scorecard = json.loads(out_path.read_text())
+    assert scorecard["sessions"]["started"] > 0
+    assert scorecard["slo"]["cache"]["hit_rate"] > 0.0
+    assert scorecard["slo"]["turns"]["later"]["n"] > 0
+
+
+def test_sessions_command_no_prefix_cache(capsys):
+    assert main(["sessions", "--hours", "0.4", "--base-rate", "0.03",
+                 "--peak-rate", "0.05", "--turns", "3", "--think", "10",
+                 "--no-prefix-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "hit rate 0.00%" in out
+
+
+def test_campaign_sessions_grid_lists_nine_cells(capsys):
+    assert main(["campaign", "--sessions", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "9 cells" in out
+    assert "sessions/small-kv" in out

@@ -13,11 +13,13 @@ from repro.simkernel import SimKernel
 from repro.vllm import EngineArgs, LLMEngine, PerfModel, PerfProfile
 
 
-def _engine(kernel, kv_tokens=None, max_num_seqs=1024, coalesce=True):
+def _engine(kernel, kv_tokens=None, max_num_seqs=1024, coalesce=True,
+            prefix_caching=False):
     card = llama4_scout()
     gpu = gpu_spec("H100-SXM-80G")
     args = EngineArgs(model=card.name, tensor_parallel_size=4,
-                      max_model_len=65536, max_num_seqs=max_num_seqs)
+                      max_model_len=65536, max_num_seqs=max_num_seqs,
+                      enable_prefix_caching=prefix_caching)
     kv = kv_tokens if kv_tokens is not None else validate_fit(
         card, gpu, 4, max_model_len=65536)
     perf = PerfModel(card, gpu, 4, profile=PerfProfile())
@@ -27,6 +29,66 @@ def _engine(kernel, kv_tokens=None, max_num_seqs=1024, coalesce=True):
         engine.MIN_JUMP = 10 ** 9
     engine.start()
     return engine
+
+
+# Multi-turn session traffic: (submit_at, prompt, max_new, session_key).
+# Turn k+1's prompt = turn k's prompt + output + fresh user text, so the
+# prefix cache hits mid-run — while unkeyed single-shots interleave.
+SESSION_WORKLOAD = [
+    (0.0, 200, 120, "a"), (0.5, 150, 40, "b"), (2.0, 300, 200, None),
+    (8.0, 360, 90, "a"),        # a#2: 200+120+40
+    (9.0, 220, 60, "b"),        # b#2: 150+40+30
+    (12.0, 512, 300, None), (12.5, 64, 8, None),
+    (20.0, 500, 150, "a"),      # a#3: 360+90+50
+    (21.0, 310, 80, "b"),       # b#3: 220+60+30
+    (40.0, 900, 400, None), (41.0, 700, 120, "a"),
+]
+
+
+def _run_session_workload(coalesce, kv_tokens=None):
+    kernel = SimKernel(seed=9)
+    engine = _engine(kernel, kv_tokens=kv_tokens, coalesce=coalesce,
+                     prefix_caching=True)
+    requests = []
+
+    def feeder(env):
+        t = 0.0
+        for at, prompt, max_new, key in SESSION_WORKLOAD:
+            if at > t:
+                yield env.timeout(at - t)
+                t = at
+            requests.append(engine.submit(prompt, max_new,
+                                          session_key=key))
+
+    kernel.spawn(feeder(kernel))
+    kernel.run(until=5000.0)
+    return engine, requests
+
+
+@pytest.mark.parametrize("kv_tokens", [None, 4096])
+def test_coalesced_equals_stepwise_with_prefix_caching(kv_tokens):
+    """The PR-4 equivalence contract must survive prefix caching: jumps
+    plan with the same admission predicate and eviction accounting as
+    per-iteration stepping, so tokens, TTFTs, finish times, cache hits,
+    and the cache's own counters are bit-identical either way."""
+    fast_engine, fast = _run_session_workload(True, kv_tokens)
+    slow_engine, slow = _run_session_workload(False, kv_tokens)
+    assert len(fast) == len(slow) == len(SESSION_WORKLOAD)
+    for a, b in zip(fast, slow):
+        assert a.tokens_generated == b.tokens_generated
+        assert a.preemptions == b.preemptions
+        assert a.cached_tokens == b.cached_tokens
+        assert a.first_token_at == pytest.approx(b.first_token_at,
+                                                 rel=1e-9, abs=1e-6)
+        assert a.finished_at == pytest.approx(b.finished_at,
+                                              rel=1e-9, abs=1e-6)
+    assert fast_engine.total_output_tokens == slow_engine.total_output_tokens
+    assert fast_engine.iterations == slow_engine.iterations
+    assert fast_engine.blocks.cache_stats() == slow_engine.blocks.cache_stats()
+    assert any(r.cached_tokens > 0 for r in fast), \
+        "the workload must actually exercise the cache"
+    fast_engine.blocks.check_invariants()
+    slow_engine.blocks.check_invariants()
 
 
 WORKLOAD = [
