@@ -123,7 +123,7 @@ class CampaignGrid:
 
 # -- one cell -------------------------------------------------------------------
 
-def run_cell(spec: ScenarioSpec) -> dict:
+def run_cell(spec: ScenarioSpec, observability: bool = True) -> dict:
     """Simulate one cell start to finish; returns its scorecard row.
 
     Builds a fresh site and fleet from the spec, plays the schedule
@@ -131,6 +131,11 @@ def run_cell(spec: ScenarioSpec) -> dict:
     reduces the :class:`FleetReport` to a JSON-safe row including the
     kernel's trace digest — the strongest cheap witness that two
     processes computed the same simulation.
+
+    ``observability=False`` runs the identical cell fully dark (no
+    registry, spans, or scraper; the row's ``obs`` block is None) — the
+    baseline arm of the overhead bench and of instrumentation-cost
+    ablations.
     """
     from ..chaos.orchestrator import ChaosOrchestrator
     from ..chaos.scenarios import catalog
@@ -138,7 +143,12 @@ def run_cell(spec: ScenarioSpec) -> dict:
 
     site = spec.build_site()
     kernel = site.kernel
+    if not observability:
+        kernel.obs.disable()
     fleet = spec.build_fleet(site)
+    if not observability:
+        fleet.config = dataclasses.replace(
+            fleet.config, obs_spans=False, scrape_interval=0.0)
     schedule = spec.schedule.build()
     mix = spec.build_mix(kernel)
     by_name = {s.name: s for s in catalog()}
@@ -202,6 +212,10 @@ def run_cell(spec: ScenarioSpec) -> dict:
         "replica_seconds": round(report.replica_seconds, 1),
         "resilience": report.resilience,
         "trace_digest": digest,
+        # Span/metrics/scrape digests: like trace_digest, these must be
+        # byte-identical whatever the worker count (trace ids are
+        # per-kernel counters, never process-global request ids).
+        "obs": report.obs,
     }
     if report.sessions is not None:
         # Session cells carry the conversational scorecard: workload

@@ -25,6 +25,12 @@ Commands
                         from the prior context, KV prefix caching and
                         cache-affinity routing; prints the per-turn TTFT
                         split and cache hit rates.
+``obs``                 observability demo: run a short fleet scenario
+                        with span tracing on and print the per-phase
+                        latency breakdown, the top-N slowest requests,
+                        and the registry/span/scrape digests; opt-in
+                        wall-clock self-profile (``--profile``) and
+                        Chrome-trace export (``--trace-out``).
 ``site``                print the converged-site inventory.
 """
 
@@ -315,6 +321,113 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if summary["failed"] else 0
 
 
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted list."""
+    import math
+    rank = max(1, math.ceil(q / 100.0 * len(values)))
+    return values[rank - 1]
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .campaign import ScenarioSpec, ScheduleSpec, SiteSpec
+    from .fleet import AutoscalerConfig, SloSpec
+    from .obs import chrome_trace, profiler
+
+    spec = ScenarioSpec(
+        name="cli-obs", seed=args.seed,
+        platforms=("hops",), initial_replicas=2,
+        horizon=args.minutes * 60.0,
+        site=SiteSpec(hops_nodes=6, eldorado_nodes=2, goodall_nodes=4,
+                      cee_nodes=1),
+        schedule=ScheduleSpec(kind="poisson", rate_rps=args.rate),
+        slo=SloSpec(ttft_target=10.0, e2e_target=120.0),
+        autoscaler=AutoscalerConfig(min_replicas=2, max_replicas=3))
+    site = spec.build_site()
+    fleet = spec.build_fleet(site)
+    schedule = spec.schedule.build()
+    if args.profile:
+        profiler.reset()
+        profiler.enable()
+
+    def scenario(env):
+        yield from fleet.start(initial_replicas=spec.initial_replicas)
+        report = yield from fleet.run_scenario(
+            schedule, horizon=spec.horizon, label=spec.name)
+        return report
+
+    report = site.kernel.run(until=site.kernel.spawn(scenario(site.kernel)))
+    fleet.shutdown()
+    if args.profile:
+        profiler.disable()
+
+    spans = site.kernel.obs.spans
+    print(report.summary())
+    print(f"simulated time: {fmt_duration(site.kernel.now)}")
+
+    # Per-phase latency breakdown across every traced request.
+    print("\nper-phase latency breakdown:")
+    print(f"  {'phase':8s} {'count':>7s} {'mean_s':>9s} "
+          f"{'p95_s':>9s} {'max_s':>9s} {'share':>7s}")
+    phases: dict[str, list[float]] = {}
+    for span in spans.finished:
+        if span.name in ("route", "queue", "prefill", "decode"):
+            phases.setdefault(span.name, []).append(span.duration)
+    total = sum(sum(v) for v in phases.values()) or 1.0
+    for name in ("route", "queue", "prefill", "decode"):
+        durations = sorted(phases.get(name, []))
+        if not durations:
+            continue
+        print(f"  {name:8s} {len(durations):7d} "
+              f"{sum(durations) / len(durations):9.3f} "
+              f"{_percentile(durations, 95.0):9.3f} "
+              f"{durations[-1]:9.3f} "
+              f"{sum(durations) / total:6.1%}")
+
+    # The slowest end-to-end requests, with where each spent its time.
+    by_trace = spans.traces()
+    roots = sorted((s for s in spans.finished if s.name == "request"),
+                   key=lambda s: -s.duration)[:args.top]
+    print(f"\ntop {len(roots)} slowest requests:")
+    for root in roots:
+        parts = ", ".join(
+            f"{child.name}={child.duration:.3f}s"
+            for child in by_trace.get(root.trace_id, [])
+            if child.name in ("queue", "prefill", "decode"))
+        print(f"  trace {root.trace_id}: {root.duration:.3f}s "
+              f"(tenant={root.attrs.get('tenant')}, {parts})")
+
+    if report.obs is not None:
+        print("\ndigests:")
+        for key, value in sorted(report.obs["digests"].items()):
+            print(f"  {key}: {value}")
+        scrape = report.obs.get("scrape")
+        if scrape:
+            print(f"  scrape: {scrape['digest']} "
+                  f"({scrape['scrapes']} scrapes "
+                  f"@ {scrape['interval']:.0f}s)")
+
+    if args.profile:
+        print("\nwall-clock self-profile:")
+        print(profiler.report())
+        print("flamegraph (collapsed stacks, µs):")
+        print(profiler.flamegraph())
+
+    if args.trace_out:
+        import pathlib
+        doc = chrome_trace(spans, profiler if args.profile else None)
+        path = pathlib.Path(args.trace_out)
+        path.write_text(json.dumps(doc, sort_keys=True))
+        print(f"wrote Chrome trace ({len(doc['traceEvents'])} events) "
+              f"to {path} — open in chrome://tracing or ui.perfetto.dev")
+    if args.out:
+        import pathlib
+        from .experiments.common import canonical_json_text
+        path = pathlib.Path(args.out)
+        path.write_text(canonical_json_text(report.to_json()))
+        print(f"wrote scorecard to {path}")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .chaos import run_matrix
     from .chaos.runner import scorecard_text
@@ -445,6 +558,23 @@ def build_parser() -> argparse.ArgumentParser:
     sessions.add_argument("--out", default=None,
                           help="write the JSON scorecard to this file")
 
+    obs = sub.add_parser(
+        "obs", help="observability demo: span breakdowns, slowest "
+                    "requests, self-profile, Chrome-trace export")
+    obs.add_argument("--minutes", type=float, default=30.0,
+                     help="scenario length in simulated minutes")
+    obs.add_argument("--rate", type=float, default=0.5,
+                     help="Poisson arrival rate, req/s")
+    obs.add_argument("--top", type=int, default=5,
+                     help="how many slowest requests to show")
+    obs.add_argument("--profile", action="store_true",
+                     help="enable the wall-clock self-profiler and print "
+                          "the per-subsystem report + text flamegraph")
+    obs.add_argument("--trace-out", default=None,
+                     help="write a Chrome-trace/Perfetto JSON file here")
+    obs.add_argument("--out", default=None,
+                     help="write the JSON scorecard to this file")
+
     chaos = sub.add_parser(
         "chaos", help="fault-injection scenario matrix with resilience "
                       "scorecards")
@@ -500,6 +630,7 @@ def main(argv: list[str] | None = None) -> int:
         "ablation": _cmd_ablation,
         "fleet": _cmd_fleet,
         "sessions": _cmd_sessions,
+        "obs": _cmd_obs,
         "chaos": _cmd_chaos,
         "campaign": _cmd_campaign,
     }[args.command]

@@ -61,6 +61,16 @@ class FleetConfig:
     #: (e.g. ``{"enable_prefix_caching": True}`` for session fleets, or
     #: ``gpu_memory_utilization`` to sweep the KV-cache size).
     engine_params: dict = field(default_factory=dict)
+    #: record per-request span trees during scenarios (arrive → route →
+    #: queue/prefill/decode); digest lands in ``FleetReport.obs``.
+    obs_spans: bool = True
+    #: simulated seconds between metrics scrapes (0 disables the scraper).
+    scrape_interval: float = 300.0
+    #: build the end-of-run ``FleetReport.obs`` block (series counts,
+    #: span/metrics/scrape digests).  Off, recording still happens but
+    #: the one-shot reporting pass is skipped — overhead benches use
+    #: this to time the serving day alone.
+    obs_report: bool = True
 
 
 @dataclass
@@ -106,6 +116,9 @@ class FleetReport:
     #: session-workload accounting (None for single-shot scenarios);
     #: when set, ``arrivals`` counts session *starts*, not requests.
     sessions: dict | None = None
+    #: observability scorecard: span/metrics/scrape digests and counts
+    #: (None when the scenario ran with observability fully off).
+    obs: dict | None = None
 
     @property
     def peak_replicas(self) -> int:
@@ -166,6 +179,8 @@ class FleetReport:
             out["resilience"] = self.resilience
         if self.sessions is not None:
             out["sessions"] = self.sessions
+        if self.obs is not None:
+            out["obs"] = self.obs
         return out
 
 
@@ -193,6 +208,18 @@ class Fleet:
         self._client: HttpClient | None = None
         self._seeded = False
         self._scenario_ran = False
+        reg = self.kernel.obs.registry
+        requests_total = reg.counter(
+            "fleet_requests_total", "Requests issued through the router",
+            labels=("outcome",))
+        # Cached child handles: the per-request path increments a float,
+        # never resolves a label set.
+        self._c_req_ok = requests_total.labels(outcome="ok")
+        self._c_req_err = requests_total.labels(outcome="error")
+        reg.gauge("fleet_inflight", "Open-loop requests in flight") \
+            .labels().set_function(lambda: self.inflight)
+        reg.gauge("fleet_replicas", "Live vLLM replicas") \
+            .labels().set_function(lambda: len(self.replicas))
 
     # -- bring-up ---------------------------------------------------------------
 
@@ -505,6 +532,13 @@ class Fleet:
         self.slo.note_submitted()
         submitted = kernel.now
         ok, error, ttft, out_tokens, cached = False, "", 0.0, 0, 0
+        # Root span for the whole request; its trace id travels in the
+        # body so the router (route/attempt) and engine (queue/prefill/
+        # decode) attach their spans to the same tree.  Reserved here,
+        # emitted closed at completion; ids are (0, 0) when recording
+        # is off.
+        spans = kernel.obs.spans
+        trace_id, root_sid = spans.reserve_trace()
         body = {"model": self.config.model,
                 "messages": [{"role": "user", "content": "<sampled>"}],
                 "repro_prompt_tokens": prompt_tokens,
@@ -512,6 +546,9 @@ class Fleet:
                 "temperature": 0.7}
         if session is not None:
             body["repro_session"] = session
+        if trace_id:
+            body["repro_trace"] = trace_id
+            body["repro_parent"] = root_sid
         try:
             response = yield from self._client.post(
                 self.router_host, self.config.router_port,
@@ -526,6 +563,14 @@ class Fleet:
                 error = str((response.status, response.json))
         except (APIError, NetworkUnreachable, ReproError) as exc:
             error = str(exc)
+        if self.kernel.obs.registry.enabled:
+            (self._c_req_ok if ok else self._c_req_err).inc()
+        if trace_id:
+            attrs = {"tenant": tenant, "ok": ok, "output_tokens": out_tokens}
+            if turn:
+                attrs["turn"] = turn
+            spans.emit("request", trace_id, None, submitted, kernel.now,
+                       attrs, span_id=root_sid)
         self.slo.observe(RequestRecord(
             tenant=tenant, submitted=submitted, completed=kernel.now,
             ttft=ttft, latency=kernel.now - submitted,
@@ -581,9 +626,18 @@ class Fleet:
         else:
             mix = mix or TenantMix.single(kernel)
             traffic = TrafficGenerator(kernel, schedule, mix, self.submit)
+        if self.config.obs_spans:
+            kernel.obs.enable_spans()
+        scraper = None
+        if self.config.scrape_interval > 0 and kernel.obs.registry.enabled:
+            from ..obs import MetricsScraper
+            scraper = MetricsScraper(kernel, kernel.obs.registry,
+                                     self.config.scrape_interval)
         stop = kernel.event()
         kernel.spawn(self.autoscaler.run(stop), name="fleet:autoscaler")
         kernel.spawn(self._monitor(stop), name="fleet:monitor")
+        if scraper is not None:
+            kernel.spawn(scraper.run(stop), name="fleet:scraper")
         started = kernel.now
         self.replica_timeline.append((started, len(self.replicas)))
         arrivals = yield kernel.spawn(traffic.run(horizon),
@@ -593,6 +647,18 @@ class Fleet:
         final_row = self.slo.snapshot().row()
         final_row["replicas"] = len(self.replicas)
         self.snapshots.append(final_row)
+        obs = None
+        if self.config.obs_report and (kernel.obs.registry.enabled
+                                       or kernel.obs.spans.enabled):
+            if scraper is not None:
+                scraper.scrape_once()   # pin the end-of-run state
+            obs = kernel.obs.summary()
+            if scraper is not None:
+                obs["scrape"] = {
+                    "interval": scraper.interval,
+                    "scrapes": len(scraper.samples),
+                    "digest": scraper.digest(),
+                }
         return FleetReport(
             label=label, duration=kernel.now - started, arrivals=arrivals,
             slo=self.slo.report(),
@@ -600,7 +666,8 @@ class Fleet:
             replica_timeline=list(self.replica_timeline),
             snapshots=list(self.snapshots),
             sessions=(traffic.log.to_json()
-                      if isinstance(traffic, SessionTraffic) else None))
+                      if isinstance(traffic, SessionTraffic) else None),
+            obs=obs)
 
     def _monitor(self, stop_event):
         kernel = self.kernel

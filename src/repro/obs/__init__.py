@@ -1,0 +1,42 @@
+"""Fleet-wide observability: metrics, spans, scrapes, self-profiling.
+
+The one package *below* every other layer of the stack (it imports only
+:mod:`repro.errors`), so the simkernel itself can own an
+:class:`~repro.obs.context.Observability` per kernel and every
+component above — engines, routers, fleets, session workloads — reports
+through the same four primitives:
+
+* :mod:`~repro.obs.metrics` — labeled Counter/Gauge/Histogram registry
+  with Prometheus text exposition and the shared test parser;
+* :mod:`~repro.obs.spans` — per-request span trees on simulated time,
+  digest-stable across campaign worker counts;
+* :mod:`~repro.obs.scrape` — a simulated Prometheus: periodic registry
+  snapshots into a deterministic time-series;
+* :mod:`~repro.obs.profile` / :mod:`~repro.obs.export` — wall-clock
+  self-profiler and Chrome-trace/Perfetto JSON export.
+
+See ``docs/observability.md`` for the guided tour and overhead numbers.
+"""
+
+from .context import Observability
+from .export import chrome_trace
+from .metrics import MetricsRegistry, parse_exposition
+from .profile import Profiler, profiler
+from .scrape import MetricsScraper
+from .spans import NULL_SPAN, Span, SpanRecorder
+from .stats import QUANTILE_KEYS, LogHistogram
+
+__all__ = [
+    "LogHistogram",
+    "MetricsRegistry",
+    "MetricsScraper",
+    "NULL_SPAN",
+    "Observability",
+    "Profiler",
+    "QUANTILE_KEYS",
+    "Span",
+    "SpanRecorder",
+    "chrome_trace",
+    "parse_exposition",
+    "profiler",
+]

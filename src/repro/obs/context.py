@@ -1,0 +1,65 @@
+"""Per-kernel observability context.
+
+Every :class:`~repro.simkernel.SimKernel` owns one
+:class:`Observability` (``kernel.obs``): the metrics registry and span
+recorder for everything running on that kernel.  Components reach their
+instruments through the kernel they already hold (``env.obs.registry``),
+so a campaign running forty cells in one process keeps forty fully
+independent observability surfaces — no globals, no cross-cell bleed.
+
+The registry is always live (registration is cheap and counters are
+plain attribute adds); span recording is **off by default** and enabled
+per-run (``kernel.obs.enable_spans()`` or ``FleetConfig(obs_spans=
+True)``) because span trees hold per-request objects.  The wall-clock
+profiler is process-global by design — see :mod:`repro.obs.profile`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from .metrics import MetricsRegistry
+from .spans import SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simkernel.kernel import SimKernel
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """The observability surface of one simulation kernel."""
+
+    __slots__ = ("kernel", "registry", "spans")
+
+    def __init__(self, kernel: "SimKernel"):
+        self.kernel = kernel
+        self.registry = MetricsRegistry()
+        self.spans = SpanRecorder(kernel)
+
+    def enable_spans(self) -> None:
+        self.spans.enabled = True
+
+    def disable(self) -> None:
+        """Turn off all optional collection (bench disabled-baseline)."""
+        self.spans.enabled = False
+        self.registry.enabled = False
+
+    def digests(self) -> dict[str, str]:
+        """The deterministic witnesses merged into scorecards."""
+        return {
+            "metrics": _text_digest(self.registry.exposition()),
+            "spans": self.spans.digest(),
+        }
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "metric_series": len(self.registry.sample_dict()),
+            "finished_spans": self.spans.span_count,
+            "digests": self.digests(),
+        }
+
+
+def _text_digest(text: str) -> str:
+    import hashlib
+    return hashlib.sha256(text.encode()).hexdigest()

@@ -1,0 +1,145 @@
+"""Opt-in wall-clock self-profiler for the simulator itself.
+
+Spans and metrics measure the *simulated* system; the profiler measures
+the *simulator* — which Python subsystem burns real wall-clock while a
+scenario runs.  PR 4 found the engine's per-iteration loop by manual
+bisection; the profiler makes that a one-flag query:
+
+    from repro.obs import profiler
+    profiler.enable()
+    run_scenario(...)
+    print(profiler.report())          # per-site totals
+    print(profiler.flamegraph())      # collapsed-stack text flamegraph
+
+Hot sites guard with a single attribute check (``if profiler.enabled``)
+so the disabled cost is one branch — the default state for every bench
+and test.  Enabled, each section costs two ``perf_counter`` calls plus
+a dict update; sections nest, producing collapsed ``a;b;c <total_us>``
+stacks (the standard flamegraph collapsed format).
+
+The profiler is a **module singleton**, not per-kernel: wall-clock is a
+process-wide resource, and the hot sites (kernel dispatch, engine
+advance) must not pay a per-kernel attribute chase to find it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = ["Profiler", "profiler"]
+
+
+class Profiler:
+    """Nested wall-clock section timers with collapsed-stack output."""
+
+    __slots__ = ("enabled", "_stack", "_starts", "totals", "counts")
+
+    def __init__(self):
+        self.enabled = False
+        self._stack: list[str] = []
+        self._starts: list[float] = []
+        #: collapsed path ("kernel.dispatch;engine.advance") -> seconds
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    # -- control ------------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self._starts.clear()
+        self.totals.clear()
+        self.counts.clear()
+
+    # -- hot-path API -------------------------------------------------------------
+    # Callers guard with `if profiler.enabled:` themselves so the
+    # disabled path costs one attribute read at the call site, not a
+    # method call.
+
+    def push(self, name: str) -> None:
+        """Open a section; nests under the current section if any."""
+        path = (self._stack[-1] + ";" + name) if self._stack else name
+        self._stack.append(path)
+        self._starts.append(time.perf_counter())
+
+    def pop(self) -> None:
+        """Close the innermost open section."""
+        elapsed = time.perf_counter() - self._starts.pop()
+        path = self._stack.pop()
+        self.totals[path] = self.totals.get(path, 0.0) + elapsed
+        self.counts[path] = self.counts.get(path, 0) + 1
+
+    class _Section:
+        __slots__ = ("_profiler", "_name")
+
+        def __init__(self, profiler: "Profiler", name: str):
+            self._profiler = profiler
+            self._name = name
+
+        def __enter__(self):
+            if self._profiler.enabled:
+                self._profiler.push(self._name)
+            return self
+
+        def __exit__(self, *exc: Any) -> None:
+            if self._profiler.enabled and self._profiler._stack:
+                self._profiler.pop()
+
+    def section(self, name: str) -> "Profiler._Section":
+        """Context-manager form for cool paths (CLI, exporters)."""
+        return Profiler._Section(self, name)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def self_times(self) -> dict[str, float]:
+        """Per-path *self* time: total minus time in child sections."""
+        out = dict(self.totals)
+        for path, total in self.totals.items():
+            parent = path.rsplit(";", 1)[0] if ";" in path else None
+            if parent is not None and parent in out:
+                out[parent] -= total
+        return out
+
+    def report(self, top: int = 20) -> str:
+        """Human-readable per-path summary, hottest self-time first."""
+        self_times = self.self_times()
+        rows = sorted(self.totals, key=lambda p: -self_times[p])[:top]
+        if not rows:
+            return "profiler: no samples (was it enabled?)\n"
+        width = max(len(p) for p in rows)
+        lines = [f"{'path':<{width}}  {'self_ms':>10}  {'total_ms':>10}  "
+                 f"{'calls':>8}"]
+        for path in rows:
+            lines.append(
+                f"{path:<{width}}  {self_times[path] * 1e3:>10.3f}  "
+                f"{self.totals[path] * 1e3:>10.3f}  "
+                f"{self.counts[path]:>8}")
+        return "\n".join(lines) + "\n"
+
+    def flamegraph(self) -> str:
+        """Collapsed-stack text (``path µs`` per line, sorted by path).
+
+        Feed to any FlameGraph-compatible tool, or read directly: the
+        indentation-free collapsed format sorts hierarchically because
+        child paths share their parent's prefix.
+        """
+        self_times = self.self_times()
+        lines = [f"{path} {max(0, round(self_times[path] * 1e6))}"
+                 for path in sorted(self_times)]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "totals_s": dict(sorted(self.totals.items())),
+            "counts": dict(sorted(self.counts.items())),
+        }
+
+
+#: The process-wide profiler instance every hot site checks.
+profiler = Profiler()

@@ -16,6 +16,7 @@ from ..containers.image import (ExecutionExpectations, ImageManifest,
 from ..containers.runtime import ContainerApp, ContainerContext
 from ..errors import APIError, NetworkUnreachable, ReproError
 from ..net.http import HttpClient, HttpResponse, HttpService
+from ..obs.profile import profiler
 from ..units import MiB
 
 
@@ -96,6 +97,7 @@ class LlmRouter(ContainerApp):
         self._pool: list[Backend] = []
         self._rr_idx = 0
         self._client: HttpClient | None = None
+        self._kernel = None   # set at startup; None for bare (bench) use
         # cache-affinity state: session key -> backend key, LRU-bounded.
         self._affinity: "OrderedDict[str, str]" = OrderedDict()
         self.affinity_reassignments = 0   # sticky target lost (evict/churn)
@@ -103,6 +105,8 @@ class LlmRouter(ContainerApp):
     def startup(self, ctx: ContainerContext):
         ctx.check_expectations()
         from ..errors import ContainerCrash
+        self._kernel = ctx.kernel
+        self._register_obs()
         spec = ctx.env.get("BACKENDS", "")
         for entry in filter(None, spec.split(",")):
             host, _, port = entry.partition(":")
@@ -135,6 +139,58 @@ class LlmRouter(ContainerApp):
         if self.service is not None:
             self.service.close()
             self.service = None
+
+    # -- observability -------------------------------------------------------------
+
+    def _register_obs(self) -> None:
+        """Router-level series in the kernel registry (all callbacks)."""
+        reg = self._kernel.obs.registry
+        reg.gauge("router_backends_healthy",
+                  "Healthy backends in the pool") \
+            .labels().set_function(
+                lambda: sum(b.healthy for b in self.backends))
+        reg.gauge("router_outstanding",
+                  "In-flight forwards across all backends") \
+            .labels().set_function(
+                lambda: sum(b.outstanding for b in self.backends))
+        reg.gauge("router_failed_forwards_total",
+                  "Forward attempts that errored or 5xx'd") \
+            .labels().set_function(lambda: self.failed_forwards)
+        reg.gauge("router_retried_ok_total",
+                  "Requests saved by failover") \
+            .labels().set_function(lambda: self.retried_ok)
+        reg.gauge("router_sessions_tracked",
+                  "Live session->backend affinity entries") \
+            .labels().set_function(lambda: len(self._affinity))
+        reg.gauge("router_affinity_reassignments_total",
+                  "Sticky targets lost to eviction or churn") \
+            .labels().set_function(lambda: self.affinity_reassignments)
+
+    def _register_backend_obs(self, backend: Backend) -> None:
+        """Per-backend series; the callbacks close over the Backend, so
+        a removed backend keeps exporting its final values (stale-series
+        semantics, same as a real scrape of a dead target)."""
+        reg = self._kernel.obs.registry
+        labels = ("backend",)
+        key = {"backend": backend.key}
+        for name, help_text, fn in (
+            ("router_backend_healthy", "1 if routable",
+             lambda b=backend: 1.0 if b.healthy else 0.0),
+            ("router_backend_outstanding", "In-flight forwards",
+             lambda b=backend: b.outstanding),
+            ("router_backend_served_total", "Completed forwards",
+             lambda b=backend: b.served),
+            ("router_cache_hits_total", "Session turns with prefix reuse",
+             lambda b=backend: b.cache_hits),
+            ("router_cache_misses_total", "Session turns without reuse",
+             lambda b=backend: b.cache_misses),
+            ("router_cached_tokens_total", "Prompt tokens served from cache",
+             lambda b=backend: b.cached_tokens),
+            ("router_sessions_assigned_total", "Sessions stuck to backend",
+             lambda b=backend: b.sessions_assigned),
+        ):
+            reg.gauge(name, help_text, labels=labels) \
+                .labels(**key).set_function(fn)
 
     # -- health ---------------------------------------------------------------------
 
@@ -171,6 +227,8 @@ class LlmRouter(ContainerApp):
             backend = Backend(host, int(port))
             self.backends.append(backend)
             self._epoch += 1
+            if self._kernel is not None:
+                self._register_backend_obs(backend)
         return backend
 
     def remove_backend(self, host: str, port: int) -> bool:
@@ -349,9 +407,38 @@ class LlmRouter(ContainerApp):
             return HttpResponse(503, json={"error": "no backends"})
         session = (request.json.get("repro_session")
                    if isinstance(request.json, dict) else None)
+        trace_id = (int(request.json.get("repro_trace") or 0)
+                    if isinstance(request.json, dict) else 0)
+        parent_id = (int(request.json.get("repro_parent") or 0)
+                     if isinstance(request.json, dict) else 0)
+        # Route span ids are reserved up front (failed hops parent their
+        # "attempt" children to it) and the span is emitted closed when
+        # the request resolves.  ``rec`` is None when tracing is off (or
+        # the router runs bare in a bench): every span line below gates
+        # on it.
+        rec = self._kernel.obs.spans if self._kernel is not None else None
+        if rec is not None and not (rec.enabled and trace_id):
+            rec = None
+        route_sid = rec.reserve_span() if rec is not None else 0
+        route_start = rec.kernel.now if rec is not None else 0.0
         last_error: HttpResponse | None = None
         failed_attempts = 0
-        for backend in self._pick(session=session):
+        picker = self._pick(session=session)
+        while True:
+            if profiler.enabled:
+                profiler.push("router.pick")
+                try:
+                    backend = next(picker, None)
+                finally:
+                    profiler.pop()
+            else:
+                backend = next(picker, None)
+            if backend is None:
+                break
+            # Failed hops get their own "attempt" child spans below; the
+            # common no-retry path just stamps the backend on the route
+            # span (one span per request, not two).
+            attempt_start = rec.kernel.now if rec is not None else 0.0
             backend.outstanding += 1
             try:
                 response = yield from self._client.request(
@@ -362,6 +449,10 @@ class LlmRouter(ContainerApp):
                 self.failed_forwards += 1
                 failed_attempts += 1
                 last_error = HttpResponse(502, json={"error": str(exc)})
+                if rec is not None:
+                    rec.emit("attempt", trace_id, route_sid,
+                             attempt_start, rec.kernel.now,
+                             {"backend": backend.key, "outcome": "error"})
                 continue
             finally:
                 backend.outstanding -= 1
@@ -373,6 +464,11 @@ class LlmRouter(ContainerApp):
                 self.failed_forwards += 1
                 failed_attempts += 1
                 last_error = response
+                if rec is not None:
+                    rec.emit("attempt", trace_id, route_sid,
+                             attempt_start, rec.kernel.now,
+                             {"backend": backend.key,
+                              "outcome": f"http_{response.status}"})
                 continue
             backend.consecutive_failures = 0
             backend.served += 1
@@ -380,14 +476,41 @@ class LlmRouter(ContainerApp):
             if failed_attempts:
                 # The request was saved by failover: retried, not lost.
                 self.retried_ok += 1
+            if rec is not None:
+                rec.emit("route", trace_id, parent_id or None,
+                         route_start, rec.kernel.now,
+                         {"backend": backend.key,
+                          "attempts": failed_attempts + 1, "outcome": "ok"},
+                         span_id=route_sid)
             return response
+        if rec is not None:
+            rec.emit("route", trace_id, parent_id or None,
+                     route_start, rec.kernel.now,
+                     {"attempts": failed_attempts,
+                      "outcome": "failed"}, span_id=route_sid)
         return last_error or HttpResponse(503, json={
             "error": "no healthy backends"})
 
     # -- admin API ---------------------------------------------------------------------
 
     def _handle_admin(self, request) -> HttpResponse:
+        if request.path == "/router/metrics" and request.method == "GET":
+            # The fleet-wide exposition: every series registered on this
+            # kernel (engines included), same format as the vLLM
+            # server's ``/metrics`` text view, same parser in tests.
+            if self._kernel is None:
+                return HttpResponse(503, json={"error": "router not started"})
+            return HttpResponse(
+                200, json=self._kernel.obs.registry.exposition(),
+                headers={"content-type": "text/plain"})
         if request.path == "/router/stats" and request.method == "GET":
+            accept = request.header("accept", "") or ""
+            if accept.startswith("text/plain") and self._kernel is not None:
+                # The router's slice of the registry (router_* families,
+                # per-backend series included).
+                text = self._kernel.obs.registry.exposition(prefix="router_")
+                return HttpResponse(200, json=text,
+                                    headers={"content-type": "text/plain"})
             return HttpResponse(200, json=self.stats())
         if request.path == "/router/backends":
             if request.method == "GET":

@@ -90,6 +90,13 @@ class SessionTraffic:
         self.stream_prefix = stream_prefix
         self.rng = kernel.rng.stream(f"{stream_prefix}.arrivals")
         self.log = SessionLog()
+        reg = kernel.obs.registry
+        reg.gauge("sessions_started", "Conversations begun") \
+            .labels().set_function(lambda: self.log.started)
+        reg.gauge("sessions_finished", "Conversations ended") \
+            .labels().set_function(lambda: self.log.finished)
+        reg.gauge("sessions_turns_ok", "Turns completed successfully") \
+            .labels().set_function(lambda: self.log.turns_ok)
 
     # -- the open-loop session-start process ------------------------------------
 
@@ -126,6 +133,10 @@ class SessionTraffic:
         turns_planned = spec.draw_turns(rng)
         kernel.trace.emit("sessions.start", session=key, tenant=tenant,
                           turns=turns_planned)
+        # One span per conversation (its own trace; each turn's request
+        # opens a separate per-request trace via the fleet).
+        session_span = kernel.obs.spans.start_trace(
+            "session", session=key, tenant=tenant)
         context = 0
         turns_done = 0
         outcome = "finished"
@@ -167,4 +178,6 @@ class SessionTraffic:
             self.log.cut_by_horizon += 1
         kernel.trace.emit("sessions.end", session=key, turns=turns_done,
                           context_tokens=context, outcome=outcome)
+        session_span.finish(turns=turns_done, outcome=outcome,
+                            context_tokens=context)
         return turns_done

@@ -6,6 +6,8 @@ import heapq
 from typing import Any, Generator, Iterable, Optional
 
 from ..errors import StateError
+from ..obs.context import Observability
+from ..obs.profile import profiler
 from .events import (PRIORITY_NORMAL, PRIORITY_URGENT, AllOf, AnyOf, Event,
                      Interrupted, Timeout)
 from .rng import RngRegistry
@@ -108,9 +110,11 @@ class SimKernel:
     """Deterministic discrete-event simulator.
 
     The kernel owns the virtual clock (:attr:`now`, seconds), the pending
-    event heap, named RNG streams (:attr:`rng`), and a trace recorder
-    (:attr:`trace`).  All simulation components hold a reference to their
-    kernel, conventionally named ``env``.
+    event heap, named RNG streams (:attr:`rng`), a trace recorder
+    (:attr:`trace`), and the observability surface (:attr:`obs` — metrics
+    registry + span recorder; see :mod:`repro.obs`).  All simulation
+    components hold a reference to their kernel, conventionally named
+    ``env``.
     """
 
     def __init__(self, seed: int = 0):
@@ -120,6 +124,7 @@ class SimKernel:
         self._active_process: Process | None = None
         self.rng = RngRegistry(seed)
         self.trace = Tracer(self)
+        self.obs = Observability(self)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -171,7 +176,14 @@ class SimKernel:
         if t < self.now:  # pragma: no cover - defensive
             raise StateError(f"time went backwards: {t} < {self.now}")
         self.now = t
-        event._run_callbacks()
+        if profiler.enabled:
+            profiler.push("kernel.dispatch")
+            try:
+                event._run_callbacks()
+            finally:
+                profiler.pop()
+        else:
+            event._run_callbacks()
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run the simulation.

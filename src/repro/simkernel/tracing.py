@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator, MutableSequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import SimKernel
@@ -43,13 +44,23 @@ class Tracer:
 
     Tracing is enabled by default but can be limited with
     :meth:`set_filter` to keep long benches light.  Subscribers can react
-    to records as they are emitted (used by live monitors in examples).
+    to records as they are emitted (used by live monitors in examples);
+    a raising subscriber is counted and skipped, never allowed to abort
+    the emitting component.
+
+    Retention is unbounded by default — digest and golden-trace paths
+    need every record — but long soaks cap it with :meth:`set_capacity`,
+    which turns the store into a ring buffer of the most recent records
+    (:attr:`dropped` counts the evictions).
     """
 
     def __init__(self, kernel: "SimKernel"):
         self.kernel = kernel
-        self.records: list[TraceRecord] = []
+        self.records: MutableSequence[TraceRecord] = []
         self.enabled = True
+        self.dropped = 0
+        self.subscriber_errors = 0
+        self._capacity: int | None = None
         self._filter: Callable[[str], bool] | None = None
         self._subscribers: list[Callable[[TraceRecord], None]] = []
 
@@ -59,9 +70,37 @@ class Tracer:
         if self._filter is not None and not self._filter(kind):
             return
         rec = TraceRecord(self.kernel.now, kind, fields)
+        if (self._capacity is not None
+                and len(self.records) >= self._capacity):
+            self.dropped += 1
         self.records.append(rec)
         for sub in self._subscribers:
-            sub(rec)
+            try:
+                sub(rec)
+            except Exception:
+                # A broken live monitor must not kill the simulation.
+                self.subscriber_errors += 1
+
+    def set_capacity(self, capacity: int | None) -> None:
+        """Cap retention to the most recent ``capacity`` records.
+
+        ``None`` restores unbounded retention (the default, required by
+        any path that digests the full run).  Existing records are kept
+        up to the new cap, newest-last.
+        """
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self._capacity = capacity
+        if capacity is None:
+            self.records = list(self.records)
+        else:
+            if len(self.records) > capacity:
+                self.dropped += len(self.records) - capacity
+            self.records = deque(self.records, maxlen=capacity)
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
 
     def set_filter(self, predicate: Callable[[str], bool] | None) -> None:
         self._filter = predicate

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 
 from ..errors import APIError, ContainerCrash
 from ..models.catalog import ModelCard
+from ..obs.profile import profiler
 from ..simkernel import Event, Interrupted
 from .config import EngineArgs
 from .kvcache import BlockManager
@@ -53,13 +54,20 @@ class Request:
     _ids = itertools.count(1)
 
     def __init__(self, kernel: "SimKernel", prompt_tokens: int,
-                 max_new_tokens: int, session_key: str | None = None):
+                 max_new_tokens: int, session_key: str | None = None,
+                 trace_id: int = 0, trace_parent: int = 0):
         self.id = next(Request._ids)
         self.prompt_tokens = prompt_tokens
         self.max_new_tokens = max_new_tokens
         self.session_key = session_key
+        # Observability trace id (0 = untraced).  Distinct from ``id``:
+        # ``_ids`` is process-global, so ``id`` values depend on how many
+        # simulations shared this process and must never reach a digest.
+        self.trace_id = trace_id
+        self.trace_parent = trace_parent  # caller's span id in that trace
         self.cached_tokens = 0    # prefix-cache hit at latest admission
         self.submitted_at = kernel.now
+        self.admitted_at: float | None = None
         self.first_token_at: float | None = None
         self.finished_at: float | None = None
         self.tokens_generated = 0
@@ -113,6 +121,44 @@ class LLMEngine:
         self._wake: Event | None = None       # idle engine, waiting for load
         self._jump_wake: Event | None = None  # coalesced decode in progress
         self._proc = None
+        self._register_obs()
+
+    def _register_obs(self) -> None:
+        """Register this engine's slice of the kernel's metrics registry.
+
+        Gauges are callback-backed (read at collection, never written in
+        the loop); the latency/TTFT histograms are the only per-request
+        observes and they fire once per *finish*, not per iteration.
+        """
+        self._obs = self.kernel.obs
+        reg = self._obs.registry
+        eng = {"engine": self.name}
+        labels = ("engine",)
+        reg.gauge("engine_requests_running",
+                  "Sequences in the running batch", labels=labels) \
+            .labels(**eng).set_function(lambda: len(self.running))
+        reg.gauge("engine_requests_waiting",
+                  "Requests queued for admission", labels=labels) \
+            .labels(**eng).set_function(lambda: len(self.waiting))
+        reg.gauge("engine_kv_cache_usage",
+                  "Fraction of KV blocks in use", labels=labels) \
+            .labels(**eng).set_function(
+                lambda: self.blocks.used_blocks / self.blocks.total_blocks)
+        reg.gauge("engine_iterations_total",
+                  "Engine scheduler iterations", labels=labels) \
+            .labels(**eng).set_function(lambda: self.iterations)
+        reg.gauge("engine_requests_completed_total",
+                  "Requests finished", labels=labels) \
+            .labels(**eng).set_function(lambda: len(self.completed))
+        reg.gauge("engine_generation_tokens_total",
+                  "Output tokens generated", labels=labels) \
+            .labels(**eng).set_function(lambda: self.total_output_tokens)
+        self._h_latency = reg.histogram(
+            "engine_request_latency_seconds",
+            "Submit-to-finish latency", labels=labels).labels(**eng)
+        self._h_ttft = reg.histogram(
+            "engine_ttft_seconds",
+            "Time to first token", labels=labels).labels(**eng)
 
     # -- public API -------------------------------------------------------------------
 
@@ -121,13 +167,18 @@ class LLMEngine:
         return self.args.max_model_len or self.card.max_context
 
     def submit(self, prompt_tokens: int, max_new_tokens: int,
-               session_key: str | None = None) -> Request:
+               session_key: str | None = None,
+               trace_id: int = 0, trace_parent: int = 0) -> Request:
         """Enqueue a request; returns it (wait on ``request.done``).
 
         ``session_key`` names the request's append-only token stream
         (one per conversation); with prefix caching enabled the engine
         reuses any cached blocks of that stream for the prompt and
         registers the full context back into the cache at finish.
+
+        ``trace_id`` joins the request to an observability trace opened
+        upstream (router/fleet); the engine then emits queue / prefill /
+        decode phase spans for it at finish.
         """
         if self.crashed is not None:
             raise APIError(503, f"engine {self.name} has crashed")
@@ -138,7 +189,8 @@ class LLMEngine:
                 400, f"requested {prompt_tokens}+{max_new_tokens} tokens "
                      f"exceeds max_model_len={self.max_model_len}")
         request = Request(self.kernel, prompt_tokens, max_new_tokens,
-                          session_key=session_key)
+                          session_key=session_key, trace_id=trace_id,
+                          trace_parent=trace_parent)
         self.waiting.append(request)
         self.total_requests += 1
         if self._wake is not None and not self._wake.triggered:
@@ -212,7 +264,14 @@ class LLMEngine:
                     step += self.perf.prefill_time(prefill_tokens)
                 yield kernel.timeout(step)
                 self.iterations += 1
-                self._advance_all()
+                if profiler.enabled:
+                    profiler.push("engine.advance")
+                    try:
+                        self._advance_all()
+                    finally:
+                        profiler.pop()
+                else:
+                    self._advance_all()
                 if self.fault_plan is None and self.running:
                     yield from self._fast_forward()
         except Interrupted:
@@ -245,7 +304,14 @@ class LLMEngine:
         (timing differs only by float-sum rounding).  Disabled whenever
         a fault plan is armed: those contracts are per-iteration.
         """
-        j = self._plan_jump()
+        if profiler.enabled:
+            profiler.push("engine.jump")
+            try:
+                j = self._plan_jump()
+            finally:
+                profiler.pop()
+        else:
+            j = self._plan_jump()
         if j < self.MIN_JUMP:
             return
         kernel = self.kernel
@@ -394,6 +460,8 @@ class LLMEngine:
             if not self._can_admit(nxt):
                 break
             self.waiting.popleft()
+            if nxt.admitted_at is None:   # keep first admission on recompute
+                nxt.admitted_at = self.kernel.now
             cached = self.blocks.allocate(nxt.id, needed,
                                           prefix_key=nxt.session_key)
             nxt.cached_tokens = cached
@@ -460,7 +528,37 @@ class LLMEngine:
                 request.first_token_at = now
                 request.first_token.succeed(now)
             self.completed.append(request)
+            if self._obs.registry.enabled:
+                self._h_latency.observe(now - request.submitted_at)
+                self._h_ttft.observe(request.first_token_at
+                                     - request.submitted_at)
+            if request.trace_id and self._obs.spans.enabled:
+                self._emit_request_spans(request, now)
             request.done.succeed(request)
+
+    def _emit_request_spans(self, request: Request, now: float) -> None:
+        """Derive queue/prefill/decode phase spans at finish.
+
+        Bounds come from timestamps the engine records anyway, so
+        tracing adds no per-iteration work: the whole span tree for a
+        request is three records written once, at completion.
+        """
+        spans = self._obs.spans
+        tid = request.trace_id
+        parent = request.trace_parent or None
+        admitted = (request.admitted_at if request.admitted_at is not None
+                    else request.submitted_at)
+        first = (request.first_token_at if request.first_token_at is not None
+                 else admitted)
+        spans.emit_many(tid, parent, (
+            ("queue", request.submitted_at, admitted, None),
+            ("prefill", admitted, first,
+             {"engine": self.name,
+              "prompt_tokens": request.prompt_tokens,
+              "cached_tokens": request.cached_tokens}),
+            ("decode", first, now,
+             {"output_tokens": request.tokens_generated,
+              "preemptions": request.preemptions})))
 
     def _ensure_appendable(self, request: Request) -> bool:
         """Preempt (LIFO, recompute-style) until ``request`` can grow.

@@ -166,8 +166,19 @@ class VllmOpenAIServer(ContainerApp):
                 return HttpResponse(503, json={"status": "unhealthy"})
             return HttpResponse(200, json={"status": "ok"})
         if request.path == "/metrics":
-            return HttpResponse(200, json=self.engine.metrics()
-                                if self.engine else {})
+            if self.engine is None:
+                return HttpResponse(200, json={})
+            # Content negotiation: the JSON dict is the stable scripting
+            # surface; ``Accept: text/plain`` serves this engine's slice
+            # of the kernel registry in Prometheus exposition format —
+            # the same format the router admin routes speak.
+            accept = request.header("accept", "") or ""
+            if accept.startswith("text/plain"):
+                text = self.engine.kernel.obs.registry.exposition(
+                    where={"engine": self.engine.name})
+                return HttpResponse(200, json=text,
+                                    headers={"content-type": "text/plain"})
+            return HttpResponse(200, json=self.engine.metrics())
         if request.path == "/v1/models":
             return HttpResponse(200, json={"data": [
                 {"id": self.args.public_model_name, "object": "model"}]})
@@ -196,10 +207,15 @@ class VllmOpenAIServer(ContainerApp):
         # vLLM's own field; ``repro_session`` is what the fleet's
         # session workload sends.  Either keys the engine's block reuse.
         session = body.get("repro_session") or body.get("cache_salt")
+        # Observability trace id minted upstream (fleet/router); joins
+        # the engine's queue/prefill/decode spans to the caller's trace.
+        trace_id = int(body.get("repro_trace") or 0)
+        trace_parent = int(body.get("repro_parent") or 0)
         try:
             handle = self.engine.submit(
                 int(prompt_tokens), max_tokens,
-                session_key=str(session) if session else None)
+                session_key=str(session) if session else None,
+                trace_id=trace_id, trace_parent=trace_parent)
         except APIError as exc:
             return HttpResponse(exc.status, json={"error": exc.message})
         try:

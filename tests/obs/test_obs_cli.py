@@ -1,0 +1,41 @@
+"""The ``repro obs`` subcommand: breakdowns, profile, trace export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def test_obs_command_full_surface(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    out_path = tmp_path / "scorecard.json"
+    assert main(["obs", "--minutes", "6", "--rate", "0.3", "--top", "3",
+                 "--profile", "--trace-out", str(trace_path),
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "per-phase latency breakdown" in out
+    assert "decode" in out and "prefill" in out
+    assert "slowest requests" in out
+    assert "digests:" in out
+    assert "scrape:" in out
+    assert "wall-clock self-profile" in out
+    assert "kernel.dispatch" in out
+    assert "flamegraph" in out
+
+    doc = json.loads(trace_path.read_text())
+    events = doc["traceEvents"]
+    assert any(e["ph"] == "X" and e["pid"] == 1 for e in events)  # spans
+    assert any(e["pid"] == 2 for e in events)                     # profile
+    assert doc["displayTimeUnit"] == "ms"
+
+    scorecard = json.loads(out_path.read_text())
+    assert scorecard["obs"]["finished_spans"] > 0
+    assert len(scorecard["obs"]["digests"]["spans"]) == 64
+
+
+def test_obs_command_minimal_run_is_quiet_about_profile(capsys):
+    assert main(["obs", "--minutes", "4", "--rate", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "per-phase latency breakdown" in out
+    assert "wall-clock self-profile" not in out

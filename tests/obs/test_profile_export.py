@@ -1,0 +1,139 @@
+"""Unit tests for the self-profiler and the Chrome-trace exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import chrome_trace, profile_events, span_events
+from repro.obs.profile import Profiler
+from repro.obs.spans import SpanRecorder
+from repro.simkernel import SimKernel
+
+
+def test_profiler_nests_into_collapsed_paths():
+    prof = Profiler()
+    prof.enable()
+    prof.push("kernel.dispatch")
+    prof.push("engine.advance")
+    prof.pop()
+    prof.push("engine.advance")
+    prof.pop()
+    prof.pop()
+    prof.push("router.pick")
+    prof.pop()
+    prof.disable()
+    assert set(prof.totals) == {"kernel.dispatch",
+                                "kernel.dispatch;engine.advance",
+                                "router.pick"}
+    assert prof.counts["kernel.dispatch;engine.advance"] == 2
+    assert prof.counts["kernel.dispatch"] == 1
+
+
+def test_self_time_excludes_children():
+    prof = Profiler()
+    prof.totals = {"a": 1.0, "a;b": 0.3, "a;b;c": 0.1, "d": 0.5}
+    prof.counts = {k: 1 for k in prof.totals}
+    st = prof.self_times()
+    assert st["a"] == pytest.approx(0.7)
+    assert st["a;b"] == pytest.approx(0.2)
+    assert st["a;b;c"] == pytest.approx(0.1)
+    assert st["d"] == pytest.approx(0.5)
+
+
+def test_section_context_manager_and_reset():
+    prof = Profiler()
+    with prof.section("cold"):
+        pass
+    assert prof.totals == {}           # disabled: zero cost, zero samples
+    prof.enable()
+    with prof.section("outer"):
+        with prof.section("inner"):
+            pass
+    assert "outer;inner" in prof.totals
+    text = prof.report()
+    assert "outer" in text and "self_ms" in text
+    flame = prof.flamegraph()
+    assert flame.splitlines()[0].startswith("outer ")
+    prof.reset()
+    assert prof.totals == {} and prof.counts == {}
+    assert "no samples" in prof.report()
+
+
+def test_snapshot_is_sorted_and_json_safe():
+    prof = Profiler()
+    prof.enable()
+    for name in ["b", "a"]:
+        prof.push(name)
+        prof.pop()
+    snap = prof.snapshot()
+    assert list(snap["totals_s"]) == ["a", "b"]
+    json.dumps(snap)                   # must serialize cleanly
+
+
+def _spans():
+    kernel = SimKernel(seed=1)
+    rec = SpanRecorder(kernel)
+    rec.enabled = True
+    root = rec.start_trace("request", tenant="t")
+    kernel.run(until=1.0)
+    root.child("route").finish()
+    kernel.run(until=3.0)
+    root.finish(ok=True)
+    rec.start_span("queue", trace_id=root.trace_id).record(0.0, 0.25)
+    return rec
+
+
+def test_span_events_are_complete_events_in_microseconds():
+    rec = _spans()
+    events = span_events(rec.finished)
+    xs = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in xs} == {"request", "route", "queue"}
+    root = next(e for e in xs if e["name"] == "request")
+    assert root["pid"] == 1
+    assert root["tid"] == 1                       # trace id as thread
+    assert root["ts"] == 0.0
+    assert root["dur"] == 3.0e6                   # 3 sim-seconds in µs
+    assert root["args"] == {"tenant": "t", "ok": True}
+    metas = [e for e in events if e["ph"] == "M"]
+    assert metas and metas[0]["args"]["name"] == "trace 1"
+
+
+def test_unfinished_spans_are_skipped():
+    kernel = SimKernel(seed=1)
+    rec = SpanRecorder(kernel)
+    rec.enabled = True
+    open_span = rec.start_trace("request")
+    assert open_span.end is None
+    assert span_events([open_span]) == []
+
+
+def test_profile_events_layout_encodes_the_stack():
+    prof = Profiler()
+    prof.totals = {"a": 1.0, "a;b": 0.4, "a;c": 0.2, "d": 0.5}
+    prof.counts = {k: 3 for k in prof.totals}
+    events = [e for e in profile_events(prof) if e["ph"] == "X"]
+    by_path = {e["args"]["path"]: e for e in events}
+    assert by_path["a"]["tid"] == 1 and by_path["a;b"]["tid"] == 2
+    # Children start where the parent starts; siblings stack after.
+    assert by_path["a;b"]["ts"] == by_path["a"]["ts"]
+    assert by_path["a;c"]["ts"] == by_path["a;b"]["ts"] + 0.4e6
+    assert by_path["d"]["ts"] == by_path["a"]["ts"] + 1.0e6
+    assert by_path["a"]["args"]["calls"] == 3
+
+
+def test_chrome_trace_document_combines_both_sources():
+    rec = _spans()
+    prof = Profiler()
+    prof.enable()
+    prof.push("kernel.dispatch")
+    prof.pop()
+    doc = chrome_trace(rec, prof)
+    assert doc["displayTimeUnit"] == "ms"
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert pids == {1, 2}
+    json.dumps(doc)                    # viewer-loadable JSON
+    spans_only = chrome_trace(rec)
+    assert {e["pid"] for e in spans_only["traceEvents"]} == {1}
+    assert chrome_trace()["traceEvents"] == []

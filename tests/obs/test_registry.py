@@ -1,0 +1,151 @@
+"""Unit tests for the metrics registry and its text exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (MetricsRegistry, parse_exposition,
+                               render_label_set)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_counts_and_rejects_negative(registry):
+    c = registry.counter("requests_total", "All requests",
+                         labels=("outcome",))
+    c.labels(outcome="ok").inc()
+    c.labels(outcome="ok").inc(2)
+    c.labels(outcome="error").inc()
+    assert c.labels(outcome="ok").value == 3
+    assert c.labels(outcome="error").value == 1
+    with pytest.raises(ConfigurationError):
+        c.labels(outcome="ok").inc(-1)
+
+
+def test_gauge_set_inc_dec_and_callback(registry):
+    g = registry.gauge("inflight").labels()
+    g.set(5)
+    g.inc()
+    g.dec(2)
+    assert g.value == 4.0
+    state = {"n": 7}
+    g.set_function(lambda: state["n"])
+    assert g.value == 7.0
+    state["n"] = 9
+    assert g.value == 9.0          # read lazily, not cached
+    g.set(1)                        # explicit set unbinds the callback
+    assert g.value == 1.0
+
+
+def test_histogram_count_sum_and_quantiles(registry):
+    h = registry.histogram("latency_seconds").labels()
+    for v in [0.1, 0.2, 0.3, 0.4, 10.0]:
+        h.observe(v)
+    samples = {s.key: s.value for _f, ss in registry.collect()
+               for s in ss}
+    assert samples["latency_seconds_count"] == 5
+    assert samples["latency_seconds_sum"] == pytest.approx(11.0)
+    q50 = samples['latency_seconds{quantile="0.5"}']
+    q99 = samples['latency_seconds{quantile="0.99"}']
+    assert 0.2 <= q50 <= 0.45
+    assert q99 >= 5.0
+
+
+def test_labels_schema_is_validated(registry):
+    fam = registry.counter("hits_total", labels=("backend", "kind"))
+    fam.labels(backend="b1", kind="hit").inc()
+    with pytest.raises(ConfigurationError):
+        fam.labels(backend="b1")                 # missing label
+    with pytest.raises(ConfigurationError):
+        fam.labels(backend="b1", kind="hit", extra="x")
+
+
+def test_redeclaration_idempotent_but_shape_checked(registry):
+    a = registry.counter("served_total", labels=("backend",))
+    b = registry.counter("served_total", labels=("backend",))
+    assert a is b                                # shared by redeployed replicas
+    with pytest.raises(ConfigurationError):
+        registry.gauge("served_total", labels=("backend",))
+    with pytest.raises(ConfigurationError):
+        registry.counter("served_total", labels=("host",))
+    with pytest.raises(ConfigurationError):
+        registry.counter("bad name!")
+
+
+def test_exposition_round_trips_through_parser(registry):
+    registry.counter("requests_total", "All requests",
+                     labels=("outcome",)).labels(outcome="ok").inc(3)
+    registry.gauge("usage", "KV usage").labels().set(0.25)
+    h = registry.histogram("ttft_seconds", labels=("engine",))
+    h.labels(engine="e0").observe(1.5)
+    text = registry.exposition()
+    assert "# HELP requests_total All requests" in text
+    assert "# TYPE requests_total counter" in text
+    assert "# TYPE ttft_seconds summary" in text
+    parsed = parse_exposition(text)
+    assert parsed["requests_total"][(("outcome", "ok"),)] == 3
+    assert parsed["usage"][()] == 0.25
+    assert parsed["ttft_seconds_count"][(("engine", "e0"),)] == 1
+    key = (("engine", "e0"), ("quantile", "0.5"))
+    assert parsed["ttft_seconds"][key] == pytest.approx(1.5, rel=0.25)
+
+
+def test_parser_handles_escapes_and_commas_in_values():
+    reg = MetricsRegistry()
+    fam = reg.gauge("weird", labels=("path",))
+    fam.labels(path='a,b"c\\d').set(1)
+    parsed = parse_exposition(reg.exposition())
+    assert parsed["weird"][(("path", 'a,b"c\\d'),)] == 1.0
+
+
+def test_where_filter_slices_by_label(registry):
+    fam = registry.gauge("engine_running", labels=("engine",))
+    fam.labels(engine="e0").set(3)
+    fam.labels(engine="e1").set(5)
+    registry.gauge("router_outstanding").labels().set(2)
+    text = registry.exposition(where={"engine": "e0"})
+    parsed = parse_exposition(text)
+    assert parsed["engine_running"] == {(("engine", "e0"),): 3.0}
+    assert "router_outstanding" not in parsed
+
+
+def test_prefix_filter_slices_by_family_name(registry):
+    registry.gauge("router_outstanding").labels().set(2)
+    registry.gauge("router_backends_healthy").labels().set(1)
+    # "sessions_" sorts after "router_" — a slice by string-partition
+    # would wrongly include it; the prefix filter must not.
+    registry.gauge("sessions_started").labels().set(9)
+    registry.gauge("engine_running").labels().set(4)
+    parsed = parse_exposition(registry.exposition(prefix="router_"))
+    assert set(parsed) == {"router_outstanding", "router_backends_healthy"}
+
+
+def test_exposition_is_deterministic_under_insertion_order():
+    def build(order):
+        reg = MetricsRegistry()
+        for name in order:
+            reg.counter(name, labels=("k",))
+        for name in order:
+            reg._families[name].labels(k="z").inc()
+            reg._families[name].labels(k="a").inc(2)
+        return reg.exposition()
+
+    assert build(["b_total", "a_total", "c_total"]) == \
+        build(["c_total", "b_total", "a_total"])
+
+
+def test_sample_dict_keys_render_label_sets(registry):
+    registry.counter("hits_total", labels=("b",)).labels(b="x").inc()
+    d = registry.sample_dict()
+    assert d == {'hits_total{b="x"}': 1}
+    assert render_label_set(("b",), ("x",)) == '{b="x"}'
+    assert render_label_set((), ()) == ""
+
+
+def test_empty_registry_renders_empty_string(registry):
+    assert registry.exposition() == ""
+    assert parse_exposition("") == {}

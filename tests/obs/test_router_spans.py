@@ -1,0 +1,49 @@
+"""Failover visibility: failed hops become "attempt" child spans."""
+
+from __future__ import annotations
+
+from tests.services.test_router_failover import (_backend, _post,
+                                                 _start_router)
+
+
+def test_failed_hops_emit_attempt_spans(rig):
+    s1 = _backend(rig, "hops01")
+    s2 = _backend(rig, "hops02")
+    router_host, app = _start_router(rig, ["hops01", "hops02"])
+    kernel = rig.kernel
+    kernel.obs.enable_spans()
+    spans = kernel.obs.spans
+    root = spans.start_trace("request")
+    s1["healthy"] = False                # first hop fails, failover saves it
+    resp = _post(kernel, rig.fabric, "registry", router_host, 4000,
+                 "/v1/chat/completions",
+                 {"messages": [], "repro_trace": root.trace_id,
+                  "repro_parent": root.span_id})
+    assert resp.ok
+    root.finish(ok=True)
+
+    route = spans.of_name("route")
+    attempts = spans.of_name("attempt")
+    # Exactly the failed hop got an attempt child; the route span names
+    # the backend that finally served.
+    ok_routes = [s for s in route if s.attrs.get("outcome") == "ok"]
+    assert len(ok_routes) == 1
+    assert ok_routes[0].parent_id == root.span_id
+    assert ok_routes[0].attrs["attempts"] == 2
+    failed = [s for s in attempts if s.parent_id == ok_routes[0].span_id]
+    assert len(failed) == 1
+    assert failed[0].attrs["backend"] == "hops01:8000"
+    assert failed[0].attrs["outcome"] in ("error", "http_500")
+    assert ok_routes[0].attrs["backend"] == "hops02:8000"
+    assert failed[0].start >= ok_routes[0].start
+    assert failed[0].end <= ok_routes[0].end
+
+
+def test_untraced_requests_emit_no_spans(rig):
+    _backend(rig, "hops01")
+    router_host, app = _start_router(rig, ["hops01"])
+    rig.kernel.obs.enable_spans()
+    resp = _post(rig.kernel, rig.fabric, "registry", router_host, 4000,
+                 "/v1/chat/completions", {"messages": []})
+    assert resp.ok
+    assert rig.kernel.obs.spans.finished == []

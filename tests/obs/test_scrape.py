@@ -1,0 +1,96 @@
+"""Unit tests for the simulated scrape pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.scrape import MetricsScraper
+from repro.simkernel import SimKernel
+
+
+def _setup(interval=60.0):
+    kernel = SimKernel(seed=1)
+    reg = MetricsRegistry()
+    scraper = MetricsScraper(kernel, reg, interval=interval)
+    return kernel, reg, scraper
+
+
+def test_interval_must_be_positive():
+    kernel = SimKernel(seed=1)
+    with pytest.raises(ValueError):
+        MetricsScraper(kernel, MetricsRegistry(), interval=0.0)
+    with pytest.raises(ValueError):
+        MetricsScraper(kernel, MetricsRegistry(), interval=-5.0)
+
+
+def test_scrape_once_stores_only_changed_series():
+    kernel, reg, scraper = _setup()
+    c = reg.counter("requests_total").labels()
+    g = reg.gauge("inflight").labels()
+    c.inc(3)
+    g.set(2)
+    first = scraper.scrape_once()
+    assert first.values == {"requests_total": 3, "inflight": 2}
+    # Nothing changed: the delta is empty (but the scrape is recorded).
+    second = scraper.scrape_once()
+    assert second.values == {}
+    c.inc()
+    third = scraper.scrape_once()
+    assert third.values == {"requests_total": 4}   # only the change
+    assert len(scraper.samples) == 3
+
+
+def test_state_at_folds_deltas_and_series_reconstructs():
+    kernel, reg, scraper = _setup()
+    c = reg.counter("requests_total").labels()
+    for n in [1, 0, 2]:
+        c.inc(n)
+        kernel.run(until=kernel.now + 10.0)
+        scraper.scrape_once()
+    assert scraper.state_at(0) == {"requests_total": 1}
+    assert scraper.state_at(1) == {"requests_total": 1}
+    assert scraper.state_at(2) == {"requests_total": 3}
+    assert scraper.series("requests_total") == [(10.0, 1.0), (30.0, 3.0)]
+
+
+def test_run_scrapes_on_the_simulated_clock_until_stop():
+    kernel, reg, scraper = _setup(interval=60.0)
+    reg.gauge("clock").labels().set_function(lambda: kernel.now)
+    stop = kernel.event()
+    kernel.spawn(scraper.run(stop))
+
+    def day(env):
+        yield kernel.timeout(301.0)
+        stop.succeed()
+
+    kernel.run(until=kernel.spawn(day(kernel)))
+    times = [s.time for s in scraper.samples]
+    assert times == [60.0, 120.0, 180.0, 240.0, 300.0]
+    # The callback gauge was read at each scrape instant.
+    assert scraper.series("clock") == [(t, t) for t in times]
+
+
+def test_digest_is_deterministic_and_change_sensitive():
+    def run(extra=0):
+        kernel, reg, scraper = _setup()
+        c = reg.counter("requests_total").labels()
+        for i in range(3):
+            c.inc(1 + (extra if i == 2 else 0))
+            kernel.run(until=kernel.now + 60.0)
+            scraper.scrape_once()
+        return scraper.digest()
+
+    assert run() == run()
+    assert run() != run(extra=1)
+
+
+def test_to_dict_shape():
+    kernel, reg, scraper = _setup(interval=30.0)
+    reg.counter("requests_total").labels().inc()
+    scraper.scrape_once()
+    d = scraper.to_dict()
+    assert d["interval"] == 30.0
+    assert d["scrapes"] == 1
+    assert d["samples"] == [{"time": 0.0,
+                             "values": {"requests_total": 1}}]

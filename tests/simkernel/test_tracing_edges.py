@@ -1,0 +1,109 @@
+"""Tracer edge cases: broken subscribers, filter/clear interleavings,
+digest stability for non-JSON field values, and the retention cap."""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+import pytest
+
+from repro.simkernel import SimKernel
+
+
+@pytest.fixture
+def tracer(kernel):
+    return kernel.trace
+
+
+def test_raising_subscriber_is_isolated_and_counted(tracer):
+    seen = []
+
+    def broken(rec):
+        raise RuntimeError("live monitor fell over")
+
+    tracer.subscribe(broken)
+    tracer.subscribe(lambda rec: seen.append(rec.kind))
+    tracer.emit("a", x=1)
+    tracer.emit("b")
+    # Emission survived, later subscribers still ran, errors counted.
+    assert [r.kind for r in tracer.records] == ["a", "b"]
+    assert seen == ["a", "b"]
+    assert tracer.subscriber_errors == 2
+
+
+def test_filter_and_clear_interleaving(tracer):
+    tracer.emit("keep.one")
+    tracer.set_filter(lambda kind: kind.startswith("keep."))
+    tracer.emit("drop.me")
+    tracer.emit("keep.two")
+    assert [r.kind for r in tracer.records] == ["keep.one", "keep.two"]
+    tracer.clear()
+    assert tracer.records == []
+    tracer.emit("keep.three")            # filter survives a clear
+    tracer.emit("drop.again")
+    assert [r.kind for r in tracer.records] == ["keep.three"]
+    tracer.set_filter(None)
+    tracer.emit("drop.now.kept")
+    assert len(tracer.records) == 2
+
+
+def test_digest_stable_for_numpy_scalars_and_enums(tracer):
+    class Mode(enum.Enum):
+        FAST = "fast"
+
+    tracer.emit("step", batch=np.int64(32), util=np.float32(0.5),
+                ok=np.bool_(True), mode=Mode.FAST)
+    first = tracer.digest()
+    assert len(first) == 64
+    assert tracer.digest() == first      # digesting is read-only
+    # The same event with plain Python numbers hashes identically for
+    # int-valued fields (numpy scalars digest via .item()).
+    k2 = SimKernel(seed=1)
+    k2.trace.emit("step", batch=32, util=np.float32(0.5).item(),
+                  ok=True, mode=Mode.FAST)
+    assert k2.trace.digest() == first
+
+
+def test_capacity_turns_the_store_into_a_ring(tracer):
+    tracer.set_capacity(3)
+    for i in range(5):
+        tracer.emit("tick", i=i)
+    assert [r.fields["i"] for r in tracer.records] == [2, 3, 4]
+    assert tracer.dropped == 2
+    assert tracer.capacity == 3
+
+
+def test_set_capacity_on_existing_records_counts_evictions(tracer):
+    for i in range(6):
+        tracer.emit("tick", i=i)
+    tracer.set_capacity(2)               # keeps the newest two
+    assert [r.fields["i"] for r in tracer.records] == [4, 5]
+    assert tracer.dropped == 4
+    tracer.set_capacity(None)            # back to unbounded
+    assert tracer.capacity is None
+    for i in range(6, 10):
+        tracer.emit("tick", i=i)
+    assert len(tracer.records) == 6
+    assert tracer.dropped == 4           # no further drops
+
+
+def test_set_capacity_validates(tracer):
+    with pytest.raises(ValueError):
+        tracer.set_capacity(0)
+    with pytest.raises(ValueError):
+        tracer.set_capacity(-3)
+
+
+def test_ring_still_filters_and_clears(tracer):
+    tracer.set_capacity(2)
+    tracer.set_filter(lambda kind: kind != "noise")
+    for i in range(4):
+        tracer.emit("tick", i=i)
+        tracer.emit("noise")
+    assert [r.fields["i"] for r in tracer.records] == [2, 3]
+    assert tracer.of_kind("noise") == []
+    tracer.clear()                       # deque.clear works like list.clear
+    assert len(tracer.records) == 0
+    tracer.emit("tick", i=9)
+    assert [r.fields["i"] for r in tracer.records] == [9]
