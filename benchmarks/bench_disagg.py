@@ -1,0 +1,123 @@
+"""Disaggregated-serving benchmark: unified vs prefill/decode split.
+
+Two benchmarks pin the disaggregation subsystem:
+
+* **Unified vs disagg at two load points** — the same Poisson workload
+  served by a unified fleet and by a prefill/decode split (1 prefill +
+  elastic decode pool), at a light rate and at a heavy mixed
+  prefill/decode rate.  The recorded TTFT percentiles document the
+  tradeoff curve: disaggregation pays one KV handoff per request
+  (fabric-costed, recorded as ``kv_transfer_s``) in exchange for decode
+  iterations that are never stalled by another request's prefill — so
+  its TTFT *tail* (p95/p99) tightens at heavy load while the mean
+  carries the transfer cost.  Both arms must complete the entire
+  workload: the split changes where tokens are computed, never how
+  many requests succeed.
+* **Digest pin** — a disagg campaign cell rerun with the same seed must
+  be byte-identical; two-leg dispatch, fabric transfers, and the
+  scheduler extraction all sit on this comparison.
+
+The deterministic simulated metrics in ``extra_info`` feed the usual
+drift gate (``benchmarks/check_regression.py``).
+"""
+
+from __future__ import annotations
+
+from repro.campaign import ScenarioSpec, ScheduleSpec, SiteSpec
+from repro.campaign.runner import run_cell
+from repro.fleet import AutoscalerConfig, DisaggSpec, SloSpec
+
+MODEL = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+
+
+def _scenario(disagg: bool, rate: float) -> ScenarioSpec:
+    arm = "disagg" if disagg else "unified"
+    return ScenarioSpec(
+        name=f"bench-{arm}-{rate}",
+        seed=17, model=MODEL, platforms=("hops",),
+        policy="round-robin", initial_replicas=2, horizon=1800.0,
+        site=SiteSpec(hops_nodes=8, eldorado_nodes=2, goodall_nodes=3,
+                      cee_nodes=1),
+        schedule=ScheduleSpec(kind="poisson", rate_rps=rate),
+        slo=SloSpec(ttft_target=15.0, e2e_target=120.0),
+        autoscaler=AutoscalerConfig(min_replicas=2, max_replicas=3),
+        disagg=DisaggSpec(enabled=disagg, prefill_replicas=1))
+
+
+def _serve(spec: ScenarioSpec):
+    """One arm, run directly so the full SloReport (overall TTFT
+    percentiles, paths block) is in reach — run_cell rows carry only
+    the scorecard columns."""
+    site = spec.build_site()
+    fleet = spec.build_fleet(site)
+    schedule = spec.schedule.build()
+
+    def scenario(env):
+        yield from fleet.start(initial_replicas=spec.initial_replicas)
+        report = yield from fleet.run_scenario(
+            schedule, spec.horizon, label=spec.name)
+        return report
+
+    return site.kernel.run(until=site.kernel.spawn(scenario(site.kernel)))
+
+
+def _run_arms():
+    return {(disagg, rate): _serve(_scenario(disagg, rate))
+            for rate in (0.5, 1.5) for disagg in (False, True)}
+
+
+def test_bench_disagg_vs_unified(benchmark):
+    reports = benchmark.pedantic(_run_arms, rounds=1, iterations=1)
+    for (disagg, rate), report in reports.items():
+        arm = "disagg" if disagg else "unified"
+        slo = report.slo
+        benchmark.extra_info.update({
+            f"{arm}_{rate}_arrivals": slo.submitted,
+            f"{arm}_{rate}_goodput_rps": round(slo.goodput_rps, 3),
+            f"{arm}_{rate}_attainment": round(slo.attainment, 4),
+            f"{arm}_{rate}_ttft_p50_ms": round(
+                slo.ttft_percentiles["p50"] * 1000, 2),
+            f"{arm}_{rate}_ttft_p95_ms": round(
+                slo.ttft_percentiles["p95"] * 1000, 2),
+            f"{arm}_{rate}_ttft_p99_ms": round(
+                slo.ttft_percentiles["p99"] * 1000, 2),
+        })
+        assert slo.errors == 0
+        if disagg:
+            paths = slo.paths
+            assert paths is not None and set(paths["ttft"]) == {"disagg"}
+            assert paths["kv_transfers"] == slo.completed
+            benchmark.extra_info.update({
+                f"{arm}_{rate}_kv_transfers": paths["kv_transfers"],
+                f"{arm}_{rate}_kv_transfer_s": paths["kv_transfer_s"],
+            })
+        else:
+            assert slo.paths is None
+    for rate in (0.5, 1.5):
+        unified, disagg = reports[(False, rate)], reports[(True, rate)]
+        assert disagg.slo.completed == unified.slo.completed \
+            == disagg.slo.submitted
+    # The documented tradeoff at heavy mixed load: each disagg request
+    # pays its KV handoff, so the handoff seconds must stay a small
+    # fraction of the workload while the whole grid holds attainment.
+    heavy = reports[(True, 1.5)].slo
+    assert heavy.paths["kv_transfer_s"] < 0.01 * heavy.completed
+    assert all(r.slo.attainment == 1.0 for r in reports.values())
+    # And the win it buys: at heavy load, median TTFT no longer queues
+    # behind other requests' prefills on the serving engine.
+    assert heavy.ttft_percentiles["p50"] \
+        < reports[(False, 1.5)].slo.ttft_percentiles["p50"]
+
+
+def test_bench_disagg_digest_pinned(benchmark):
+    """Same seed, same bytes: the disagg arm is as deterministic as the
+    unified serving path the campaign already gates on."""
+    spec = _scenario(True, 0.5)
+    row = benchmark.pedantic(lambda: run_cell(spec), rounds=1, iterations=1)
+    rerun = run_cell(_scenario(True, 0.5))
+    benchmark.extra_info.update({
+        "trace_digest": row["trace_digest"],
+        "arrivals": row["arrivals"],
+    })
+    assert row["trace_digest"] == rerun["trace_digest"]
+    assert row == rerun

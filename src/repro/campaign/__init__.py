@@ -12,7 +12,8 @@ worker count.
 """
 
 from .runner import (SCHEMA, CampaignGrid, CampaignRunner, demo_grid,
-                     run_cell, scorecard_text, sessions_grid, smoke_grid)
+                     disagg_grid, run_cell, scorecard_text, sessions_grid,
+                     smoke_grid)
 from .spec import (ChaosEventSpec, ScenarioSpec, ScheduleSpec, SiteSpec,
                    TenantSpec, coerce_chaos, get_path, set_path)
 
@@ -27,6 +28,7 @@ __all__ = [
     "TenantSpec",
     "coerce_chaos",
     "demo_grid",
+    "disagg_grid",
     "get_path",
     "run_cell",
     "scorecard_text",

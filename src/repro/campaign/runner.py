@@ -202,6 +202,8 @@ def run_cell(spec: ScenarioSpec, observability: bool = True) -> dict:
         "schedule": spec.schedule.kind,
         "chaos": [e.scenario for e in spec.chaos],
         "arrivals": report.arrivals,
+        "scheduler_policy": spec.scheduler_policy,
+        "disagg": spec.disagg.enabled,
         "completed": slo.completed,
         "errors": slo.errors,
         "attainment": round(slo.attainment, 4),
@@ -224,6 +226,10 @@ def run_cell(spec: ScenarioSpec, observability: bool = True) -> dict:
         row["sessions"] = report.sessions
         row["turn_ttft"] = slo.turns
         row["cache"] = slo.cache
+    if slo.paths is not None:
+        # Disagg cells carry the per-serving-path TTFT split and the
+        # KV-handoff transfer cost the unified-vs-disagg axis acts on.
+        row["paths"] = slo.paths
     return row
 
 
@@ -429,6 +435,34 @@ def sessions_grid(seed: int = 42) -> CampaignGrid:
             {"name": "sessions/small-kv",
              "gpu_memory_utilization": 0.50},
         ])
+
+
+def disagg_grid(seed: int = 42) -> CampaignGrid:
+    """The serving-architecture sweep: unified vs disaggregated.
+
+    8 cells (30 simulated minutes each): serving path {unified,
+    disagg} x arrival rate {moderate, heavy} x seed pair.  The
+    ``disagg`` margin is the headline — TTFT on the disagg path should
+    hold as decode load grows (prefill never queues behind decode
+    batches), priced against the KV-transfer seconds the handoffs
+    cost.  Disagg cells start one prefill + two decode replicas against
+    unified's two, so both arms field three engines at peak.
+    """
+    base = ScenarioSpec(
+        name="disagg", seed=seed, horizon=1800.0, initial_replicas=2,
+        policy="round-robin",
+        site=SiteSpec(hops_nodes=8, eldorado_nodes=2, goodall_nodes=4,
+                      cee_nodes=1),
+        schedule=ScheduleSpec(kind="poisson", rate_rps=1.0),
+        slo=SloSpec(ttft_target=10.0, e2e_target=120.0),
+        autoscaler=AutoscalerConfig(min_replicas=2, max_replicas=3))
+    return CampaignGrid(
+        base=base, name="disagg-8",
+        axes={
+            "disagg": [False, True],
+            "schedule.rate_rps": [1.0, 2.0],
+            "seed": [seed, seed + 1],
+        })
 
 
 def smoke_grid(seed: int = 42) -> CampaignGrid:

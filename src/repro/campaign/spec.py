@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any
 
 from ..errors import ConfigurationError
 from ..fleet.autoscaler import AutoscalerConfig
+from ..fleet.fleet import DisaggSpec
 from ..fleet.slo import SloSpec
 from ..fleet.traffic import (DAY, ArrivalSchedule, DiurnalSchedule,
                              FlashCrowdSchedule, PoissonSchedule, Tenant,
@@ -173,6 +174,12 @@ class ScenarioSpec:
     sessions: SessionSpec = field(default_factory=SessionSpec)
     #: vLLM's KV-memory knob — the campaign-sweepable "cache size" axis.
     gpu_memory_utilization: float = 0.90
+    #: engine scheduler policy every replica runs with (``fcfs``,
+    #: ``priority``, or ``chunked``) — the admission-policy sweep axis.
+    scheduler_policy: str = "fcfs"
+    #: disaggregated prefill/decode serving (the serving-architecture
+    #: axis: unified vs split pools).
+    disagg: DisaggSpec = field(default_factory=DisaggSpec)
 
     def __post_init__(self):
         # Forgiving construction: the ergonomic spellings accepted by
@@ -187,6 +194,15 @@ class ScenarioSpec:
         if isinstance(self.sessions, dict):
             object.__setattr__(self, "sessions",
                                _make(SessionSpec, self.sessions, "sessions"))
+        if isinstance(self.disagg, bool):
+            object.__setattr__(self, "disagg", DisaggSpec(enabled=self.disagg))
+        elif isinstance(self.disagg, dict):
+            object.__setattr__(self, "disagg",
+                               _make(DisaggSpec, self.disagg, "disagg"))
+        if self.scheduler_policy not in ("fcfs", "priority", "chunked"):
+            raise ConfigurationError(
+                f"unknown scheduler_policy {self.scheduler_policy!r} "
+                "(choices: fcfs, priority, chunked)")
         if not (0.1 <= self.gpu_memory_utilization <= 1.0):
             raise ConfigurationError(
                 f"gpu_memory_utilization {self.gpu_memory_utilization} "
@@ -260,6 +276,8 @@ class ScenarioSpec:
         if isinstance(data.get("sessions"), dict):
             data["sessions"] = _make(SessionSpec, data["sessions"],
                                      "sessions")
+        if isinstance(data.get("disagg"), dict):
+            data["disagg"] = _make(DisaggSpec, data["disagg"], "disagg")
         return cls(**data)
 
     def to_file(self, path: str | pathlib.Path) -> None:
@@ -297,6 +315,8 @@ class ScenarioSpec:
         if self.gpu_memory_utilization != 0.90:
             engine_params["gpu_memory_utilization"] = \
                 self.gpu_memory_utilization
+        if self.scheduler_policy != "fcfs":
+            engine_params["scheduler_policy"] = self.scheduler_policy
         config = FleetConfig(
             model=self.model,
             tensor_parallel_size=self.tensor_parallel_size,
@@ -305,7 +325,8 @@ class ScenarioSpec:
             policy=self.policy,
             slo=self.slo,
             autoscaler=self.autoscaler,
-            engine_params=engine_params)
+            engine_params=engine_params,
+            disagg=self.disagg)
         return Fleet(site, config)
 
     def build_mix(self, kernel: "SimKernel") -> TenantMix | None:
@@ -372,6 +393,11 @@ def set_path(spec: Any, path: str, value: Any) -> Any:
         value = coerce_chaos(value)
     elif head == "sessions" and isinstance(value, dict):
         value = _make(SessionSpec, value, "sessions")
+    elif head == "disagg":
+        if isinstance(value, bool):
+            value = DisaggSpec(enabled=value)
+        elif isinstance(value, dict):
+            value = _make(DisaggSpec, value, "disagg")
     elif head == "tenants" and not isinstance(value, tuple):
         value = tuple(value)
     return dataclasses.replace(spec, **{head: value})

@@ -136,13 +136,16 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 def _fleet_spec(args: argparse.Namespace):
     """The ``repro fleet`` flags as a declarative ScenarioSpec."""
     from .campaign import ScenarioSpec, ScheduleSpec, SiteSpec
-    from .fleet import AutoscalerConfig, SloSpec
+    from .fleet import AutoscalerConfig, DisaggSpec, SloSpec
     platforms = tuple(p.strip() for p in args.platforms.split(",")
                       if p.strip())
     return ScenarioSpec(
         name="cli-fleet", seed=args.seed, model=args.model,
         tensor_parallel_size=args.tp, platforms=platforms,
         policy=args.policy, initial_replicas=args.min_replicas,
+        scheduler_policy=args.scheduler_policy,
+        disagg=DisaggSpec(enabled=args.disagg,
+                          prefill_replicas=args.prefill_replicas),
         horizon=args.hours * 3600.0,
         site=SiteSpec(hops_nodes=8, eldorado_nodes=4, goodall_nodes=4,
                       cee_nodes=2),
@@ -264,13 +267,16 @@ def _parse_axis(text: str) -> tuple[str, list]:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import (CampaignGrid, CampaignRunner, demo_grid,
-                           scorecard_text, sessions_grid, smoke_grid)
+                           disagg_grid, scorecard_text, sessions_grid,
+                           smoke_grid)
     if args.spec:
         grid = CampaignGrid.from_file(args.spec)
     elif args.smoke:
         grid = smoke_grid(seed=args.seed)
     elif args.sessions:
         grid = sessions_grid(seed=args.seed)
+    elif args.disagg:
+        grid = disagg_grid(seed=args.seed)
     else:
         grid = demo_grid(seed=args.seed)
     if args.rate_scale != 1.0:
@@ -497,7 +503,17 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--platforms", default="hops,goodall",
                        help="comma-separated replica placement targets")
     fleet.add_argument("--policy", default="least-outstanding",
-                       choices=["round-robin", "least-outstanding"])
+                       choices=["round-robin", "least-outstanding",
+                                "cache-affinity"])
+    fleet.add_argument("--scheduler-policy", default="fcfs",
+                       choices=["fcfs", "priority", "chunked"],
+                       help="engine admission policy on every replica")
+    fleet.add_argument("--disagg", action="store_true",
+                       help="disaggregated serving: a fixed prefill pool "
+                            "plus an elastic decode pool, KV handoffs "
+                            "over the fabric")
+    fleet.add_argument("--prefill-replicas", type=int, default=1,
+                       help="prefill-pool size under --disagg")
     fleet.add_argument("--hours", type=float, default=6.0,
                        help="scenario length in simulated hours")
     fleet.add_argument("--base-rate", type=float, default=0.05,
@@ -609,6 +625,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--sessions", action="store_true",
                           help="built-in 9-cell conversational grid "
                                "(turns x think-time x prefix cache)")
+    campaign.add_argument("--disagg", action="store_true",
+                          help="built-in 8-cell serving-architecture "
+                               "grid (unified vs disaggregated x load "
+                               "x seed)")
     campaign.add_argument("--rate-scale", type=float, default=1.0,
                           help="multiply every arrival rate in the "
                                "grid's base schedule (load scaling for "

@@ -124,6 +124,15 @@ def _vllm_command(params: dict[str, Any]) -> tuple[str, ...]:
     served = params.get("served_model_name")
     if served:
         argv.append(f"--served-model-name={served}")
+    policy = params.get("scheduler_policy")
+    if policy and policy != "fcfs":
+        argv.append(f"--scheduler-policy={policy}")
+    chunk = params.get("chunk_tokens")
+    if chunk is not None:
+        argv.append(f"--chunk-tokens={int(chunk)}")
+    role = params.get("disagg_role")
+    if role and role != "unified":
+        argv.append(f"--disagg-role={role}")
     overrides = params.get("override_generation_config")
     if overrides:
         import json

@@ -36,6 +36,15 @@ def helm_values_for(site: "ConvergedSite", package: "AppPackage",
     max_len = params.get("max_model_len")
     if max_len is not None:
         command.append(f"--max-model-len={int(max_len)}")
+    policy = params.get("scheduler_policy")
+    if policy and policy != "fcfs":
+        command.append(f"--scheduler-policy={policy}")
+    chunk = params.get("chunk_tokens")
+    if chunk is not None:
+        command.append(f"--chunk-tokens={int(chunk)}")
+    role = params.get("disagg_role")
+    if role and role != "unified":
+        command.append(f"--disagg-role={role}")
     env = [{"name": "HOME", "value": "/data"},
            {"name": "HF_HOME", "value": "/data"}]
     for key, value in profile.env.items():

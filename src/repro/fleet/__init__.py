@@ -11,7 +11,8 @@ handle that ties them together behind one ``run_scenario()`` call.
 
 from .autoscaler import (Autoscaler, AutoscalerConfig, LoadSample,
                          ScaleEvent)
-from .fleet import Fleet, FleetConfig, FleetReport, Replica, TurnResult
+from .fleet import (DisaggSpec, Fleet, FleetConfig, FleetReport,
+                    Replica, TurnResult)
 from .slo import (RequestRecord, SloReport, SloSnapshot, SloSpec,
                   SloTracker, TenantStats)
 from .stats import LogHistogram
@@ -22,6 +23,7 @@ __all__ = [
     "ArrivalSchedule",
     "Autoscaler",
     "AutoscalerConfig",
+    "DisaggSpec",
     "DiurnalSchedule",
     "FlashCrowdSchedule",
     "Fleet",

@@ -28,10 +28,12 @@ from ..cluster.platform import HPCPlatform, K8sPlatform
 from ..containers.runtime import Container, RunOpts
 from ..core.deployer import Deployment
 from ..core.workflow import CaseStudyWorkflow
-from ..errors import (APIError, NetworkUnreachable, ReproError, StateError)
+from ..errors import (APIError, ConfigurationError, NetworkUnreachable,
+                      ReproError, StateError)
 from ..k8s.objects import PodPhase
 from ..net.http import HttpClient, lookup
-from ..services.router import LlmRouter, router_image
+from ..services.router import (LlmRouter, RouterConfig, RouterPolicy,
+                               router_image)
 from .autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
 from .slo import RequestRecord, SloSpec, SloTracker
 from .traffic import ArrivalSchedule, TenantMix, TrafficGenerator
@@ -40,6 +42,28 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.site import ConvergedSite
     from ..hardware.node import Node
     from ..sessions import SessionSpec
+
+
+@dataclass(frozen=True)
+class DisaggSpec:
+    """Disaggregated prefill/decode serving shape for a fleet.
+
+    When ``enabled``, the fleet runs two replica pools: a fixed pool of
+    ``prefill_replicas`` engines in role ``prefill`` and an elastic
+    decode pool (sized by ``Fleet.start(initial_replicas)`` and scaled
+    by the autoscaler — decode capacity is what queues under load; the
+    prefill pool is provisioned for the arrival rate up front).  The
+    router dispatches each completion in two legs and the decode engine
+    pays the KV handoff transfer over the fabric.
+    """
+
+    enabled: bool = False
+    prefill_replicas: int = 1
+
+    def __post_init__(self):
+        if self.prefill_replicas < 1:
+            raise ConfigurationError(
+                "disagg needs at least one prefill replica")
 
 
 @dataclass(frozen=True)
@@ -71,6 +95,14 @@ class FleetConfig:
     #: the one-shot reporting pass is skipped — overhead benches use
     #: this to time the serving day alone.
     obs_report: bool = True
+    #: disaggregated prefill/decode serving (off by default: every
+    #: replica is a unified engine serving whole requests).
+    disagg: DisaggSpec = field(default_factory=DisaggSpec)
+
+    def __post_init__(self):
+        # Fail on an unknown policy where the config is built, not at
+        # router-container start deep inside a scenario.
+        RouterPolicy.coerce(self.policy)
 
 
 @dataclass
@@ -82,6 +114,9 @@ class Replica:
     deployment: Deployment
     backend_host: str
     backend_port: int
+    #: disaggregation role the engine was deployed with (``unified``,
+    #: ``prefill``, or ``decode``); mirrored to the router pool.
+    role: str = "unified"
 
     @property
     def backend(self) -> tuple[str, int]:
@@ -224,9 +259,18 @@ class Fleet:
     # -- bring-up ---------------------------------------------------------------
 
     def start(self, initial_replicas: int = 1):
-        """Generator: seed artifacts, deploy replicas, start the router."""
+        """Generator: seed artifacts, deploy replicas, start the router.
+
+        Under a disagg config ``initial_replicas`` sizes the *decode*
+        pool; the prefill pool is ``config.disagg.prefill_replicas``.
+        """
         self._seed()
-        yield from self.add_replicas(initial_replicas)
+        if self.config.disagg.enabled:
+            yield from self.add_replicas(
+                self.config.disagg.prefill_replicas, role="prefill")
+            yield from self.add_replicas(initial_replicas, role="decode")
+        else:
+            yield from self.add_replicas(initial_replicas)
         yield from self._start_router()
         client_host = (self.config.client_host
                        or self._router_platform().service_host)
@@ -259,12 +303,14 @@ class Fleet:
     def _start_router(self):
         platform = self._router_platform()
         node = self._router_node(platform)
-        backends = ",".join(f"{r.backend_host}:{r.backend_port}"
+        backends = ",".join(f"{r.backend_host}:{r.backend_port}:{r.role}"
                             for r in self.replicas)
+        router_config = RouterConfig(policy=self.config.policy,
+                                     port=self.config.router_port,
+                                     disagg=self.config.disagg.enabled)
         opts = RunOpts(name="llm-router", network_host=True,
                        env={"BACKENDS": backends,
-                            "ROUTER_PORT": str(self.config.router_port),
-                            "ROUTER_POLICY": self.config.policy})
+                            **router_config.to_env()})
         container = yield from platform.podman.run(
             node, router_image().ref, opts)
         yield container.ready
@@ -325,7 +371,8 @@ class Fleet:
 
     # -- replica lifecycle ------------------------------------------------------
 
-    def add_replicas(self, count: int) -> "list[Replica]":
+    def add_replicas(self, count: int,
+                     role: str | None = None) -> "list[Replica]":
         """Generator: deploy ``count`` replicas concurrently; returns them.
 
         Placement for the whole batch is resolved against *remaining*
@@ -333,8 +380,14 @@ class Fleet:
         raises a clean StateError with nothing deployed), and every
         deploy settles — successes are tracked and registered even when
         a sibling fails mid-flight, so no replica can leak untracked.
+
+        ``role`` defaults to ``decode`` under a disagg config (growth
+        means decode capacity) and ``unified`` otherwise, so the
+        autoscaler needs no disagg awareness.
         """
         kernel = self.kernel
+        if role is None:
+            role = "decode" if self.config.disagg.enabled else "unified"
         placements: list[tuple[object, str, "Node | None"]] = []
         reserved: dict[str, int] = {}
         reserved_nodes: set[str] = set()
@@ -357,9 +410,10 @@ class Fleet:
             placements.append((platform, f"vllm-r{self._next_id}", node))
         self._pending_nodes |= reserved_nodes
         try:
-            procs = [kernel.spawn(self._deploy_settled(platform, name, node),
-                                  name=f"fleet:deploy:{name}")
-                     for platform, name, node in placements]
+            procs = [kernel.spawn(
+                self._deploy_settled(platform, name, node, role),
+                name=f"fleet:deploy:{name}")
+                for platform, name, node in placements]
             yield kernel.all_of(procs)   # wrappers never fail the AllOf
         finally:
             self._pending_nodes -= reserved_nodes
@@ -373,7 +427,8 @@ class Fleet:
             self.replicas.append(replica)
             self.placements.append((replica.name, replica.platform_name))
             if self.router_app is not None:
-                self.router_app.add_backend(*replica.backend)
+                self.router_app.add_backend(*replica.backend,
+                                            role=replica.role)
         self.replica_timeline.append((kernel.now, len(self.replicas)))
         if failures:
             raise StateError(
@@ -381,29 +436,34 @@ class Fleet:
                 f"(first: {failures[0]}); {len(added)} added")
         return added
 
-    def _deploy_settled(self, platform, name: str, node=None):
+    def _deploy_settled(self, platform, name: str, node=None,
+                        role: str = "unified"):
         """Generator: deploy one replica; returns it, or the error string."""
         try:
-            replica = yield from self._deploy_replica(platform, name, node)
+            replica = yield from self._deploy_replica(
+                platform, name, node, role)
         except ReproError as exc:
             self.kernel.trace.emit("fleet.deploy_failed", replica=name,
                                    platform=platform.name, error=str(exc))
             return str(exc)
         return replica
 
-    def _deploy_replica(self, platform, name: str, node=None):
+    def _deploy_replica(self, platform, name: str, node=None,
+                        role: str = "unified"):
+        extra = {**self.config.engine_params, "name": name}
+        if role != "unified":
+            extra["disagg_role"] = role
         deployment = yield from self.wf.deploy_model(
             platform.name, self.config.model,
             tensor_parallel_size=self.config.tensor_parallel_size,
-            node=node, extra_params={**self.config.engine_params,
-                                     "name": name})
+            node=node, extra_params=extra)
         if isinstance(platform, K8sPlatform):
             host, port = self._k8s_backend(platform, name)
         else:
             host, port = deployment.endpoint
         return Replica(name=name, platform_name=platform.name,
                        deployment=deployment, backend_host=host,
-                       backend_port=port)
+                       backend_port=port, role=role)
 
     def _k8s_backend(self, platform: K8sPlatform,
                      release_name: str) -> tuple[str, int]:
@@ -450,7 +510,7 @@ class Fleet:
         replica.backend_host = new_host
         if self.router_app is not None:
             self.router_app.remove_backend(*old)
-            self.router_app.add_backend(*replica.backend)
+            self.router_app.add_backend(*replica.backend, role=replica.role)
         self.kernel.trace.emit("fleet.rebind", replica=replica.name,
                                old=f"{old[0]}:{old[1]}", new=new_host)
 
@@ -473,7 +533,7 @@ class Fleet:
         dead replica is deregistered either way.
         """
         self.discard_replica(replica)
-        added = yield from self.add_replicas(1)
+        added = yield from self.add_replicas(1, role=replica.role)
         return added[0]
 
     def remove_replica(self, replica: Replica | None = None,
@@ -481,11 +541,21 @@ class Fleet:
         """Generator: deregister, drain in-flight work, stop the replica.
 
         Returns the removed replica, or ``None`` when the fleet is already
-        at one replica (never scale to zero).
+        at one replica (never scale to zero).  Under a disagg config
+        only the decode pool shrinks — the prefill pool is fixed
+        provisioning, so scale-down refuses prefill replicas and keeps
+        at least one decode replica.
         """
-        if len(self.replicas) <= 1:
-            return None
-        replica = replica or self.replicas[-1]
+        if self.config.disagg.enabled:
+            pool = [r for r in self.replicas if r.role == "decode"]
+            if len(pool) <= 1 or (replica is not None
+                                  and replica.role != "decode"):
+                return None
+        else:
+            pool = self.replicas
+            if len(pool) <= 1:
+                return None
+        replica = replica or pool[-1]
         self.replicas.remove(replica)
         kernel = self.kernel
         backend = None
@@ -519,19 +589,22 @@ class Fleet:
             self.inflight -= 1
 
     def request(self, tenant: str, prompt_tokens: int, output_tokens: int,
-                session: str | None = None, turn: int = 0):
+                session: str | None = None, turn: int = 0,
+                priority: int = 0):
         """Generator: one request through the router, fully accounted.
 
         The closed-loop entry point session turns use directly (the
         open-loop :meth:`submit` wraps it in a fire-and-forget worker).
         Observes the SLO tracker — with turn and prefix-cache telemetry
         when ``session`` is set — and returns a :class:`TurnResult` the
-        session can grow its context from.
+        session can grow its context from.  ``priority`` rides to the
+        engine (meaningful under the ``priority`` scheduler policy).
         """
         kernel = self.kernel
         self.slo.note_submitted()
         submitted = kernel.now
         ok, error, ttft, out_tokens, cached = False, "", 0.0, 0, 0
+        path, kv_transfer_s = "unified", 0.0
         # Root span for the whole request; its trace id travels in the
         # body so the router (route/attempt) and engine (queue/prefill/
         # decode) attach their spans to the same tree.  Reserved here,
@@ -546,6 +619,8 @@ class Fleet:
                 "temperature": 0.7}
         if session is not None:
             body["repro_session"] = session
+        if priority:
+            body["repro_priority"] = priority
         if trace_id:
             body["repro_trace"] = trace_id
             body["repro_parent"] = root_sid
@@ -558,6 +633,8 @@ class Fleet:
                 stats = response.json.get("repro_stats", {})
                 ttft = float(stats.get("ttft", 0.0))
                 cached = int(stats.get("cached_tokens", 0))
+                path = str(stats.get("path") or "unified")
+                kv_transfer_s = float(stats.get("kv_transfer_s", 0.0))
                 out_tokens = response.json["usage"]["completion_tokens"]
             else:
                 error = str((response.status, response.json))
@@ -576,7 +653,7 @@ class Fleet:
             ttft=ttft, latency=kernel.now - submitted,
             prompt_tokens=prompt_tokens, output_tokens=out_tokens,
             ok=ok, error=error, session=session or "", turn=turn,
-            cached_tokens=cached))
+            cached_tokens=cached, path=path, kv_transfer_s=kv_transfer_s))
         # Request-level golden-trace record: the seed-sensitive part of
         # the day, so trace digests distinguish runs that differ only in
         # arrival randomness.  Session turns tag their turn index and
@@ -585,7 +662,9 @@ class Fleet:
             "fleet.request", tenant=tenant, ok=ok,
             ttft=round(ttft, 6), latency=round(kernel.now - submitted, 6),
             output_tokens=out_tokens,
-            **({"turn": turn, "cached_tokens": cached} if turn else {}))
+            **({"turn": turn, "cached_tokens": cached} if turn else {}),
+            **({"path": path, "kv_transfer_s": round(kv_transfer_s, 6)}
+               if path != "unified" else {}))
         return TurnResult(ok=ok, ttft=ttft, latency=kernel.now - submitted,
                           output_tokens=out_tokens, cached_tokens=cached,
                           error=error)

@@ -64,7 +64,11 @@ class RequestRecord:
     ``turn`` is 0 for single-shot traffic and 1-based for session
     turns; ``cached_tokens`` is how much of the prompt the serving
     engine prefilled from its prefix cache (0 when caching is off or
-    the request missed).
+    the request missed).  ``path`` is the serving path the request
+    took — ``"unified"`` for a single-engine completion, ``"disagg"``
+    when the router split it into prefill and decode legs — and
+    ``kv_transfer_s`` the fabric seconds its KV handoff cost (0 on the
+    unified path).
     """
 
     tenant: str
@@ -79,6 +83,8 @@ class RequestRecord:
     session: str = ""
     turn: int = 0
     cached_tokens: int = 0
+    path: str = "unified"
+    kv_transfer_s: float = 0.0
 
 
 @dataclass
@@ -154,7 +160,10 @@ class SloReport:
     ``turns`` and ``cache`` are populated only when the run carried
     session traffic: per-turn TTFT splits (the first turn pays a full
     prefill; later turns should ride the prefix cache) and prefix-cache
-    effectiveness as observed by clients.
+    effectiveness as observed by clients.  ``paths`` is populated only
+    when the run saw a non-unified serving path (disaggregated
+    prefill/decode): per-path TTFT aggregates plus the total KV
+    transfer seconds the disagg handoffs cost.
     """
 
     spec: SloSpec
@@ -169,6 +178,7 @@ class SloReport:
     per_tenant: dict[str, TenantStats] = field(default_factory=dict)
     turns: dict | None = None
     cache: dict | None = None
+    paths: dict | None = None
 
     @property
     def attainment(self) -> float:
@@ -222,6 +232,16 @@ class SloReport:
                 f"({self.cache['cached_tokens']} of "
                 f"{self.cache['prompt_tokens']} prompt tokens cached, "
                 f"{self.cache['cached_token_ratio']:.2%})")
+        if self.paths is not None:
+            for name in sorted(self.paths["ttft"]):
+                stats = self.paths["ttft"][name]
+                lines.append(
+                    f"  path {name:10s} n={stats['n']:6d} "
+                    f"ttft mean {stats['mean_s']:.3f}s "
+                    f"p95 {stats.get('p95', 0.0):.3f}s")
+            lines.append(
+                f"  kv transfer: {self.paths['kv_transfer_s']:.1f} s total "
+                f"over {self.paths['kv_transfers']} handoffs")
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -251,6 +271,7 @@ class SloReport:
                 for name, s in self.per_tenant.items()},
             **({"turns": self.turns} if self.turns is not None else {}),
             **({"cache": self.cache} if self.cache is not None else {}),
+            **({"paths": self.paths} if self.paths is not None else {}),
         }
 
 
@@ -313,6 +334,11 @@ class SloTracker:
         self.session_prompt_tokens = 0
         self._turn_stats = {
             "first": _TurnTtft(), "later": _TurnTtft()}
+        # Per-serving-path TTFT aggregates (unified vs disagg); only
+        # reported when a non-unified path showed up.
+        self._path_stats: dict[str, _TurnTtft] = {}
+        self.kv_transfers = 0           # ok requests that paid a handoff
+        self.kv_transfer_s = 0.0
 
     # -- ingestion --------------------------------------------------------------
 
@@ -354,6 +380,11 @@ class SloTracker:
                     self.cache_hit_requests += 1
                 key = "first" if record.turn == 1 else "later"
                 self._turn_stats[key].add(record.ttft)
+            self._path_stats.setdefault(
+                record.path, _TurnTtft()).add(record.ttft)
+            if record.kv_transfer_s > 0:
+                self.kv_transfers += 1
+                self.kv_transfer_s += record.kv_transfer_s
         else:
             self.errors += 1
             tenant.errors += 1
@@ -437,7 +468,14 @@ class SloTracker:
         return snap
 
     def report(self) -> SloReport:
-        turns = cache = None
+        turns = cache = paths = None
+        if any(name != "unified" for name in self._path_stats):
+            paths = {
+                "ttft": {name: stats.to_json()
+                         for name, stats in sorted(self._path_stats.items())},
+                "kv_transfers": self.kv_transfers,
+                "kv_transfer_s": round(self.kv_transfer_s, 3),
+            }
         if self.session_requests:
             turns = {key: stats.to_json()
                      for key, stats in self._turn_stats.items()}
@@ -465,4 +503,5 @@ class SloTracker:
             per_tenant=dict(self.per_tenant),
             turns=turns,
             cache=cache,
+            paths=paths,
         )

@@ -8,13 +8,17 @@ fails over, giving HPC deployments K8s-like behavior.
 
 from __future__ import annotations
 
+import json
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
+from enum import Enum
 
 from ..containers.image import (ExecutionExpectations, ImageManifest,
                                 make_layers, register_app)
 from ..containers.runtime import ContainerApp, ContainerContext
-from ..errors import APIError, NetworkUnreachable, ReproError
+from ..errors import (APIError, ConfigurationError, NetworkUnreachable,
+                      ReproError)
 from ..net.http import HttpClient, HttpResponse, HttpService
 from ..obs.profile import profiler
 from ..units import MiB
@@ -29,10 +33,94 @@ def router_image(tag: str = "main") -> ImageManifest:
         entrypoint="litellm")
 
 
+class RouterPolicy(str, Enum):
+    """Load-balancing policies the router understands.
+
+    The typed replacement for the old ``ROUTER_POLICY`` env string:
+    configs carry the enum, so an unknown policy fails where the
+    config is *built* (a ScenarioSpec, a FleetConfig) instead of at
+    container start deep inside a scenario.
+    """
+
+    ROUND_ROBIN = "round-robin"
+    LEAST_OUTSTANDING = "least-outstanding"
+    CACHE_AFFINITY = "cache-affinity"
+
+    @classmethod
+    def coerce(cls, value: "RouterPolicy | str") -> "RouterPolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown router policy {value!r} "
+                f"(choices: {', '.join(p.value for p in cls)})") from None
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Typed router configuration (policy, port, dispatch mode).
+
+    Travels to the container as one ``ROUTER_CONFIG`` JSON env var;
+    the old ``ROUTER_POLICY``/``ROUTER_PORT`` pair is still honored as
+    a deprecated alias (with a :class:`DeprecationWarning`) when
+    ``ROUTER_CONFIG`` is absent.
+
+    ``disagg`` switches the dispatcher to disaggregated serving: a
+    completion request is routed twice — its prefill leg to a backend
+    of role ``prefill``, then its decode leg (carrying the KV handoff)
+    to a backend of role ``decode`` — and the two responses are merged.
+    """
+
+    policy: RouterPolicy = RouterPolicy.ROUND_ROBIN
+    port: int = 4000
+    disagg: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "policy", RouterPolicy.coerce(self.policy))
+        if not (0 < self.port < 65536):
+            raise ConfigurationError(f"bad router port {self.port}")
+
+    def to_env(self) -> dict[str, str]:
+        """Render as container env (the one ``ROUTER_CONFIG`` var)."""
+        return {"ROUTER_CONFIG": json.dumps(
+            {"policy": self.policy.value, "port": self.port,
+             "disagg": self.disagg}, sort_keys=True)}
+
+    @classmethod
+    def from_env(cls, env: dict[str, str]) -> "RouterConfig":
+        """Parse container env; legacy vars warn but keep working."""
+        raw = env.get("ROUTER_CONFIG")
+        if raw:
+            try:
+                data = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"bad ROUTER_CONFIG JSON: {exc}") from exc
+            return cls(policy=RouterPolicy.coerce(
+                data.get("policy", RouterPolicy.ROUND_ROBIN)),
+                port=int(data.get("port", 4000)),
+                disagg=bool(data.get("disagg", False)))
+        kwargs: dict = {}
+        if "ROUTER_POLICY" in env:
+            warnings.warn(
+                "the ROUTER_POLICY env var is deprecated; pass a "
+                "RouterConfig (ROUTER_CONFIG) instead",
+                DeprecationWarning, stacklevel=2)
+            kwargs["policy"] = RouterPolicy.coerce(env["ROUTER_POLICY"])
+        if "ROUTER_PORT" in env:
+            kwargs["port"] = int(env["ROUTER_PORT"])
+        return cls(**kwargs)
+
+
 @dataclass
 class Backend:
     host: str
     port: int
+    #: disaggregation role this backend serves (``unified`` backends
+    #: take whole requests; ``prefill``/``decode`` take one leg each).
+    role: str = "unified"
     healthy: bool = True
     consecutive_failures: int = 0
     outstanding: int = 0
@@ -58,14 +146,21 @@ class Backend:
 class LlmRouter(ContainerApp):
     """Load balancing with failover across vLLM backends.
 
-    Env: ``ROUTER_PORT`` (default 4000), ``BACKENDS`` =
-    ``host1:port1,host2:port2,...``, ``ROUTER_POLICY`` = ``round-robin``
-    (default), ``least-outstanding``, or ``cache-affinity``
-    (session-sticky: requests carrying a ``repro_session`` key go to
-    the backend holding that conversation's KV prefix, falling back to
-    least-outstanding when the sticky backend is quarantined, removed,
-    or the session is new; ``/router/cache`` exposes the per-backend
-    prefix-cache telemetry).
+    Configured through a :class:`RouterConfig` (``ROUTER_CONFIG`` env
+    JSON; the legacy ``ROUTER_POLICY``/``ROUTER_PORT`` vars still work
+    with a deprecation warning) plus ``BACKENDS`` =
+    ``host1:port1[:role1],host2:port2[:role2],...``.  Policies:
+    ``round-robin`` (default), ``least-outstanding``, or
+    ``cache-affinity`` (session-sticky: requests carrying a
+    ``repro_session`` key go to the backend holding that conversation's
+    KV prefix, falling back to least-outstanding when the sticky
+    backend is quarantined, removed, or the session is new;
+    ``/router/cache`` exposes the per-backend prefix-cache telemetry).
+
+    With ``disagg`` enabled, completion requests are dispatched in two
+    legs — prefill-pool then decode-pool, the second carrying the KV
+    handoff descriptor the prefill backend returned — and the policy
+    picks *within* each role pool.
 
     Backends may also be added and removed at runtime — either through
     :meth:`add_backend` / :meth:`remove_backend` (control-plane handle,
@@ -74,7 +169,7 @@ class LlmRouter(ContainerApp):
 
     UNHEALTHY_AFTER = 2
     HEALTH_INTERVAL = 15.0
-    POLICIES = ("round-robin", "least-outstanding", "cache-affinity")
+    POLICIES = tuple(p.value for p in RouterPolicy)
     #: Bound on remembered session -> backend stickiness entries; the
     #: oldest-touched mapping is dropped first (a re-routed session just
     #: warms a new backend's cache, so forgetting is safe).
@@ -83,24 +178,30 @@ class LlmRouter(ContainerApp):
     def __init__(self):
         self.backends: list[Backend] = []
         self.service: HttpService | None = None
-        self.policy = "round-robin"
+        self.config = RouterConfig()
         self.failed_forwards = 0   # forward attempts that errored or 5xx'd
         self.retried_ok = 0        # requests that succeeded after a failover
         # Routing-pool epoch: bumped on every membership or health
-        # transition.  The serving pool and rotation index are cached
-        # per epoch, so the per-request path allocates nothing and the
-        # rotation state is O(1) no matter how much churn the pool sees
-        # (the old per-composition counter table grew without bound
-        # under chaos add/remove/quarantine cycles).
+        # transition.  The serving pools (one per role in play) and
+        # rotation indices are cached per epoch, so the per-request
+        # path allocates nothing and the rotation state is O(1) no
+        # matter how much churn the pool sees (the old per-composition
+        # counter table grew without bound under chaos
+        # add/remove/quarantine cycles).
         self._epoch = 0
         self._cache_epoch = -1
-        self._pool: list[Backend] = []
-        self._rr_idx = 0
+        self._pools: dict[str, list[Backend]] = {}
+        self._rr_idx: dict[str, int] = {}
         self._client: HttpClient | None = None
         self._kernel = None   # set at startup; None for bare (bench) use
         # cache-affinity state: session key -> backend key, LRU-bounded.
         self._affinity: "OrderedDict[str, str]" = OrderedDict()
         self.affinity_reassignments = 0   # sticky target lost (evict/churn)
+
+    @property
+    def policy(self) -> str:
+        """The active policy name (kept a string for stats/back-compat)."""
+        return self.config.policy.value
 
     def startup(self, ctx: ContainerContext):
         ctx.check_expectations()
@@ -109,21 +210,25 @@ class LlmRouter(ContainerApp):
         self._register_obs()
         spec = ctx.env.get("BACKENDS", "")
         for entry in filter(None, spec.split(",")):
-            host, _, port = entry.partition(":")
-            self.add_backend(host, int(port or 8000))
+            parts = entry.split(":")
+            host = parts[0]
+            port = int(parts[1]) if len(parts) > 1 and parts[1] else 8000
+            role = parts[2] if len(parts) > 2 and parts[2] else "unified"
+            self.add_backend(host, port, role=role)
         if not self.backends:
             raise ContainerCrash("router: no BACKENDS configured",
                                  sim_time=ctx.kernel.now)
-        self.policy = ctx.env.get("ROUTER_POLICY", "round-robin")
-        if self.policy not in self.POLICIES:
-            raise ContainerCrash(
-                f"router: unknown ROUTER_POLICY {self.policy!r} "
-                f"(choices: {', '.join(self.POLICIES)})",
-                sim_time=ctx.kernel.now)
+        try:
+            self.config = RouterConfig.from_env(ctx.env)
+        except ConfigurationError as exc:
+            source = ("ROUTER_CONFIG" if "ROUTER_CONFIG" in ctx.env
+                      else "ROUTER_POLICY")
+            raise ContainerCrash(f"router: bad {source}: {exc}",
+                                 sim_time=ctx.kernel.now) from exc
         self._client = HttpClient(ctx.fabric, ctx.hostname)
-        port = int(ctx.env.get("ROUTER_PORT", "4000"))
-        self.service = HttpService(ctx.fabric, ctx.hostname, port,
-                                   self._handle, name="litellm")
+        self.service = HttpService(ctx.fabric, ctx.hostname,
+                                   self.config.port, self._handle,
+                                   name="litellm")
         yield ctx.kernel.timeout(3.0)
 
     def run(self, ctx: ContainerContext):
@@ -220,11 +325,12 @@ class LlmRouter(ContainerApp):
 
     # -- dynamic membership (fleet control plane) ---------------------------------
 
-    def add_backend(self, host: str, port: int) -> Backend:
+    def add_backend(self, host: str, port: int,
+                    role: str = "unified") -> Backend:
         """Register a backend; idempotent on (host, port)."""
         backend = self.find_backend(host, port)
         if backend is None:
-            backend = Backend(host, int(port))
+            backend = Backend(host, int(port), role=role)
             self.backends.append(backend)
             self._epoch += 1
             if self._kernel is not None:
@@ -251,9 +357,11 @@ class LlmRouter(ContainerApp):
         return {
             "policy": self.policy,
             "backends": [{
-                "host": b.host, "port": b.port, "healthy": b.healthy,
+                "host": b.host, "port": b.port, "role": b.role,
+                "healthy": b.healthy,
                 "outstanding": b.outstanding, "served": b.served,
             } for b in self.backends],
+            "disagg": self.config.disagg,
             "healthy": sum(b.healthy for b in self.backends),
             "outstanding": sum(b.outstanding for b in self.backends),
             "failed_forwards": self.failed_forwards,
@@ -299,23 +407,33 @@ class LlmRouter(ContainerApp):
 
     # -- routing ----------------------------------------------------------------------
 
-    def _serving_pool(self) -> list[Backend]:
-        """The routable pool, rebuilt only when the epoch moved.
+    def _serving_pool(self, role: str | None = None) -> list[Backend]:
+        """The routable pool for ``role``, rebuilt when the epoch moved.
 
         Rebuilding resets the rotation index, so the rotation is always
         relative to the current pool composition — a single counter
         modulo a shrinking healthy pool would skew the rotation after
-        failover (and after dynamic add/remove).
+        failover (and after dynamic add/remove).  ``role=None`` is the
+        unified pool (every backend); ``prefill``/``decode`` filter to
+        that role — the disagg dispatch pools.
         """
         if self._cache_epoch != self._epoch:
-            healthy = [b for b in self.backends if b.healthy]
-            self._pool = healthy or list(self.backends)
+            self._pools = {}
+            self._rr_idx = {}
             self._cache_epoch = self._epoch
-            self._rr_idx = 0
-        return self._pool
+        key = role or "*"
+        pool = self._pools.get(key)
+        if pool is None:
+            members = (self.backends if role is None
+                       else [b for b in self.backends if b.role == role])
+            healthy = [b for b in members if b.healthy]
+            pool = healthy or members
+            self._pools[key] = pool
+            self._rr_idx[key] = 0
+        return pool
 
-    def _pick(self, session: str | None = None):
-        """Yield backends in try-order for one request.
+    def _pick(self, session: str | None = None, role: str | None = None):
+        """Yield backends in try-order for one request (or one leg).
 
         Lazy: the steady-state (first attempt succeeds) costs one index
         bump and zero allocations; the failover tail is only ordered
@@ -329,10 +447,13 @@ class LlmRouter(ContainerApp):
         outstanding count.  The mapping to the backend that *actually
         served* is confirmed in :meth:`_note_session_result`.
         """
-        pool = self._serving_pool()
+        pool = self._serving_pool(role)
         n = len(pool)
-        idx = self._rr_idx
-        self._rr_idx = idx + 1
+        if n == 0:
+            return
+        key = role or "*"
+        idx = self._rr_idx[key]
+        self._rr_idx[key] = idx + 1
         if self.policy == "cache-affinity" and session is not None:
             sticky = self._affinity.get(session)
             target = None
@@ -421,9 +542,42 @@ class LlmRouter(ContainerApp):
             rec = None
         route_sid = rec.reserve_span() if rec is not None else 0
         route_start = rec.kernel.now if rec is not None else 0.0
+        if (self.config.disagg
+                and request.path in ("/v1/chat/completions",
+                                     "/v1/completions")):
+            response = yield from self._dispatch_disagg(
+                request, session, trace_id, parent_id, rec,
+                route_sid, route_start)
+            return response
+        response, backend, failed_attempts = yield from self._forward(
+            request, request.json, session, None, rec, trace_id, route_sid)
+        if backend is not None:
+            if rec is not None:
+                rec.emit("route", trace_id, parent_id or None,
+                         route_start, rec.kernel.now,
+                         {"backend": backend.key,
+                          "attempts": failed_attempts + 1, "outcome": "ok"},
+                         span_id=route_sid)
+            return response
+        if rec is not None:
+            rec.emit("route", trace_id, parent_id or None,
+                     route_start, rec.kernel.now,
+                     {"attempts": failed_attempts,
+                      "outcome": "failed"}, span_id=route_sid)
+        return response or HttpResponse(503, json={
+            "error": "no healthy backends"})
+
+    def _forward(self, request, body, session: str | None,
+                 role: str | None, rec, trace_id: int, route_sid: int):
+        """One routed leg with failover inside the ``role`` pool.
+
+        Returns ``(response, backend, failed_attempts)``: ``backend``
+        is the one that served (None when every attempt failed, with
+        ``response`` the last error or None for an empty pool).
+        """
         last_error: HttpResponse | None = None
         failed_attempts = 0
-        picker = self._pick(session=session)
+        picker = self._pick(session=session, role=role)
         while True:
             if profiler.enabled:
                 profiler.push("router.pick")
@@ -443,7 +597,7 @@ class LlmRouter(ContainerApp):
             try:
                 response = yield from self._client.request(
                     request.method, backend.host, backend.port, request.path,
-                    json=request.json, headers=request.headers)
+                    json=body, headers=request.headers)
             except (APIError, NetworkUnreachable, ReproError) as exc:
                 self._note_failure(backend)
                 self.failed_forwards += 1
@@ -476,20 +630,99 @@ class LlmRouter(ContainerApp):
             if failed_attempts:
                 # The request was saved by failover: retried, not lost.
                 self.retried_ok += 1
+            return response, backend, failed_attempts
+        return last_error, None, failed_attempts
+
+    def _dispatch_disagg(self, request, session: str | None, trace_id: int,
+                         parent_id: int, rec, route_sid: int,
+                         route_start: float):
+        """Disaggregated dispatch: prefill leg, then decode leg.
+
+        The prefill backend runs the request to its first token and
+        returns a ``repro_handoff`` descriptor (source host, KV
+        tokens); the decode leg carries it to a decode backend, which
+        pays the KV transfer over the fabric and continues generation.
+        The merged response keeps the decode leg's usage (its token
+        count spans the whole request) with TTFT and prefix-cache
+        telemetry from the prefill leg.
+
+        Session affinity applies to the prefill leg only — that is
+        where the conversation's KV prefix lives; the decode pool is
+        balanced purely by the policy.
+        """
+        body = request.json if isinstance(request.json, dict) else {}
+        pre_resp, pre_backend, pre_failed = yield from self._forward(
+            request, body, session, "prefill", rec, trace_id, route_sid)
+        attempts = pre_failed + (1 if pre_backend is not None else 0)
+        if pre_backend is None or not pre_resp.ok:
             if rec is not None:
                 rec.emit("route", trace_id, parent_id or None,
                          route_start, rec.kernel.now,
-                         {"backend": backend.key,
-                          "attempts": failed_attempts + 1, "outcome": "ok"},
+                         {"attempts": attempts, "path": "disagg",
+                          "outcome": "failed", "leg": "prefill"},
                          span_id=route_sid)
-            return response
+            return pre_resp or HttpResponse(503, json={
+                "error": "no prefill backends"})
+        pre_body = pre_resp.json if isinstance(pre_resp.json, dict) else {}
+        handoff = pre_body.get("repro_handoff")
+        if not isinstance(handoff, dict):
+            # The backend is not actually a prefill engine (role
+            # mislabeled); surface a clear dispatch error.
+            return HttpResponse(502, json={
+                "error": f"backend {pre_backend.key} returned no "
+                         "repro_handoff; is it running with "
+                         "--disagg-role prefill?"})
+        pre_stats = pre_body.get("repro_stats", {})
+        max_tokens = int(body.get("max_tokens", 1024))
+        if int(handoff.get("generated") or 1) >= max_tokens:
+            # Single-token request: the prefill leg already finished it.
+            if rec is not None:
+                rec.emit("route", trace_id, parent_id or None,
+                         route_start, rec.kernel.now,
+                         {"prefill": pre_backend.key, "attempts": attempts,
+                          "path": "disagg", "outcome": "ok"},
+                         span_id=route_sid)
+            pre_body = dict(pre_body)
+            pre_body.pop("repro_handoff", None)
+            return HttpResponse(200, json=pre_body)
+        dec_body = dict(body)
+        dec_body["repro_handoff"] = handoff
+        dec_resp, dec_backend, dec_failed = yield from self._forward(
+            request, dec_body, None, "decode", rec, trace_id, route_sid)
+        attempts += dec_failed + (1 if dec_backend is not None else 0)
+        if dec_backend is None or not dec_resp.ok:
+            if rec is not None:
+                rec.emit("route", trace_id, parent_id or None,
+                         route_start, rec.kernel.now,
+                         {"prefill": pre_backend.key, "attempts": attempts,
+                          "path": "disagg", "outcome": "failed",
+                          "leg": "decode"}, span_id=route_sid)
+            return dec_resp or HttpResponse(503, json={
+                "error": "no decode backends"})
+        merged = dict(dec_resp.json if isinstance(dec_resp.json, dict)
+                      else {})
+        dec_stats = merged.get("repro_stats", {})
+        merged["repro_stats"] = {
+            # TTFT is the prefill leg's: the client saw its first token
+            # when the prefill engine produced it.
+            "ttft": float(pre_stats.get("ttft", 0.0)),
+            "latency": (float(pre_stats.get("latency", 0.0))
+                        + float(dec_stats.get("kv_transfer_s", 0.0))
+                        + float(dec_stats.get("latency", 0.0))),
+            "preemptions": (int(pre_stats.get("preemptions", 0))
+                            + int(dec_stats.get("preemptions", 0))),
+            "cached_tokens": int(pre_stats.get("cached_tokens", 0)),
+            "kv_transfer_s": float(dec_stats.get("kv_transfer_s", 0.0)),
+            "path": "disagg",
+        }
         if rec is not None:
             rec.emit("route", trace_id, parent_id or None,
                      route_start, rec.kernel.now,
-                     {"attempts": failed_attempts,
-                      "outcome": "failed"}, span_id=route_sid)
-        return last_error or HttpResponse(503, json={
-            "error": "no healthy backends"})
+                     {"prefill": pre_backend.key,
+                      "decode": dec_backend.key,
+                      "attempts": attempts, "path": "disagg",
+                      "outcome": "ok"}, span_id=route_sid)
+        return HttpResponse(200, json=merged)
 
     # -- admin API ---------------------------------------------------------------------
 
@@ -529,8 +762,13 @@ class LlmRouter(ContainerApp):
                 return HttpResponse(400, json={
                     "error": "need op=add|remove and host[, port]"})
             if op == "add":
-                self.add_backend(host, port)
-                return HttpResponse(200, json={"added": f"{host}:{port}"})
+                role = str(body.get("role") or "unified")
+                if role not in ("unified", "prefill", "decode"):
+                    return HttpResponse(400, json={
+                        "error": f"unknown role {role!r}"})
+                self.add_backend(host, port, role=role)
+                return HttpResponse(200, json={"added": f"{host}:{port}",
+                                               "role": role})
             removed = self.remove_backend(host, port)
             return HttpResponse(200 if removed else 404,
                                 json={"removed": removed})

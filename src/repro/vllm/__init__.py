@@ -16,6 +16,10 @@ from .config import EngineArgs, OFFLINE_ENV_FLAGS, parse_serve_command
 from .engine import LLMEngine, Request, RequestStats
 from .kvcache import BlockManager
 from .perf import PerfModel, PerfProfile
+from .scheduler import (SCHEDULER_POLICIES, ChunkedPrefillPolicy, FcfsPolicy,
+                        PriorityPolicy, Scheduler, SchedulingPolicy,
+                        make_policy)
+from .spec import RequestSpec
 from .faults import CrashAfterRequests, CrashAtTime, FaultPlan
 from .multinode import MultiNodeEngineLauncher
 from . import server  # noqa: F401  (registers the vllm-openai app)
@@ -32,6 +36,14 @@ __all__ = [
     "PerfModel",
     "PerfProfile",
     "Request",
+    "RequestSpec",
     "RequestStats",
+    "SCHEDULER_POLICIES",
+    "Scheduler",
+    "SchedulingPolicy",
+    "FcfsPolicy",
+    "PriorityPolicy",
+    "ChunkedPrefillPolicy",
+    "make_policy",
     "parse_serve_command",
 ]

@@ -38,6 +38,14 @@ class EngineArgs:
     port: int = 8000
     disable_log_requests: bool = False
     override_generation_config: dict = field(default_factory=dict)
+    #: engine scheduler policy: ``fcfs`` (default), ``priority``, or
+    #: ``chunked`` (chunked prefill; budget below).
+    scheduler_policy: str = "fcfs"
+    chunk_tokens: int = 512
+    #: disaggregated-serving role: ``unified`` serves whole requests;
+    #: ``prefill`` runs to the first token and hands the KV off;
+    #: ``decode`` continues handed-off requests.
+    disagg_role: str = "unified"
 
     def __post_init__(self):
         if self.tensor_parallel_size < 1 or self.pipeline_parallel_size < 1:
@@ -48,6 +56,16 @@ class EngineArgs:
                 "out of range")
         if self.max_model_len is not None and self.max_model_len < 16:
             raise ConfigurationError("max_model_len too small")
+        if self.scheduler_policy not in ("fcfs", "priority", "chunked"):
+            raise ConfigurationError(
+                f"unknown scheduler_policy {self.scheduler_policy!r} "
+                "(choices: fcfs, priority, chunked)")
+        if self.chunk_tokens < 1:
+            raise ConfigurationError("chunk_tokens must be positive")
+        if self.disagg_role not in ("unified", "prefill", "decode"):
+            raise ConfigurationError(
+                f"unknown disagg_role {self.disagg_role!r} "
+                "(choices: unified, prefill, decode)")
 
     @property
     def public_model_name(self) -> str:
@@ -111,6 +129,12 @@ def parse_serve_command(command: tuple[str, ...]) -> EngineArgs:
             kwargs[key] = value.lower() in ("1", "true", "yes")
         elif key == "enable_prefix_caching":
             kwargs[key] = value.lower() in ("1", "true", "yes")
+        elif key == "scheduler_policy":
+            kwargs[key] = value
+        elif key == "chunk_tokens":
+            kwargs[key] = int(value)
+        elif key == "disagg_role":
+            kwargs[key] = value
         elif key == "override_generation_config":
             try:
                 kwargs[key] = json.loads(value)

@@ -1,16 +1,28 @@
 """The continuous-batching engine loop.
 
 Mechanics mirror vLLM's scheduler at the fidelity that matters for the
-paper's curves: FCFS admission from a waiting queue while KV blocks are
-available, one token per running sequence per iteration, LIFO
-recompute-preemption when the cache fills, and iteration times from the
-calibrated :class:`~repro.vllm.perf.PerfModel`.
+paper's curves: admission from a waiting queue while KV blocks are
+available, one token per running sequence per iteration, recompute-
+preemption when the cache fills, and iteration times from the
+calibrated :class:`~repro.vllm.perf.PerfModel`.  *Which* request is
+admitted, preempted, or coalesced over is the
+:class:`~repro.vllm.scheduler.Scheduler`'s decision — FCFS by default,
+with priority and chunked-prefill policies selectable through
+``EngineArgs.scheduler_policy``.
+
+An engine also carries a *disaggregation role* (``EngineArgs.
+disagg_role``): ``unified`` (default) serves whole requests; a
+``prefill`` engine runs requests only to their first token so a
+``decode`` engine can continue them from a KV handoff
+(:class:`~repro.vllm.spec.RequestSpec` with ``prefill_done=True``).
+The role changes nothing in this loop — handoff requests simply enter
+admission with their prefill already paid for.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import deque
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -21,6 +33,8 @@ from ..simkernel import Event, Interrupted
 from .config import EngineArgs
 from .kvcache import BlockManager
 from .perf import PerfModel
+from .scheduler import Scheduler, make_policy
+from .spec import RequestSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simkernel import SimKernel
@@ -53,29 +67,42 @@ class Request:
 
     _ids = itertools.count(1)
 
-    def __init__(self, kernel: "SimKernel", prompt_tokens: int,
-                 max_new_tokens: int, session_key: str | None = None,
-                 trace_id: int = 0, trace_parent: int = 0):
+    def __init__(self, kernel: "SimKernel", spec: RequestSpec):
         self.id = next(Request._ids)
-        self.prompt_tokens = prompt_tokens
-        self.max_new_tokens = max_new_tokens
-        self.session_key = session_key
+        self.spec = spec
+        self.prompt_tokens = spec.prompt_tokens
+        self.max_new_tokens = spec.max_new_tokens
+        self.session_key = spec.session_key
+        self.priority = spec.priority
         # Observability trace id (0 = untraced).  Distinct from ``id``:
         # ``_ids`` is process-global, so ``id`` values depend on how many
         # simulations shared this process and must never reach a digest.
-        self.trace_id = trace_id
-        self.trace_parent = trace_parent  # caller's span id in that trace
+        self.trace_id = spec.trace_id
+        self.trace_parent = spec.trace_parent  # caller's span id in that trace
         self.cached_tokens = 0    # prefix-cache hit at latest admission
         self.submitted_at = kernel.now
         self.admitted_at: float | None = None
         self.first_token_at: float | None = None
         self.finished_at: float | None = None
-        self.tokens_generated = 0
         self.preemptions = 0
-        self.needs_prefill = True
         self.active = False       # currently in the running batch
+        self.prefill_remaining = 0  # chunked-prefill tokens still unpaid
         self.first_token: Event = kernel.event()
         self.done: Event = kernel.event()
+        if spec.prefill_done:
+            # Disaggregated decode leg: the prompt (and the handoff's
+            # first token) were computed on a prefill engine; this
+            # engine starts from that context.  The first-token event
+            # resolves immediately — it fired on the other engine.
+            self.tokens_generated = spec.tokens_generated
+            self.needs_prefill = False
+            self.prefill_done = True
+            self.first_token_at = kernel.now
+            self.first_token.succeed(kernel.now)
+        else:
+            self.tokens_generated = 0
+            self.needs_prefill = True
+            self.prefill_done = False
 
     def stats(self) -> RequestStats:
         assert self.finished_at is not None and self.first_token_at is not None
@@ -109,8 +136,10 @@ class LLMEngine:
         self.blocks = BlockManager(
             kv_capacity_tokens,
             prefix_caching=getattr(args, "enable_prefix_caching", False))
-        self.waiting: deque[Request] = deque()
-        self.running: list[Request] = []
+        self.scheduler = Scheduler(
+            self, make_policy(getattr(args, "scheduler_policy", "fcfs"),
+                              chunk_tokens=getattr(args, "chunk_tokens",
+                                                   512)))
         self.fault_plan = fault_plan
         self.completed: list[Request] = []
         self.total_output_tokens = 0
@@ -122,6 +151,18 @@ class LLMEngine:
         self._jump_wake: Event | None = None  # coalesced decode in progress
         self._proc = None
         self._register_obs()
+
+    # -- queue views (storage lives on the Scheduler) ----------------------------------
+
+    @property
+    def waiting(self):
+        """The scheduler's waiting queue (the same deque object)."""
+        return self.scheduler.waiting
+
+    @property
+    def running(self):
+        """The scheduler's running batch (the same list object)."""
+        return self.scheduler.running
 
     def _register_obs(self) -> None:
         """Register this engine's slice of the kernel's metrics registry.
@@ -166,32 +207,41 @@ class LLMEngine:
     def max_model_len(self) -> int:
         return self.args.max_model_len or self.card.max_context
 
-    def submit(self, prompt_tokens: int, max_new_tokens: int,
+    def submit(self, spec: "RequestSpec | int | None" = None,
+               max_new_tokens: int | None = None,
                session_key: str | None = None,
-               trace_id: int = 0, trace_parent: int = 0) -> Request:
+               trace_id: int = 0, trace_parent: int = 0, *,
+               prompt_tokens: int | None = None) -> Request:
         """Enqueue a request; returns it (wait on ``request.done``).
 
-        ``session_key`` names the request's append-only token stream
-        (one per conversation); with prefix caching enabled the engine
-        reuses any cached blocks of that stream for the prompt and
-        registers the full context back into the cache at finish.
-
-        ``trace_id`` joins the request to an observability trace opened
-        upstream (router/fleet); the engine then emits queue / prefill /
-        decode phase spans for it at finish.
+        The argument is a :class:`~repro.vllm.spec.RequestSpec`.  The
+        legacy form ``submit(prompt_tokens, max_new_tokens,
+        session_key=..., trace_id=..., trace_parent=...)`` (positional
+        or keyword) still works for one release and emits a
+        :class:`DeprecationWarning`.
         """
+        if prompt_tokens is not None:   # legacy keyword spelling
+            spec = prompt_tokens
+        if not isinstance(spec, RequestSpec):
+            warnings.warn(
+                "LLMEngine.submit(prompt_tokens, max_new_tokens, ...) is "
+                "deprecated; pass a RequestSpec instead",
+                DeprecationWarning, stacklevel=2)
+            if spec is None or max_new_tokens is None \
+                    or int(spec) < 1 or int(max_new_tokens) < 1:
+                raise APIError(400, "prompt and max_tokens must be positive")
+            spec = RequestSpec(prompt_tokens=int(spec),
+                               max_new_tokens=int(max_new_tokens),
+                               session_key=session_key, trace_id=trace_id,
+                               trace_parent=trace_parent)
         if self.crashed is not None:
             raise APIError(503, f"engine {self.name} has crashed")
-        if prompt_tokens < 1 or max_new_tokens < 1:
-            raise APIError(400, "prompt and max_tokens must be positive")
-        if prompt_tokens + max_new_tokens > self.max_model_len:
+        if spec.prompt_tokens + spec.max_new_tokens > self.max_model_len:
             raise APIError(
-                400, f"requested {prompt_tokens}+{max_new_tokens} tokens "
-                     f"exceeds max_model_len={self.max_model_len}")
-        request = Request(self.kernel, prompt_tokens, max_new_tokens,
-                          session_key=session_key, trace_id=trace_id,
-                          trace_parent=trace_parent)
-        self.waiting.append(request)
+                400, f"requested {spec.prompt_tokens}+{spec.max_new_tokens} "
+                     f"tokens exceeds max_model_len={self.max_model_len}")
+        request = Request(self.kernel, spec)
+        self.scheduler.enqueue(request)
         self.total_requests += 1
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
@@ -239,6 +289,7 @@ class LLMEngine:
                 r.preemptions for r in self.completed)
             + sum(r.preemptions for r in self.running),
             "prefix_cache": self.blocks.cache_stats(),
+            "scheduler_policy": self.scheduler.policy.name,
             "request_latency_p50": float(np.percentile(latencies, 50))
             if latencies else 0.0,
             "crashed": self.crashed is not None,
@@ -255,7 +306,7 @@ class LLMEngine:
                     yield self._wake
                     self._wake = None
                 self._check_faults()
-                prefill_tokens = self._admit()
+                prefill_tokens = self.scheduler.schedule()
                 if not self.running:
                     continue
                 const, kv_coeff = self.perf.decode_coeffs(len(self.running))
@@ -272,7 +323,8 @@ class LLMEngine:
                         profiler.pop()
                 else:
                     self._advance_all()
-                if self.fault_plan is None and self.running:
+                if (self.fault_plan is None and self.running
+                        and self.scheduler.supports_coalescing):
                     yield from self._fast_forward()
         except Interrupted:
             self._fail_outstanding(APIError(503, "engine stopped"))
@@ -292,7 +344,7 @@ class LLMEngine:
 
         Between iteration boundaries the batch can only change at a
         finish, a preemption, an admission, a first token, or a fault
-        check — :meth:`_plan_jump` counts how many iterations are
+        check — ``Scheduler.plan_jump`` counts how many iterations are
         provably free of all five, and that whole stretch collapses into
         one timeout whose duration is the closed-form sum of the
         per-iteration costs (affine in KV tokens, which grow by
@@ -302,16 +354,21 @@ class LLMEngine:
         and the main loop admits at the boundary — bit-for-bat the same
         token counts, TTFTs, and finish times as per-iteration stepping
         (timing differs only by float-sum rounding).  Disabled whenever
-        a fault plan is armed: those contracts are per-iteration.
+        a fault plan is armed (those contracts are per-iteration) and
+        under any scheduler policy but FCFS — the jump plan's proof
+        obligations are FCFS-specific (see ``docs/serving.md``).
         """
+        assert self.scheduler.supports_coalescing, \
+            "coalescing is FCFS-only; the loop gate must keep other " \
+            "policies out of the fast-forward"
         if profiler.enabled:
             profiler.push("engine.jump")
             try:
-                j = self._plan_jump()
+                j = self.scheduler.plan_jump()
             finally:
                 profiler.pop()
         else:
-            j = self._plan_jump()
+            j = self.scheduler.plan_jump()
         if j < self.MIN_JUMP:
             return
         kernel = self.kernel
@@ -345,62 +402,6 @@ class LLMEngine:
             yield kernel.timeout(remainder)
         self._apply_iterations(1)
 
-    def _plan_jump(self) -> int:
-        """Iterations guaranteed free of finishes, first tokens,
-        admissions, and preemptions — eligible for one coalesced sleep.
-
-        A *blocked* waiting queue cannot unblock mid-jump (free KV
-        blocks only shrink between finishes and the batch-size cap only
-        loosens at one) — but an *admissible* head must be admitted at
-        this boundary, exactly as per-iteration stepping would: a
-        request that arrived during the previous iteration's sleep had
-        no jump wake to nudge, so it must not be slept past here.
-
-        Prefix caching does not loosen this argument: admissibility
-        (:meth:`_can_admit`) reads cached hits plus evictable blocks,
-        and mid-jump neither can grow — registrations happen only at
-        finishes (none in a jump) and appends only consume capacity.
-        Evictable cached blocks *do* count toward the block-crossing
-        budget below: evictions cost no simulated time and pop a
-        deterministic LRU, so bulk-applied iterations evict exactly the
-        blocks per-iteration stepping would.
-        """
-        running = self.running
-        waiting = self.waiting
-        if waiting and (len(running) < self.args.max_num_seqs
-                        and self._can_admit(waiting[0])):
-            return 0
-        j = min(r.max_new_tokens - r.tokens_generated for r in running) - 1
-        if j < 1:
-            return 0
-        for request in running:
-            if request.needs_prefill:   # first token pending
-                return 0
-        blocks = self.blocks
-        free = blocks.free_blocks + blocks.evictable_blocks
-        bs = blocks.block_size
-        # Worst case every sequence crosses a block edge once per ``bs``
-        # iterations; bound j so the crossings cannot exhaust the free
-        # blocks (which would mean a mid-jump preemption).
-        counts = [0] * bs
-        for request in running:
-            counts[(request.total_tokens - 1) % bs] += 1
-
-        def crossings(jj: int) -> int:
-            return sum(c * ((s + jj) // bs)
-                       for s, c in enumerate(counts) if c)
-
-        if crossings(j) > free:
-            lo, hi = 0, j
-            while lo < hi:
-                mid = (lo + hi + 1) // 2
-                if crossings(mid) <= free:
-                    lo = mid
-                else:
-                    hi = mid - 1
-            j = lo
-        return j
-
     @staticmethod
     def _completed_iterations(progress: float, cum, j: int) -> int:
         """Largest ``m < j`` with ``cum(m) <= progress`` (binary search)."""
@@ -414,8 +415,9 @@ class LLMEngine:
         return lo
 
     def _apply_iterations(self, m: int) -> None:
-        """Bulk-apply ``m`` whole iterations planned by :meth:`_plan_jump`
-        (no finishes, prefills, or preemptions occur within them)."""
+        """Bulk-apply ``m`` whole iterations planned by the scheduler's
+        jump plan (no finishes, prefills, or preemptions occur within
+        them)."""
         if m <= 0:
             return
         blocks = self.blocks
@@ -434,43 +436,9 @@ class LLMEngine:
             self.fault_plan.check(self)
 
     def _can_admit(self, request: Request) -> bool:
-        """The one admission predicate, shared by :meth:`_admit` and
-        :meth:`_plan_jump`.
-
-        This sharing is the coalescing guard: per-iteration stepping and
-        the fast-forward planner must agree *exactly* on whether the
-        waiting head is admissible (prefix-cache hits and evictable
-        blocks included), or a jump could sleep past an admission the
-        stepwise engine would have made — breaking bit-identity.
-        """
-        return self.blocks.can_allocate(request.total_tokens,
-                                        prefix_key=request.session_key)
-
-    def _admit(self) -> int:
-        """FCFS admission while KV blocks allow; returns prefill tokens.
-
-        With prefix caching, tokens covered by cached blocks are
-        excluded from the returned prefill cost — the engine skips that
-        compute entirely, which is the TTFT win of a warm conversation.
-        """
-        prefill = 0
-        while self.waiting and len(self.running) < self.args.max_num_seqs:
-            nxt = self.waiting[0]
-            needed = nxt.total_tokens  # includes recompute after preemption
-            if not self._can_admit(nxt):
-                break
-            self.waiting.popleft()
-            if nxt.admitted_at is None:   # keep first admission on recompute
-                nxt.admitted_at = self.kernel.now
-            cached = self.blocks.allocate(nxt.id, needed,
-                                          prefix_key=nxt.session_key)
-            nxt.cached_tokens = cached
-            nxt.needs_prefill = True
-            nxt.active = True
-            prefill += needed - cached
-            self.running.append(nxt)
-            self._kv_tokens += needed
-        return prefill
+        """Deprecated alias for :meth:`Scheduler.can_admit` (the one
+        admission predicate lives on the scheduler now)."""
+        return self.scheduler.can_admit(request)
 
     def _advance_all(self) -> None:
         now = self.kernel.now
@@ -480,10 +448,13 @@ class LLMEngine:
             # Fast path: every sequence can take a token even if each
             # one crosses a block edge — no preemption is possible, so
             # no batch copy and no per-request membership checks.
-            advanced = len(running)
+            advanced = 0
             for request in running:
+                if request.prefill_remaining > 0:
+                    continue   # chunked prefill still paying; no token yet
                 self.blocks.append_token(request.id)
                 request.tokens_generated += 1
+                advanced += 1
                 if request.needs_prefill:
                     request.needs_prefill = False
                     if request.first_token_at is None:
@@ -496,6 +467,8 @@ class LLMEngine:
             for request in list(running):
                 if not request.active:
                     continue  # got preempted while advancing others
+                if request.prefill_remaining > 0:
+                    continue
                 if not self._ensure_appendable(request):
                     # Cache completely full with this sequence alone: cap it.
                     finished.append(request)
@@ -561,14 +534,10 @@ class LLMEngine:
               "preemptions": request.preemptions})))
 
     def _ensure_appendable(self, request: Request) -> bool:
-        """Preempt (LIFO, recompute-style) until ``request`` can grow.
+        """Preempt (recompute-style) until ``request`` can grow.
         Returns False if the cache is full with no preemptable victim."""
         while not self.blocks.can_append(request.id):
-            victim = None
-            for candidate in reversed(self.running):
-                if candidate is not request:
-                    victim = candidate
-                    break
+            victim = self.scheduler.victim(request)
             if victim is None:
                 return False
             self._preempt(victim)
@@ -581,7 +550,8 @@ class LLMEngine:
         self._kv_tokens -= victim.total_tokens
         victim.preemptions += 1
         victim.needs_prefill = True  # recompute on readmission
-        self.waiting.appendleft(victim)
+        victim.prefill_done = False  # a handoff's KV is gone with the blocks
+        self.scheduler.requeue(victim)
         self.kernel.trace.emit("vllm.preempt", engine=self.name,
                                request=victim.id)
 

@@ -25,6 +25,7 @@ from ..net.http import HttpResponse, HttpService
 from .config import EngineArgs, is_offline_env, parse_serve_command
 from .engine import LLMEngine
 from .perf import PerfModel, PerfProfile
+from .spec import RequestSpec
 
 #: Engine initialization after weights are resident (graph capture, warmup).
 ENGINE_INIT_SECONDS = 90.0
@@ -52,11 +53,18 @@ class VllmOpenAIServer(ContainerApp):
         self.args: EngineArgs | None = None
         self.service: HttpService | None = None
         self.startup_finished_at: float | None = None
+        self._ctx: ContainerContext | None = None
+
+    @property
+    def role(self) -> str:
+        """Disaggregation role (``unified`` / ``prefill`` / ``decode``)."""
+        return self.args.disagg_role if self.args is not None else "unified"
 
     # -- startup ------------------------------------------------------------------
 
     def startup(self, ctx: ContainerContext):
         ctx.check_expectations()
+        self._ctx = ctx
         kernel = ctx.kernel
         try:
             self.args = parse_serve_command(ctx.opts.command)
@@ -202,6 +210,7 @@ class VllmOpenAIServer(ContainerApp):
             else:
                 text = str(body.get("prompt", ""))
             prompt_tokens = estimate_tokens(text)
+        prompt_tokens = int(prompt_tokens)
         max_tokens = int(body.get("max_tokens", 1024))
         # Conversation identity for prefix caching: ``cache_salt`` is
         # vLLM's own field; ``repro_session`` is what the fleet's
@@ -211,11 +220,40 @@ class VllmOpenAIServer(ContainerApp):
         # the engine's queue/prefill/decode spans to the caller's trace.
         trace_id = int(body.get("repro_trace") or 0)
         trace_parent = int(body.get("repro_parent") or 0)
+        priority = int(body.get("repro_priority") or 0)
+        role = self.role
+        handoff = body.get("repro_handoff")
+        kv_transfer_s = 0.0
+        spec_extra: dict = {}
+        if role == "prefill":
+            # Prefill leg: run to the first token only; the router
+            # forwards the handoff below to a decode engine.
+            max_tokens = 1
+        elif role == "decode" and isinstance(handoff, dict):
+            generated = int(handoff.get("generated") or 1)
+            if generated >= max_tokens:
+                return HttpResponse(400, json={
+                    "error": f"handoff already carries {generated} tokens "
+                             f"but max_tokens={max_tokens}; nothing left "
+                             "to decode"})
+            # Pay for moving the prefilled KV blocks over the fabric
+            # before the request can join this engine's batch; the
+            # transfer shares bandwidth max-min fairly with everything
+            # else on the links.
+            error, kv_transfer_s = yield from self._kv_transfer(
+                handoff, prompt_tokens + generated, trace_id, trace_parent)
+            if error is not None:
+                return error
+            spec_extra = {"prefill_done": True, "tokens_generated": generated}
         try:
-            handle = self.engine.submit(
-                int(prompt_tokens), max_tokens,
+            spec = RequestSpec(
+                prompt_tokens=prompt_tokens, max_new_tokens=max_tokens,
                 session_key=str(session) if session else None,
-                trace_id=trace_id, trace_parent=trace_parent)
+                priority=priority, trace_id=trace_id,
+                trace_parent=trace_parent, **spec_extra)
+            handle = self.engine.submit(spec)
+        except ConfigurationError as exc:
+            return HttpResponse(400, json={"error": str(exc)})
         except APIError as exc:
             return HttpResponse(exc.status, json={"error": exc.message})
         try:
@@ -225,7 +263,8 @@ class VllmOpenAIServer(ContainerApp):
         except ContainerCrash as exc:
             return HttpResponse(500, json={"error": f"engine crashed: {exc}"})
         stats = finished.stats()
-        return HttpResponse(200, json={
+        path = "decode" if spec_extra else role
+        payload = {
             "id": f"chatcmpl-{finished.id}",
             "object": "chat.completion",
             "model": self.args.public_model_name,
@@ -239,5 +278,49 @@ class VllmOpenAIServer(ContainerApp):
                       + stats.output_tokens},
             "repro_stats": {"ttft": stats.ttft, "latency": stats.latency,
                             "preemptions": stats.preemptions,
-                            "cached_tokens": stats.cached_tokens},
-        })
+                            "cached_tokens": stats.cached_tokens,
+                            "path": path,
+                            "kv_transfer_s": kv_transfer_s},
+        }
+        if role == "prefill":
+            # Everything a decode engine needs to continue the request.
+            payload["repro_handoff"] = {
+                "source": self._ctx.hostname if self._ctx else "",
+                "prompt_tokens": stats.prompt_tokens,
+                "generated": stats.output_tokens,
+                "kv_tokens": stats.prompt_tokens + stats.output_tokens,
+            }
+        return HttpResponse(200, json=payload)
+
+    def _kv_transfer(self, handoff: dict, fallback_tokens: int,
+                     trace_id: int, trace_parent: int):
+        """Move handed-off KV blocks from the prefill host to this one.
+
+        Costed through the fabric's max-min fair flow network; emits a
+        ``kv_transfer`` span joined to the request's trace.  Returns
+        ``(error_response, seconds)`` — the error is set (and seconds
+        zero) when the source is unreachable, so the router can fail
+        the decode leg over.
+        """
+        assert self.engine is not None and self._ctx is not None
+        kernel = self.engine.kernel
+        src = str(handoff.get("source") or "")
+        dst = self._ctx.hostname
+        kv_tokens = int(handoff.get("kv_tokens") or fallback_tokens)
+        nbytes = kv_tokens * self.engine.card.kv_bytes_per_token
+        started = kernel.now
+        if src and src != dst:
+            try:
+                yield from self._ctx.fabric.transfer(
+                    src, dst, nbytes, name=f"kv:{src}->{dst}")
+            except (NetworkUnreachable, NotFoundError) as exc:
+                return HttpResponse(502, json={
+                    "error": f"kv transfer from {src} failed: {exc}"}), 0.0
+        seconds = kernel.now - started
+        spans = kernel.obs.spans
+        if trace_id and spans.enabled:
+            spans.emit("kv_transfer", trace_id, trace_parent or None,
+                       started, kernel.now,
+                       {"src": src, "dst": dst, "bytes": int(nbytes),
+                        "kv_tokens": kv_tokens, "engine": self.engine.name})
+        return None, seconds

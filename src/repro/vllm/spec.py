@@ -1,0 +1,66 @@
+"""The typed request surface of the engine.
+
+:class:`RequestSpec` replaces the positional/kwarg list that
+``LLMEngine.submit(prompt_tokens, max_new_tokens, session_key=...)``
+had been accreting — one frozen, validated object instead of a
+signature that grew a parameter per feature.  Specs validate at
+construction, so a bad request fails where it is built (the HTTP
+handler, a test) rather than deep inside the engine loop.
+
+The legacy positional form still works for one release and emits a
+:class:`DeprecationWarning`; see ``LLMEngine.submit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["RequestSpec"]
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """Everything the engine needs to know about one generation request.
+
+    ``session_key`` names the request's append-only token stream (one
+    per conversation) for prefix caching; ``priority`` orders admission
+    under the ``priority`` scheduler policy (higher runs first, 0 is
+    the default class); ``trace_id``/``trace_parent`` join the request
+    to an observability trace opened upstream.
+
+    ``prefill_done`` marks a disaggregated *decode leg*: the prompt was
+    prefilled on another engine and ``tokens_generated`` tokens (the
+    handoff's first token) already exist, so admission charges no
+    prefill compute and the request decodes from its arrival context.
+    A preemption revokes this — the KV blocks are gone, so recompute
+    prefills locally like any other request.
+    """
+
+    prompt_tokens: int
+    max_new_tokens: int
+    session_key: str | None = None
+    priority: int = 0
+    trace_id: int = 0
+    trace_parent: int = 0
+    prefill_done: bool = False
+    tokens_generated: int = 0
+
+    def __post_init__(self):
+        if self.prompt_tokens < 1 or self.max_new_tokens < 1:
+            raise ConfigurationError(
+                "prompt_tokens and max_new_tokens must be positive, got "
+                f"{self.prompt_tokens}+{self.max_new_tokens}")
+        if self.tokens_generated and not self.prefill_done:
+            raise ConfigurationError(
+                "tokens_generated requires prefill_done=True (it describes "
+                "a disaggregated handoff)")
+        if self.prefill_done and self.tokens_generated < 1:
+            raise ConfigurationError(
+                "a prefill_done spec must carry at least the handoff's "
+                "first token (tokens_generated >= 1)")
+        if self.tokens_generated > self.max_new_tokens:
+            raise ConfigurationError(
+                f"tokens_generated={self.tokens_generated} exceeds "
+                f"max_new_tokens={self.max_new_tokens}")

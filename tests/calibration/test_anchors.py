@@ -16,7 +16,7 @@ from repro.hardware import gpu_spec
 from repro.models import llama31_405b, llama4_scout, llama4_scout_quantized
 from repro.models.weights import validate_fit
 from repro.simkernel import SimKernel
-from repro.vllm import EngineArgs, LLMEngine, PerfModel
+from repro.vllm import EngineArgs, LLMEngine, PerfModel, RequestSpec
 
 
 def _measure(card, gpu_name, tp, pp, profile, concurrency, n_requests,
@@ -36,7 +36,7 @@ def _measure(card, gpu_name, tp, pp, profile, concurrency, n_requests,
     def worker(env):
         while queue:
             s = queue.pop()
-            request = engine.submit(s.prompt_tokens, s.output_tokens)
+            request = engine.submit(RequestSpec(s.prompt_tokens, s.output_tokens))
             finished = yield request.done
             tokens[0] += finished.tokens_generated
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.containers import RunOpts
 from repro.net.http import HttpClient, HttpResponse, HttpService
 from repro.services import router_image
-from repro.services.router import LlmRouter
+from repro.services.router import LlmRouter, RouterConfig
 from tests.containers.conftest import drive
 
 
@@ -77,7 +77,7 @@ def _start_router(rig, backends, policy="cache-affinity"):
         rig.nodes[3], "berriai/litellm:main",
         RunOpts(network_host=True,
                 env={"BACKENDS": ",".join(f"{b}:8000" for b in backends),
-                     "ROUTER_POLICY": policy})))
+                     **RouterConfig(policy=policy).to_env()})))
     rig.kernel.run(until=container.ready)
     app: LlmRouter = container.app
     return rig.nodes[3].hostname, app

@@ -14,7 +14,7 @@ import pytest
 from repro.containers import RunOpts
 from repro.net.http import HttpClient, HttpResponse, HttpService
 from repro.services import router_image
-from repro.services.router import LlmRouter
+from repro.services.router import LlmRouter, RouterConfig
 from tests.containers.conftest import drive
 
 
@@ -59,7 +59,7 @@ def _start_router(rig, backends, policy="round-robin"):
         rig.nodes[3], "berriai/litellm:main",
         RunOpts(network_host=True,
                 env={"BACKENDS": ",".join(f"{b}:8000" for b in backends),
-                     "ROUTER_POLICY": policy})))
+                     **RouterConfig(policy=policy).to_env()})))
     rig.kernel.run(until=container.ready)
     app: LlmRouter = container.app
     return rig.nodes[3].hostname, app
@@ -233,7 +233,9 @@ def test_rotation_state_bounded_under_churn(rig):
     s1["healthy"] = True
     assert not hasattr(app, "_rr_by_pool")      # the unbounded table is gone
     assert len(app._serving_pool()) <= len(app.backends) == 2
-    assert isinstance(app._rr_idx, int)
+    # Rotation state is one counter per role pool in play (here just the
+    # unified "*" pool), not per composition ever seen.
+    assert set(app._rr_idx) <= {"*", "unified", "prefill", "decode"}
     # Rotation still serves and fails over correctly after the churn.
     rig.kernel.run(until=rig.kernel.now + 2 * LlmRouter.HEALTH_INTERVAL)
     s1["calls"] = s2["calls"] = 0

@@ -9,7 +9,7 @@ from repro.hardware import gpu_spec
 from repro.models import llama4_scout
 from repro.models.weights import validate_fit
 from repro.vllm import (CrashAfterRequests, EngineArgs, FaultPlan, LLMEngine,
-                        PerfModel, PerfProfile)
+                        PerfModel, PerfProfile, RequestSpec)
 from repro.vllm.engine import EngineCrash
 
 
@@ -28,7 +28,7 @@ def _engine(kernel, kv_tokens=None, max_num_seqs=1024, fault_plan=None):
 
 def test_single_request_completes_with_stats(kernel):
     engine = _engine(kernel)
-    request = engine.submit(prompt_tokens=200, max_new_tokens=50)
+    request = engine.submit(RequestSpec(prompt_tokens=200, max_new_tokens=50))
     finished = kernel.run(until=request.done)
     stats = finished.stats()
     assert stats.output_tokens == 50
@@ -38,18 +38,20 @@ def test_single_request_completes_with_stats(kernel):
 
 
 def test_request_too_long_rejected(kernel):
+    from repro.errors import ConfigurationError
     engine = _engine(kernel)
     with pytest.raises(APIError, match="max_model_len"):
-        engine.submit(prompt_tokens=60000, max_new_tokens=10000)
-    with pytest.raises(APIError):
-        engine.submit(prompt_tokens=0, max_new_tokens=5)
+        engine.submit(RequestSpec(prompt_tokens=60000, max_new_tokens=10000))
+    # Bad token counts now fail at spec construction, before submit.
+    with pytest.raises(ConfigurationError):
+        RequestSpec(prompt_tokens=0, max_new_tokens=5)
 
 
 def test_batching_improves_throughput(kernel):
     """Total time for 16 concurrent requests << 16x one request."""
     engine = _engine(kernel)
     start = kernel.now
-    reqs = [engine.submit(128, 64) for _ in range(16)]
+    reqs = [engine.submit(RequestSpec(128, 64)) for _ in range(16)]
     kernel.run(until=kernel.all_of([r.done for r in reqs]))
     t_batch = kernel.now - start
 
@@ -57,7 +59,7 @@ def test_batching_improves_throughput(kernel):
     e2 = _engine(k2)
     start = k2.now
     for _ in range(16):
-        r = e2.submit(128, 64)
+        r = e2.submit(RequestSpec(128, 64))
         k2.run(until=r.done)
     t_serial = k2.now - start
     assert t_batch < t_serial / 4
@@ -65,7 +67,7 @@ def test_batching_improves_throughput(kernel):
 
 def test_first_token_fires_before_done(kernel):
     engine = _engine(kernel)
-    request = engine.submit(100, 20)
+    request = engine.submit(RequestSpec(100, 20))
     kernel.run(until=request.first_token)
     assert request.tokens_generated >= 1
     assert not request.done.triggered
@@ -76,7 +78,7 @@ def test_kv_pressure_causes_preemption_and_recovery(kernel):
     """With a tiny KV budget, concurrent long requests preempt but all
     finish (recompute preemption)."""
     engine = _engine(kernel, kv_tokens=4096)
-    reqs = [engine.submit(500, 400) for _ in range(6)]  # 900*6 >> 4096
+    reqs = [engine.submit(RequestSpec(500, 400)) for _ in range(6)]  # 900*6 >> 4096
     kernel.run(until=kernel.all_of([r.done for r in reqs]))
     assert all(r.tokens_generated == 400 for r in reqs)
     assert sum(r.preemptions for r in reqs) > 0
@@ -85,7 +87,7 @@ def test_kv_pressure_causes_preemption_and_recovery(kernel):
 
 def test_max_num_seqs_limits_batch(kernel):
     engine = _engine(kernel, max_num_seqs=4)
-    reqs = [engine.submit(64, 32) for _ in range(12)]
+    reqs = [engine.submit(RequestSpec(64, 32)) for _ in range(12)]
     seen_max = 0
 
     def watcher(env):
@@ -101,7 +103,7 @@ def test_max_num_seqs_limits_batch(kernel):
 
 def test_fcfs_completion_order_for_equal_lengths(kernel):
     engine = _engine(kernel, max_num_seqs=2)
-    reqs = [engine.submit(64, 32) for _ in range(6)]
+    reqs = [engine.submit(RequestSpec(64, 32)) for _ in range(6)]
     kernel.run(until=kernel.all_of([r.done for r in reqs]))
     finish_times = [r.finished_at for r in reqs]
     assert finish_times == sorted(finish_times)
@@ -110,7 +112,7 @@ def test_fcfs_completion_order_for_equal_lengths(kernel):
 def test_crash_fails_outstanding_requests(kernel):
     plan = FaultPlan(CrashAfterRequests(5))
     engine = _engine(kernel, fault_plan=plan)
-    reqs = [engine.submit(64, 1000) for _ in range(8)]
+    reqs = [engine.submit(RequestSpec(64, 1000)) for _ in range(8)]
 
     def waiter(env, r):
         try:
@@ -126,12 +128,12 @@ def test_crash_fails_outstanding_requests(kernel):
     assert engine.crashed is not None
     assert plan.fired
     with pytest.raises(APIError, match="crashed"):
-        engine.submit(10, 10)
+        engine.submit(RequestSpec(10, 10))
 
 
 def test_stop_fails_requests_cleanly(kernel):
     engine = _engine(kernel)
-    request = engine.submit(64, 100000 // 2)
+    request = engine.submit(RequestSpec(64, 100000 // 2))
 
     def stopper(env):
         yield env.timeout(1.0)
@@ -151,6 +153,6 @@ def test_stop_fails_requests_cleanly(kernel):
 def test_engine_idle_then_wakes(kernel):
     engine = _engine(kernel)
     kernel.run(until=10.0)  # idle
-    request = engine.submit(32, 8)
+    request = engine.submit(RequestSpec(32, 8))
     kernel.run(until=request.done)
     assert request.finished_at > 10.0

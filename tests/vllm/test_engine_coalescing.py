@@ -10,7 +10,8 @@ from repro.hardware import gpu_spec
 from repro.models import llama4_scout
 from repro.models.weights import validate_fit
 from repro.simkernel import SimKernel
-from repro.vllm import EngineArgs, LLMEngine, PerfModel, PerfProfile
+from repro.vllm import (EngineArgs, LLMEngine, PerfModel, PerfProfile,
+                        RequestSpec)
 
 
 def _engine(kernel, kv_tokens=None, max_num_seqs=1024, coalesce=True,
@@ -57,8 +58,8 @@ def _run_session_workload(coalesce, kv_tokens=None):
             if at > t:
                 yield env.timeout(at - t)
                 t = at
-            requests.append(engine.submit(prompt, max_new,
-                                          session_key=key))
+            requests.append(engine.submit(
+                RequestSpec(prompt, max_new, session_key=key)))
 
     kernel.spawn(feeder(kernel))
     kernel.run(until=5000.0)
@@ -110,7 +111,7 @@ def _run_workload(coalesce, kv_tokens=None):
             if at > t:
                 yield env.timeout(at - t)
                 t = at
-            requests.append(engine.submit(prompt, max_new))
+            requests.append(engine.submit(RequestSpec(prompt, max_new)))
 
     kernel.spawn(feeder(kernel))
     kernel.run(until=5000.0)
@@ -141,7 +142,7 @@ def test_coalesced_equals_stepwise(kv_tokens):
 def test_kv_counter_matches_ground_truth_throughout():
     kernel = SimKernel(seed=2)
     engine = _engine(kernel, kv_tokens=8192)
-    reqs = [engine.submit(400, 300) for _ in range(5)]
+    reqs = [engine.submit(RequestSpec(400, 300)) for _ in range(5)]
 
     def auditor(env):
         while not all(r.done.triggered for r in reqs):
@@ -166,12 +167,12 @@ def test_arrival_during_per_iteration_sleep_is_not_jumped_over():
     for coalesce in (True, False):
         kernel = SimKernel(seed=5)
         engine = _engine(kernel, coalesce=coalesce)
-        engine.submit(100, 2000)
+        engine.submit(RequestSpec(100, 2000))
         late = []
 
         def feeder(env):
             yield env.timeout(0.51)
-            late.append(engine.submit(64, 16))
+            late.append(engine.submit(RequestSpec(64, 16)))
 
         kernel.spawn(feeder(kernel))
         kernel.run(until=200.0)
@@ -189,7 +190,7 @@ def test_submission_mid_jump_is_admitted_at_next_boundary():
     wait at most one iteration before admission — not the whole jump."""
     kernel = SimKernel(seed=3)
     engine = _engine(kernel)
-    first = engine.submit(100, 5000)       # one long request -> long jumps
+    first = engine.submit(RequestSpec(100, 5000))       # one long request -> long jumps
     kernel.run(until=first.first_token)
     const, kv_coeff = engine.perf.decode_coeffs(1)
     step_now = const + kv_coeff * engine.kv_tokens_in_use
@@ -198,7 +199,7 @@ def test_submission_mid_jump_is_admitted_at_next_boundary():
 
     def feeder(env):
         yield env.timeout(10.0)
-        late.append(engine.submit(64, 4))
+        late.append(engine.submit(RequestSpec(64, 4)))
 
     kernel.spawn(feeder(kernel))
     kernel.run(until=kernel.now + 12.0)
@@ -217,7 +218,7 @@ def test_live_fault_attach_interrupts_a_jump():
     from repro.vllm import faults
     kernel = SimKernel(seed=4)
     engine = _engine(kernel)
-    request = engine.submit(100, 50000)
+    request = engine.submit(RequestSpec(100, 50000))
     kernel.run(until=request.first_token)
     t_attach = kernel.now + 5.0
 

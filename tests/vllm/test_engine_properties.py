@@ -8,7 +8,8 @@ from hypothesis import strategies as st
 from repro.hardware import gpu_spec
 from repro.models import llama4_scout
 from repro.simkernel import SimKernel
-from repro.vllm import EngineArgs, LLMEngine, PerfModel, PerfProfile
+from repro.vllm import (EngineArgs, LLMEngine, PerfModel, PerfProfile,
+                        RequestSpec)
 
 
 def _mk_engine(kernel, kv_tokens, max_num_seqs):
@@ -38,7 +39,7 @@ def test_all_requests_complete_and_kv_drains(reqs, kv_tokens, max_num_seqs):
     with exactly its requested tokens and the cache drains to zero."""
     kernel = SimKernel(seed=0)
     engine = _mk_engine(kernel, kv_tokens, max_num_seqs)
-    handles = [engine.submit(p, o) for p, o in reqs
+    handles = [engine.submit(RequestSpec(p, o)) for p, o in reqs
                if p + o <= min(65536, kv_tokens)]
     if not handles:
         return
@@ -56,7 +57,7 @@ def test_all_requests_complete_and_kv_drains(reqs, kv_tokens, max_num_seqs):
 def test_running_batch_never_exceeds_max_num_seqs(reqs, max_num_seqs):
     kernel = SimKernel(seed=0)
     engine = _mk_engine(kernel, 200_000, max_num_seqs)
-    handles = [engine.submit(p, o) for p, o in reqs]
+    handles = [engine.submit(RequestSpec(p, o)) for p, o in reqs]
     peak = [0]
 
     def watcher(env):
@@ -78,7 +79,7 @@ def test_engine_is_deterministic(reqs, seed):
     def run_once():
         kernel = SimKernel(seed=seed)
         engine = _mk_engine(kernel, 50_000, 32)
-        handles = [engine.submit(p, o) for p, o in reqs
+        handles = [engine.submit(RequestSpec(p, o)) for p, o in reqs
                    if p + o <= 50_000]
         if not handles:
             return []
@@ -96,7 +97,7 @@ def test_preemption_preserves_token_counts(data):
     kernel = SimKernel(seed=0)
     engine = _mk_engine(kernel, 2048, 64)
     n = data.draw(st.integers(min_value=2, max_value=12))
-    handles = [engine.submit(400, 200) for _ in range(n)]
+    handles = [engine.submit(RequestSpec(400, 200)) for _ in range(n)]
     kernel.run(until=kernel.all_of([h.done for h in handles]))
     assert all(h.tokens_generated == 200 for h in handles)
     assert engine.blocks.used_blocks == 0

@@ -6,7 +6,8 @@ from repro.hardware import gpu_spec
 from repro.models import llama4_scout
 from repro.models.weights import validate_fit
 from repro.net.http import HttpClient
-from repro.vllm import EngineArgs, LLMEngine, PerfModel, PerfProfile
+from repro.vllm import (EngineArgs, LLMEngine, PerfModel, PerfProfile,
+                        RequestSpec)
 
 
 def _engine(kernel):
@@ -27,7 +28,7 @@ def test_metrics_reflect_engine_state(kernel):
     m0 = engine.metrics()
     assert m0["num_requests_total"] == 0
     assert m0["gpu_cache_usage_perc"] == 0.0
-    reqs = [engine.submit(128, 32) for _ in range(4)]
+    reqs = [engine.submit(RequestSpec(128, 32)) for _ in range(4)]
     kernel.run(until=kernel.now + 0.05)
     mid = engine.metrics()
     assert mid["num_requests_running"] + mid["num_requests_waiting"] == 4

@@ -11,7 +11,7 @@ from repro.models import llama31_405b
 from repro.net.http import HttpClient
 from repro.storage.mounts import PfsMount
 from repro.vllm import (CrashAfterRequests, EngineArgs, FaultPlan,
-                        MultiNodeEngineLauncher)
+                        MultiNodeEngineLauncher, RequestSpec)
 from repro.cluster.profiles import perf_profile
 from tests.containers.conftest import drive
 
@@ -89,7 +89,7 @@ def test_multinode_crash_stops_containers(rig):
     engine = deployment.engine
     for _ in range(60):
         try:
-            engine.submit(100, 50)
+            engine.submit(RequestSpec(100, 50))
         except Exception:
             break
     rig.kernel.run(until=deployment.failed)

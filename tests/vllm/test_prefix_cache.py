@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 
 from repro.errors import CapacityError, StateError
 from repro.simkernel import SimKernel
+from repro.vllm import RequestSpec
 from repro.vllm.kvcache import BLOCK_SIZE, BlockManager, block_hash
 
 
@@ -224,12 +225,12 @@ def _engine(kernel, caching=True, kv_tokens=8192):
 def test_second_turn_ttft_beats_cold():
     kernel = SimKernel(seed=3)
     engine = _engine(kernel, kv_tokens=65536 * 4)
-    r1 = engine.submit(1000, 200, session_key="s1")
+    r1 = engine.submit(RequestSpec(1000, 200, session_key="s1"))
     kernel.run(until=r1.done)
     assert r1.stats().cached_tokens == 0
-    r2 = engine.submit(1280, 200, session_key="s1")     # prior context + 80
+    r2 = engine.submit(RequestSpec(1280, 200, session_key="s1"))     # prior context + 80
     kernel.run(until=r2.done)
-    cold = engine.submit(1280, 200)                     # same shape, no key
+    cold = engine.submit(RequestSpec(1280, 200))                     # same shape, no key
     kernel.run(until=cold.done)
     assert r2.stats().cached_tokens == 1200             # 75 blocks
     assert cold.stats().cached_tokens == 0
@@ -243,9 +244,9 @@ def test_preempted_session_request_rehits_cache_on_readmission():
     blocks survived (no pressure in between)."""
     kernel = SimKernel(seed=4)
     engine = _engine(kernel, kv_tokens=65536)
-    warm = engine.submit(1000, 40, session_key="w")
+    warm = engine.submit(RequestSpec(1000, 40, session_key="w"))
     kernel.run(until=warm.done)                    # registers 65 blocks
-    follow = engine.submit(1100, 100, session_key="w")
+    follow = engine.submit(RequestSpec(1100, 100, session_key="w"))
     kernel.run(until=follow.first_token)
     assert follow.cached_tokens == 1040
     engine._preempt(follow)                        # forced recompute
@@ -261,10 +262,10 @@ def test_kv_audit_stays_clean_under_session_preemption_pressure():
     the shared-block audit and the engine kv counter never drift."""
     kernel = SimKernel(seed=44)
     engine = _engine(kernel, kv_tokens=4096)
-    warm = engine.submit(1000, 40, session_key="w")
+    warm = engine.submit(RequestSpec(1000, 40, session_key="w"))
     kernel.run(until=warm.done)
-    reqs = [engine.submit(900, 400, session_key=f"p{i}") for i in range(4)]
-    follow = engine.submit(1100, 100, session_key="w")
+    reqs = [engine.submit(RequestSpec(900, 400, session_key=f"p{i}")) for i in range(4)]
+    follow = engine.submit(RequestSpec(1100, 100, session_key="w"))
     done = kernel.all_of([r.done for r in reqs] + [follow.done])
 
     def auditor(env):
@@ -284,9 +285,9 @@ def test_kv_audit_stays_clean_under_session_preemption_pressure():
 def test_engine_metrics_exposes_cache_gauges():
     kernel = SimKernel(seed=5)
     engine = _engine(kernel)
-    r1 = engine.submit(600, 50, session_key="m")
+    r1 = engine.submit(RequestSpec(600, 50, session_key="m"))
     kernel.run(until=r1.done)
-    r2 = engine.submit(700, 50, session_key="m")
+    r2 = engine.submit(RequestSpec(700, 50, session_key="m"))
     kernel.run(until=r2.done)
     cache = engine.metrics()["prefix_cache"]
     assert cache["enabled"] is True

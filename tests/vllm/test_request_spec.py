@@ -1,0 +1,84 @@
+"""RequestSpec validation and the legacy ``submit`` deprecation shim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import APIError, ConfigurationError
+from repro.hardware import gpu_spec
+from repro.models import llama4_scout
+from repro.vllm import (EngineArgs, LLMEngine, PerfModel, PerfProfile,
+                        RequestSpec)
+
+
+def _engine(kernel):
+    card = llama4_scout()
+    gpu = gpu_spec("H100-SXM-80G")
+    args = EngineArgs(model=card.name, tensor_parallel_size=4,
+                      max_model_len=65536)
+    perf = PerfModel(card, gpu, 4, profile=PerfProfile())
+    engine = LLMEngine(kernel, card, perf, args, 200_000)
+    engine.start()
+    return engine
+
+
+def test_spec_validates_at_construction():
+    with pytest.raises(ConfigurationError, match="positive"):
+        RequestSpec(prompt_tokens=0, max_new_tokens=5)
+    with pytest.raises(ConfigurationError, match="positive"):
+        RequestSpec(prompt_tokens=10, max_new_tokens=0)
+    with pytest.raises(ConfigurationError, match="prefill_done"):
+        RequestSpec(100, 10, tokens_generated=1)
+    with pytest.raises(ConfigurationError, match="first token"):
+        RequestSpec(100, 10, prefill_done=True)
+    with pytest.raises(ConfigurationError, match="exceeds"):
+        RequestSpec(100, 10, prefill_done=True, tokens_generated=11)
+
+
+def test_spec_is_frozen_and_hashable():
+    spec = RequestSpec(100, 10, session_key="s", priority=2)
+    with pytest.raises(Exception):
+        spec.prompt_tokens = 5
+    assert spec == RequestSpec(100, 10, session_key="s", priority=2)
+    assert len({spec, RequestSpec(100, 10, session_key="s", priority=2)}) == 1
+
+
+def test_legacy_positional_submit_warns_and_works(kernel):
+    engine = _engine(kernel)
+    with pytest.warns(DeprecationWarning, match="RequestSpec"):
+        request = engine.submit(200, 50)
+    kernel.run(until=request.done)
+    stats = request.stats()
+    assert stats.prompt_tokens == 200 and stats.output_tokens == 50
+
+
+def test_legacy_keyword_submit_warns_and_works(kernel):
+    engine = _engine(kernel)
+    with pytest.warns(DeprecationWarning, match="RequestSpec"):
+        request = engine.submit(prompt_tokens=128, max_new_tokens=16,
+                                session_key="conv")
+    kernel.run(until=request.done)
+    assert request.tokens_generated == 16
+    assert request.session_key == "conv"
+
+
+def test_legacy_bad_args_keep_the_api_error_contract(kernel):
+    """The legacy path validated inside submit and raised a 400; the
+    shim preserves that for its one deprecation release."""
+    engine = _engine(kernel)
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(APIError) as err:
+            engine.submit(0, 5)
+    assert err.value.status == 400
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(APIError):
+            engine.submit(100, None)
+
+
+def test_typed_and_legacy_submissions_are_equivalent(kernel):
+    engine = _engine(kernel)
+    typed = engine.submit(RequestSpec(300, 40))
+    with pytest.warns(DeprecationWarning):
+        legacy = engine.submit(300, 40)
+    kernel.run(until=kernel.all_of([typed.done, legacy.done]))
+    assert typed.spec == legacy.spec
