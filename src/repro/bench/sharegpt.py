@@ -52,6 +52,28 @@ class ShareGptSampler:
             raise ConfigurationError("need at least one request")
         prompts = np.exp(self.rng.normal(PROMPT_MU, PROMPT_SIGMA, size=n))
         outputs = np.exp(self.rng.normal(OUTPUT_MU, OUTPUT_SIGMA, size=n))
+        return self._finish(prompts, outputs)
+
+    def sample_pairs(self, n: int) -> list[SampledRequest]:
+        """``n`` consecutive ``sample(1)`` calls, batched, same stream.
+
+        ``sample(1)`` draws one prompt normal then one output normal, so
+        ``n`` calls consume ``2n`` interleaved draws.  One vectorized
+        ``standard_normal(2n)`` consumes the generator's bit stream
+        identically (loc/scale are applied after the unit draws);
+        de-interleaving reproduces every pair bit-for-bit — the fleet
+        fast-forward path batches whole arrival blocks through here
+        without perturbing any seeded request sequence.
+        """
+        if n < 1:
+            raise ConfigurationError("need at least one request")
+        unit = self.rng.standard_normal(2 * n)
+        prompts = np.exp(PROMPT_MU + PROMPT_SIGMA * unit[0::2])
+        outputs = np.exp(OUTPUT_MU + OUTPUT_SIGMA * unit[1::2])
+        return self._finish(prompts, outputs)
+
+    def _finish(self, prompts: np.ndarray,
+                outputs: np.ndarray) -> list[SampledRequest]:
         prompts = np.clip(prompts.astype(int), MIN_TOKENS, None)
         outputs = np.clip(outputs.astype(int), MIN_TOKENS, None)
         out: list[SampledRequest] = []

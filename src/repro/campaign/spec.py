@@ -28,8 +28,8 @@ from ..fleet.autoscaler import AutoscalerConfig
 from ..fleet.fleet import DisaggSpec
 from ..fleet.slo import SloSpec
 from ..fleet.traffic import (DAY, ArrivalSchedule, DiurnalSchedule,
-                             FlashCrowdSchedule, PoissonSchedule, Tenant,
-                             TenantMix)
+                             FlashCrowdSchedule, PoissonSchedule,
+                             PulseSchedule, Tenant, TenantMix)
 from ..sessions.spec import SessionSpec
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -60,35 +60,43 @@ class SiteSpec:
 class ScheduleSpec:
     """Declarative arrival schedule; ``build()`` yields the live object.
 
-    ``kind`` selects the base process (``poisson`` or ``diurnal``); a
-    ``flash_mult > 1`` wraps it in a :class:`FlashCrowdSchedule` overlay,
-    mirroring how the live schedule classes compose.
+    ``kind`` selects the base process (``poisson``, ``diurnal``, or
+    ``pulse`` — on/off bursts of ``rate_rps`` for ``duty`` of each
+    ``period``); a ``flash_mult > 1`` wraps it in a
+    :class:`FlashCrowdSchedule` overlay, mirroring how the live schedule
+    classes compose.
     """
 
     kind: str = "poisson"
-    rate_rps: float = 0.15          # poisson
+    rate_rps: float = 0.15          # poisson / pulse burst rate
     base_rps: float = 0.05          # diurnal floor
     peak_rps: float = 0.25          # diurnal ceiling
     period: float = DAY
     peak_hour: float = 14.0
+    duty: float = 0.0125            # pulse: active fraction of the period
     flash_mult: float = 1.0         # > 1 enables the burst overlay
     flash_start: float = 0.0
     flash_duration: float = 1800.0
     flash_ramp: float = 120.0
 
-    KINDS = ("poisson", "diurnal")
+    KINDS = ("poisson", "diurnal", "pulse")
 
     def __post_init__(self):
         if self.kind not in self.KINDS:
             raise ConfigurationError(
                 f"schedule kind must be one of {list(self.KINDS)}: "
                 f"{self.kind!r}")
+        if not (0.0 < self.duty <= 1.0):
+            raise ConfigurationError("duty must be in (0, 1]")
         if self.flash_mult < 1.0:
             raise ConfigurationError("flash_mult must be >= 1")
 
     def build(self) -> ArrivalSchedule:
         if self.kind == "poisson":
             schedule: ArrivalSchedule = PoissonSchedule(self.rate_rps)
+        elif self.kind == "pulse":
+            schedule = PulseSchedule(rate_rps=self.rate_rps,
+                                     period=self.period, duty=self.duty)
         else:
             schedule = DiurnalSchedule(
                 base_rps=self.base_rps, peak_rps=self.peak_rps,
@@ -180,6 +188,11 @@ class ScenarioSpec:
     #: disaggregated prefill/decode serving (the serving-architecture
     #: axis: unified vs split pools).
     disagg: DisaggSpec = field(default_factory=DisaggSpec)
+    #: fleet fast-forward: bulk time-jumps over provably event-free
+    #: intervals.  Bit-identical to stepping by construction and
+    #: auto-disabled under chaos/faults/disagg, so the only reason to
+    #: flip it off is an A/B arm in an equivalence or perf study.
+    fast_forward: bool = True
 
     def __post_init__(self):
         # Forgiving construction: the ergonomic spellings accepted by
@@ -326,7 +339,8 @@ class ScenarioSpec:
             slo=self.slo,
             autoscaler=self.autoscaler,
             engine_params=engine_params,
-            disagg=self.disagg)
+            disagg=self.disagg,
+            fast_forward=self.fast_forward)
         return Fleet(site, config)
 
     def build_mix(self, kernel: "SimKernel") -> TenantMix | None:

@@ -111,12 +111,22 @@ class Autoscaler:
         self._last_up = -math.inf
         self._last_down = -math.inf
         self._low_streak = 0
+        self._next_tick = math.inf
 
     def reset(self) -> None:
-        """Fresh accounting for a new scenario (cooldowns keep history)."""
+        """Fresh accounting for a new scenario, cooldowns included.
+
+        Cooldowns are *scenario-relative* rate limiters, not fleet
+        history: a scenario that ends right after a scale event must not
+        leak a stale ``_last_up``/``_last_down`` into the next scenario
+        on the same fleet, silently blocking its first scale decision
+        for up to ``down_cooldown`` simulated seconds.
+        """
         self.events = []
         self.samples = []
         self._low_streak = 0
+        self._last_up = -math.inf
+        self._last_down = -math.inf
 
     # -- signal -----------------------------------------------------------------
 
@@ -135,12 +145,93 @@ class Autoscaler:
 
     # -- control loop -----------------------------------------------------------
 
+    def quiet_action_bound(self) -> float:
+        """Earliest future time this loop could mutate the fleet, assuming
+        the fleet stays quiet (zero outstanding) until then.
+
+        The fleet fast-forward governor uses this to bound how far the
+        *other* periodic processes (health passes, snapshots) may skip:
+        with zero load the only possible decision is a scale-down, whose
+        firing tick is fully determined by the current low-streak, the
+        cooldown clocks, and this loop's tick phase.  Returns +inf when
+        no quiet-window action is possible (already at ``min_replicas``).
+        """
+        cfg = self.config
+        if self._scaling:
+            return self.kernel.now
+        n = len(self.fleet.replicas)
+        nt = self._next_tick
+        if n < cfg.min_replicas:
+            return nt                       # a scale-up fires next tick
+        if n <= cfg.min_replicas or cfg.scale_down_threshold <= 0:
+            return math.inf
+        # Tick j (0-based from the next wake) sees streak _low_streak+j+1.
+        j_streak = max(0, cfg.low_streak - self._low_streak - 1)
+        t_cd = max(self._last_down, self._last_up) + cfg.down_cooldown
+        j_cd = (0 if t_cd <= nt
+                else int(math.ceil((t_cd - nt) / cfg.interval)))
+        return nt + max(j_streak, j_cd) * cfg.interval
+
+    def _plan_quiet_ticks(self, horizon: float) -> int:
+        """How many upcoming ticks are provably decision-free no-ops.
+
+        Called while the fleet is quiet (zero outstanding, all healthy,
+        no arrival before ``horizon``).  Each such tick would append one
+        zero-load sample, bump the low streak, and decide nothing — so
+        they can be played closed-form and slept through in one timeout.
+        Stops strictly before the first tick at which a scale decision
+        would fire, which then runs live.
+        """
+        cfg = self.config
+        now = self.kernel.now
+        n = len(self.fleet.replicas)
+        if n < cfg.min_replicas or horizon <= now:
+            return 0
+        k = int(math.ceil((horizon - now) / cfg.interval)) - 1
+        if n > cfg.min_replicas and cfg.scale_down_threshold > 0:
+            # Skipped tick i carries streak _low_streak + i; the decision
+            # tick must run live.
+            i_streak = max(1, cfg.low_streak - self._low_streak)
+            t_cd = max(self._last_down, self._last_up) + cfg.down_cooldown
+            i_cd = (1 if t_cd <= now
+                    else int(math.ceil((t_cd - now) / cfg.interval)))
+            k = min(k, max(i_streak, i_cd) - 1)
+        return max(0, k)
+
+    def _fast_play(self) -> float:
+        """Skip provably-idle ticks; returns extra seconds to sleep."""
+        ff = getattr(self.fleet, "ff", None)
+        if ff is None or not ff.quiet():
+            return 0.0
+        bound = ff.arrival_bound()
+        if not math.isfinite(bound):
+            # No future arrival is known (stream ended or not armed):
+            # skipping would be unbounded, so keep ticking live.
+            return 0.0
+        cfg = self.config
+        k = self._plan_quiet_ticks(bound)
+        if k <= 0:
+            return 0.0
+        stats = self.fleet.router_app.stats()
+        now = self.kernel.now
+        n = len(self.fleet.replicas)
+        append = self.samples.append
+        for i in range(1, k + 1):
+            append(LoadSample(
+                time=now + i * cfg.interval, replicas=n,
+                outstanding=stats["outstanding"], healthy=stats["healthy"]))
+        if cfg.scale_down_threshold > 0:
+            self._low_streak += k
+        return k * cfg.interval
+
     def run(self, stop_event: "Event"):
         """Generator process: sample, decide, and converge until stopped."""
         kernel = self.kernel
         cfg = self.config
         while not stop_event.triggered:
-            yield kernel.any_of([stop_event, kernel.timeout(cfg.interval)])
+            sleep = cfg.interval + self._fast_play()
+            self._next_tick = kernel.now + sleep
+            yield kernel.any_of([stop_event, kernel.timeout(sleep)])
             if stop_event.triggered:
                 return
             sample = self.sample()

@@ -21,6 +21,7 @@ hosts directly (the converged-site advantage the paper describes).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -28,12 +29,14 @@ from ..cluster.platform import HPCPlatform, K8sPlatform
 from ..containers.runtime import Container, RunOpts
 from ..core.deployer import Deployment
 from ..core.workflow import CaseStudyWorkflow
-from ..errors import (APIError, ConfigurationError, NetworkUnreachable,
-                      ReproError, StateError)
+from ..errors import (APIError, ConfigurationError, ContainerCrash,
+                      NetworkUnreachable, ReproError, StateError)
 from ..k8s.objects import PodPhase
 from ..net.http import HttpClient, lookup
+from ..obs.profile import profiler
 from ..services.router import (LlmRouter, RouterConfig, RouterPolicy,
                                router_image)
+from ..vllm.spec import RequestSpec
 from .autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
 from .slo import RequestRecord, SloSpec, SloTracker
 from .traffic import ArrivalSchedule, TenantMix, TrafficGenerator
@@ -98,6 +101,14 @@ class FleetConfig:
     #: disaggregated prefill/decode serving (off by default: every
     #: replica is a unified engine serving whole requests).
     disagg: DisaggSpec = field(default_factory=DisaggSpec)
+    #: fleet fast-forward: requests take an in-process lane that replays
+    #: the routed HTTP path closed-form, and provably-idle periodic
+    #: ticks (autoscaler, monitor, health passes) are slept through in
+    #: one timeout.  Bit-identical to stepping by construction (see
+    #: docs/performance.md); auto-disabled under chaos, armed fault
+    #: plans, or disaggregated serving.  Set False to force the fully
+    #: stepped path.
+    fast_forward: bool = True
 
     def __post_init__(self):
         # Fail on an unknown policy where the config is built, not at
@@ -219,6 +230,147 @@ class FleetReport:
         return out
 
 
+class FleetFastForward:
+    """Governor for the fleet's fast-forward machinery.
+
+    Two independent, per-instant decisions:
+
+    * :meth:`lane_ok` — may a request take the in-process fast lane
+      (:meth:`Fleet._request_fast`) instead of the stepped HTTP hop
+      chain?  The lane replays the routed path closed-form and is
+      bit-identical only while no failover can occur, so it requires
+      fast-forward enabled, no chaos orchestrator armed, unified (non
+      disagg) serving, the profiler off, and every backend engine free
+      of fault plans and crashes.
+    * :meth:`quiet` — is the whole fleet provably idle, so the periodic
+      control loops (autoscaler ticks, SLO snapshots, health passes)
+      can skip ahead?  Skips are bounded by :meth:`arrival_bound` (the
+      traffic generator publishes its next arrival time before
+      sleeping) and the autoscaler's own
+      :meth:`~repro.fleet.autoscaler.Autoscaler.quiet_action_bound`.
+
+    Everything here is advisory: with ``FleetConfig.fast_forward``
+    False (or any eligibility check failing) every consumer falls back
+    to plain stepping.
+    """
+
+    def __init__(self, fleet: "Fleet"):
+        self.fleet = fleet
+        self.kernel = fleet.kernel
+        #: set by the chaos orchestrator before it drives scenarios;
+        #: faults attach mid-run there, which the lane must never race.
+        self.chaos = False
+        self.fast_requests = 0     # requests served through the lane
+        self._traffic: TrafficGenerator | None = None
+        self._engines: dict | None = None
+        self._engines_epoch = -1
+
+    # -- scenario lifecycle ----------------------------------------------------
+
+    def begin(self, traffic: "TrafficGenerator | None") -> None:
+        """Arm for one scenario (None = ineligible traffic kind)."""
+        self._traffic = traffic
+        self._engines_epoch = -1
+
+    def end(self) -> None:
+        self._traffic = None
+
+    # -- eligibility -----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        config = self.fleet.config
+        return (config.fast_forward and not self.chaos
+                and not config.disagg.enabled and not profiler.enabled)
+
+    def engines(self) -> dict | None:
+        """(host, port) -> live LLMEngine behind each router backend.
+
+        Cached per router pool epoch; returns None when any backend
+        does not resolve to a vLLM engine (dead service, foreign app) —
+        which simply disqualifies the fast lane.
+        """
+        router = self.fleet.router_app
+        if router is None:
+            return None
+        if router._epoch != self._engines_epoch:
+            fabric = self.fleet.site.fabric
+            engines: dict | None = {}
+            for b in router.backends:
+                service = lookup(fabric, b.host, b.port)
+                app = getattr(service, "handler", None)
+                app = getattr(app, "__self__", None)
+                engine = getattr(app, "engine", None)
+                if engine is None:
+                    engines = None
+                    break
+                engines[(b.host, b.port)] = engine
+            self._engines = engines
+            self._engines_epoch = router._epoch
+        return self._engines
+
+    def lane_ok(self) -> bool:
+        """May the next request take the in-process fast lane?"""
+        if not self.enabled:
+            return False
+        engines = self.engines()
+        if not engines:
+            return False
+        for engine in engines.values():
+            if engine.fault_plan is not None or engine.crashed is not None:
+                return False
+        return True
+
+    def quiet(self) -> bool:
+        """Is the fleet provably idle right now?
+
+        True only when nothing is in flight anywhere — no open-loop
+        request, no deploy, no scale action, every backend healthy with
+        zero outstanding forwards, every engine's queues empty — *and*
+        the lane preconditions hold (no armed faults), so the only
+        upcoming events are periodic ticks and the next arrival.
+        """
+        if self._traffic is None or not self.lane_ok():
+            return False
+        fleet = self.fleet
+        if fleet.inflight or fleet._pending_nodes:
+            return False
+        if fleet.autoscaler._scaling:
+            return False
+        for b in fleet.router_app.backends:
+            if not b.healthy or b.outstanding or b.consecutive_failures:
+                return False
+        for engine in self.engines().values():
+            if engine.running or engine.waiting:
+                return False
+        return True
+
+    def arrival_bound(self) -> float:
+        """Time of the next traffic arrival (+inf when none is known)."""
+        traffic = self._traffic
+        if traffic is None or not traffic.active:
+            return math.inf
+        return traffic.next_arrival
+
+    def health_extra(self, interval: float) -> float:
+        """Extra seconds the router's health loop may sleep past one
+        ``interval``.
+
+        Health passes over an all-healthy pool write nothing observable
+        (the only state touched is resetting already-zero failure
+        counters), so any number of them inside a provably-quiet window
+        can be skipped outright; the pass resumes at the window's edge.
+        """
+        if not self.quiet():
+            return 0.0
+        bound = min(self.arrival_bound(),
+                    self.fleet.autoscaler.quiet_action_bound())
+        now = self.kernel.now
+        if not math.isfinite(bound) or bound <= now + interval:
+            return 0.0
+        return bound - now - interval
+
+
 class Fleet:
     """Deployments + router + autoscaler + SLO tracker, one lifecycle."""
 
@@ -229,6 +381,7 @@ class Fleet:
         self.wf = CaseStudyWorkflow(site)
         self.slo = SloTracker(site.kernel, config.slo)
         self.autoscaler = Autoscaler(self, config.autoscaler)
+        self.ff = FleetFastForward(self)
         self.replicas: list[Replica] = []
         self.placements: list[tuple[str, str]] = []  # (replica, platform)
         self.replica_timeline: list[tuple[float, int]] = []
@@ -575,8 +728,10 @@ class Fleet:
     def submit(self, tenant: str, sample) -> None:
         """Open-loop entry: fire one request worker and return immediately."""
         self.inflight += 1
-        self.kernel.spawn(self._request_worker(tenant, sample),
-                          name=f"fleet:req:{tenant}")
+        worker = (self._request_fast(tenant, sample)
+                  if self.ff.lane_ok()
+                  else self._request_worker(tenant, sample))
+        self.kernel.spawn(worker, name=f"fleet:req:{tenant}")
 
     def _request_worker(self, tenant: str, sample):
         try:
@@ -586,6 +741,124 @@ class Fleet:
             # Unconditional: an exception escaping request() (teardown
             # interrupt, malformed response) must not strand the drain
             # loop on a permanently-elevated inflight count.
+            self.inflight -= 1
+
+    def _request_fast(self, tenant: str, sample):
+        """The fast lane: one open-loop request, no HTTP machinery.
+
+        Replays :meth:`request` -> router -> vLLM server closed-form in
+        a single generator: the same four fabric-latency timeouts, the
+        same router pick (via the router's own ``_pick``, so rotation
+        state advances identically), the same ``engine.submit`` /
+        ``handle.done`` wait, and the same span/metric/SLO/trace
+        epilogue — event-for-event and byte-for-byte what the stepped
+        path produces, minus the dict-shuffling of HTTP bodies through
+        three generator layers.
+
+        Only entered when :meth:`FleetFastForward.lane_ok` held at
+        submit time: unified serving, healthy engines, no armed faults.
+        A 5xx would mean a fault attached mid-flight outside the chaos
+        orchestrator (which disarms the lane up front) — the lane
+        cannot replay failover, so that raises StateError loudly rather
+        than silently diverging from the stepped path.
+        """
+        kernel = self.kernel
+        fabric = self.site.fabric
+        router = self.router_app
+        prompt_tokens = sample.prompt_tokens
+        output_tokens = sample.output_tokens
+        self.ff.fast_requests += 1
+        try:
+            self.slo.note_submitted()
+            submitted = kernel.now
+            spans = kernel.obs.spans
+            trace_id, root_sid = spans.reserve_trace()
+            # Leg 1: client -> router.
+            yield kernel.timeout(
+                fabric.latency(self._client.host, self.router_host))
+            # Router ingress (router._handle): route span reservation,
+            # backend pick, outstanding accounting.
+            rec = spans if (spans.enabled and trace_id) else None
+            route_sid = rec.reserve_span() if rec is not None else 0
+            route_start = kernel.now
+            backend = next(router._pick(), None)
+            engines = self.ff.engines()
+            engine = (engines or {}).get(
+                (backend.host, backend.port)) if backend else None
+            if engine is None:
+                raise StateError(
+                    "fleet fast lane: no routable engine (pool churned "
+                    "mid-request?)")
+            backend.outstanding += 1
+            status, payload, stats = 200, None, None
+            try:
+                # Leg 2: router -> backend, then the vLLM server's
+                # completion handler (engine submit + wait), inlined.
+                yield kernel.timeout(
+                    fabric.latency(self.router_host, backend.host))
+                handle = None
+                try:
+                    spec = RequestSpec(
+                        prompt_tokens=prompt_tokens,
+                        max_new_tokens=output_tokens,
+                        session_key=None, priority=0,
+                        trace_id=trace_id, trace_parent=root_sid)
+                    handle = engine.submit(spec)
+                except ConfigurationError as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except APIError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                if handle is not None:
+                    try:
+                        finished = yield handle.done
+                        stats = finished.stats()
+                    except APIError as exc:
+                        status, payload = exc.status, {"error": exc.message}
+                    except ContainerCrash as exc:
+                        status = 500
+                        payload = {"error": f"engine crashed: {exc}"}
+                # Leg 3: backend -> router.
+                yield kernel.timeout(
+                    fabric.latency(backend.host, self.router_host))
+            finally:
+                backend.outstanding -= 1
+            if status >= 500:
+                raise StateError(
+                    f"fleet fast lane: backend {backend.key} answered "
+                    f"{status} ({payload}); a fault attached mid-run — "
+                    "run with fast_forward=False (or through the chaos "
+                    "orchestrator) for failover semantics")
+            backend.consecutive_failures = 0
+            backend.served += 1
+            if rec is not None:
+                rec.emit("route", trace_id, root_sid or None,
+                         route_start, kernel.now,
+                         {"backend": backend.key, "attempts": 1,
+                          "outcome": "ok"}, span_id=route_sid)
+            # Leg 4: router -> client, then the client epilogue.
+            yield kernel.timeout(
+                fabric.latency(self.router_host, self._client.host))
+            ok = status == 200
+            ttft = stats.ttft if ok else 0.0
+            out_tokens = stats.output_tokens if ok else 0
+            error = "" if ok else str((status, payload))
+            if kernel.obs.registry.enabled:
+                (self._c_req_ok if ok else self._c_req_err).inc()
+            if trace_id:
+                spans.emit("request", trace_id, None, submitted, kernel.now,
+                           {"tenant": tenant, "ok": ok,
+                            "output_tokens": out_tokens}, span_id=root_sid)
+            self.slo.observe(RequestRecord(
+                tenant=tenant, submitted=submitted, completed=kernel.now,
+                ttft=ttft, latency=kernel.now - submitted,
+                prompt_tokens=prompt_tokens, output_tokens=out_tokens,
+                ok=ok, error=error))
+            kernel.trace.emit(
+                "fleet.request", tenant=tenant, ok=ok,
+                ttft=round(ttft, 6),
+                latency=round(kernel.now - submitted, 6),
+                output_tokens=out_tokens)
+        finally:
             self.inflight -= 1
 
     def request(self, tenant: str, prompt_tokens: int, output_tokens: int,
@@ -704,7 +977,14 @@ class Fleet:
                                      self.request, mix=mix)
         else:
             mix = mix or TenantMix.single(kernel)
-            traffic = TrafficGenerator(kernel, schedule, mix, self.submit)
+            traffic = TrafficGenerator(kernel, schedule, mix, self.submit,
+                                       fast=self.config.fast_forward)
+        # Arm the fast-forward governor for open-loop traffic only:
+        # session traffic keeps closed-loop think-time state the quiet
+        # predicate does not model, so it always steps.
+        self.ff.begin(traffic if isinstance(traffic, TrafficGenerator)
+                      else None)
+        self.router_app.ff_governor = self.ff
         if self.config.obs_spans:
             kernel.obs.enable_spans()
         scraper = None
@@ -719,9 +999,12 @@ class Fleet:
             kernel.spawn(scraper.run(stop), name="fleet:scraper")
         started = kernel.now
         self.replica_timeline.append((started, len(self.replicas)))
-        arrivals = yield kernel.spawn(traffic.run(horizon),
-                                      name="fleet:traffic")
-        yield from self._drain()
+        try:
+            arrivals = yield kernel.spawn(traffic.run(horizon),
+                                          name="fleet:traffic")
+            yield from self._drain()
+        finally:
+            self.ff.end()
         stop.succeed()
         final_row = self.slo.snapshot().row()
         final_row["replicas"] = len(self.replicas)
@@ -750,15 +1033,44 @@ class Fleet:
 
     def _monitor(self, stop_event):
         kernel = self.kernel
+        interval = self.config.snapshot_interval
         while not stop_event.triggered:
-            yield kernel.any_of(
-                [stop_event, kernel.timeout(self.config.snapshot_interval)])
+            sleep = interval + self._monitor_fast_play(interval)
+            yield kernel.any_of([stop_event, kernel.timeout(sleep)])
             if stop_event.triggered:
                 return
             snap = self.slo.snapshot()
             row = snap.row()
             row["replicas"] = len(self.replicas)
             self.snapshots.append(row)
+
+    def _monitor_fast_play(self, interval: float) -> float:
+        """Synthesize provably-idle snapshot rows; extra seconds to sleep.
+
+        Each skipped tick's row is exactly what the live tick would
+        have recorded: with nothing in flight and no arrival before the
+        bound, the SLO window only *ages* (``snapshot(at=...)`` trims it
+        the same way the live tick would) and the replica count cannot
+        move before the autoscaler's own action bound.  The tick at or
+        after the bound runs live, on the unchanged tick phase.
+        """
+        if not self.ff.quiet():
+            return 0.0
+        bound = min(self.ff.arrival_bound(),
+                    self.autoscaler.quiet_action_bound())
+        now = self.kernel.now
+        if not math.isfinite(bound) or bound <= now:
+            return 0.0
+        k = int(math.ceil((bound - now) / interval)) - 1
+        if k <= 0:
+            return 0.0
+        n = len(self.replicas)
+        append = self.snapshots.append
+        for i in range(1, k + 1):
+            row = self.slo.snapshot(at=now + i * interval).row()
+            row["replicas"] = n
+            append(row)
+        return k * interval
 
     def _drain(self):
         kernel = self.kernel

@@ -26,7 +26,7 @@ its cost is independent of how many requests were ever observed.
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -309,7 +309,11 @@ class SloTracker:
         self.spec = spec
         self.started_at = kernel.now
         self.submitted = 0
-        self._window: deque[RequestRecord] = deque()
+        # Live window records, sorted by completion time, plus a parallel
+        # float list of those completion times so out-of-order stragglers
+        # can be placed by binary search instead of a linear scan.
+        self._window: list[RequestRecord] = []
+        self._ctimes: list[float] = []
         # Rolling-window aggregates (maintained by _window_add/_remove).
         self._w_ok = 0
         self._w_errors = 0
@@ -351,19 +355,23 @@ class SloTracker:
 
     def observe(self, record: RequestRecord) -> None:
         window = self._window
-        if not window or record.completed >= window[-1].completed:
+        ctimes = self._ctimes
+        completed = record.completed
+        if not ctimes or completed >= ctimes[-1]:
             window.append(record)
+            ctimes.append(completed)
         else:
             # Straggler from a concurrent replica completing out of
             # order: insert in completion order so trimming by the
             # (sorted) front can never be blocked by a late record
-            # parked ahead of older ones.
-            idx = len(window) - 1
-            while idx > 0 and window[idx - 1].completed > record.completed:
-                idx -= 1
+            # parked ahead of older ones.  bisect_right keeps FIFO
+            # order among equal completion times, matching the old
+            # backward scan, at O(log n) compares per straggler.
+            idx = bisect_right(ctimes, completed)
             window.insert(idx, record)
+            ctimes.insert(idx, completed)
         self._window_add(record)
-        self._trim(window[-1].completed)
+        self._trim(ctimes[-1])
         tenant = self.per_tenant.setdefault(record.tenant, TenantStats())
         if record.ok:
             self.completed += 1
@@ -424,22 +432,31 @@ class SloTracker:
 
     def _trim(self, now: float) -> None:
         floor = now - self.spec.window
-        window = self._window
-        while window and window[0].completed < floor:
-            self._window_remove(window.popleft())
+        ctimes = self._ctimes
+        aged = bisect_left(ctimes, floor)
+        if aged:
+            window = self._window
+            for i in range(aged):
+                self._window_remove(window[i])
+            del window[:aged]
+            del ctimes[:aged]
 
     # -- views ------------------------------------------------------------------
 
-    def snapshot(self) -> SloSnapshot:
-        """The rolling-window view right now.
+    def snapshot(self, at: float | None = None) -> SloSnapshot:
+        """The rolling-window view right now (or at ``at``).
 
         Empty windows return the vacuously-healthy defaults documented
         on :class:`SloSnapshot`; every field is always a finite number.
         Both the reported percentiles and the ``slo_met`` gate come from
         the *same* :class:`~repro.fleet.stats.LogHistogram` estimator,
         so they can never disagree about where a percentile sits.
+
+        ``at`` lets the fleet fast-forward path take the snapshot a
+        monitor tick *would have taken* at a skipped timestamp; it must
+        not precede the newest observed completion.
         """
-        now = self.kernel.now
+        now = self.kernel.now if at is None else at
         self._trim(now)
         snap = SloSnapshot(time=now, window=self.spec.window)
         samples = self._w_ok + self._w_errors

@@ -33,16 +33,21 @@ DAY = 86400.0
 THINNING_BATCH = 1024
 
 
-def _thin_batched(schedule: "ArrivalSchedule", rng: np.random.Generator,
-                  start: float, end: float, envelope: float,
-                  batch: int = THINNING_BATCH) -> Iterator[float]:
-    """Lewis-Shedler thinning over ``[start, end)`` in candidate batches.
+def _thin_blocks(schedule: "ArrivalSchedule", rng: np.random.Generator,
+                 start: float, end: float, envelope: float,
+                 batch: int = THINNING_BATCH) -> Iterator[list[float]]:
+    """Lewis-Shedler thinning over ``[start, end)``, yielding *blocks*.
 
     The hot path of every fleet scenario: instead of two scalar RNG
     calls (gap + accept draw) per candidate event, candidates are drawn
     ``batch`` at a time with vectorized exponential/uniform draws and the
     acceptance test evaluates :meth:`ArrivalSchedule.rate_array` once per
-    batch.  Yields exactly the accepted arrival times, ascending.
+    batch.  Yields the accepted times of each candidate batch as an
+    ascending list (empty batches are skipped), so consumers can do
+    per-block work — the fleet fast-forward path draws one vectorized
+    tenant/length batch per block.  Flattened, the blocks are exactly
+    the per-value stream :func:`_thin_batched` always produced, from the
+    identical RNG call sequence.
     """
     if envelope <= 0:
         raise ConfigurationError("schedule peak rate must be positive")
@@ -54,8 +59,17 @@ def _thin_batched(schedule: "ArrivalSchedule", rng: np.random.Generator,
         times = t + np.cumsum(gaps)
         t = float(times[-1])
         keep = accepts * envelope <= schedule.rate_array(times)
-        for value in times[keep & (times < end)]:
-            yield float(value)
+        accepted = times[keep & (times < end)]
+        if accepted.size:
+            yield accepted.tolist()
+
+
+def _thin_batched(schedule: "ArrivalSchedule", rng: np.random.Generator,
+                  start: float, end: float, envelope: float,
+                  batch: int = THINNING_BATCH) -> Iterator[float]:
+    """Per-value view of :func:`_thin_blocks` (ascending floats)."""
+    for block in _thin_blocks(schedule, rng, start, end, envelope, batch):
+        yield from block
 
 
 class ArrivalSchedule:
@@ -86,8 +100,19 @@ class ArrivalSchedule:
         thinning: candidates are drawn at the peak rate in vectorized
         blocks, each accepted with probability ``rate(t) / peak``.
         """
-        yield from _thin_batched(self, rng, start, start + horizon,
-                                 self.peak_rate())
+        for block in self.arrival_blocks(rng, start, horizon):
+            yield from block
+
+    def arrival_blocks(self, rng: np.random.Generator, start: float,
+                       horizon: float) -> Iterator[list[float]]:
+        """Block view of :meth:`arrivals`: one list per candidate batch.
+
+        Same RNG call sequence, same accepted times — the block grouping
+        is the only difference, and it is what lets the traffic
+        generator batch its per-arrival tenant and length draws.
+        """
+        yield from _thin_blocks(self, rng, start, start + horizon,
+                                self.peak_rate())
 
     def mean_rate(self, start: float = 0.0, horizon: float = DAY,
                   samples: int = 1440) -> float:
@@ -159,6 +184,41 @@ class DiurnalSchedule(ArrivalSchedule):
 
 
 @dataclass(frozen=True)
+class PulseSchedule(ArrivalSchedule):
+    """Periodic on/off bursts: ``rate_rps`` during the first
+    ``duty``-fraction of every ``period``, zero in between.
+
+    The batch-ingest / nightly-report arrival shape: long silent gaps
+    punctuated by dense bursts.  The zero-rate gaps are what the fleet
+    fast-forward path collapses — thinning rejects every candidate in a
+    gap, so whole idle stretches cost no simulated events at all.
+    """
+
+    rate_rps: float
+    period: float = DAY
+    duty: float = 0.0125
+
+    def __post_init__(self):
+        if self.rate_rps <= 0:
+            raise ConfigurationError("rate_rps must be positive")
+        if self.period <= 0:
+            raise ConfigurationError("period must be positive")
+        if not (0 < self.duty <= 1):
+            raise ConfigurationError("duty must be in (0, 1]")
+
+    def rate(self, t: float) -> float:
+        return (self.rate_rps
+                if (t % self.period) < self.duty * self.period else 0.0)
+
+    def rate_array(self, ts: np.ndarray) -> np.ndarray:
+        on = np.mod(ts, self.period) < self.duty * self.period
+        return np.where(on, self.rate_rps, 0.0)
+
+    def peak_rate(self) -> float:
+        return self.rate_rps
+
+
+@dataclass(frozen=True)
 class FlashCrowdSchedule(ArrivalSchedule):
     """A burst overlay: multiply an inner schedule during a window.
 
@@ -205,8 +265,8 @@ class FlashCrowdSchedule(ArrivalSchedule):
     def peak_rate(self) -> float:
         return self.inner.peak_rate() * self.multiplier
 
-    def arrivals(self, rng: np.random.Generator, start: float,
-                 horizon: float) -> Iterator[float]:
+    def arrival_blocks(self, rng: np.random.Generator, start: float,
+                       horizon: float) -> Iterator[list[float]]:
         """Piecewise batched thinning: only the burst window pays the
         multiplied envelope, so a short flash on a long day does not
         reject ``multiplier``-fold candidates for the whole horizon."""
@@ -222,7 +282,7 @@ class FlashCrowdSchedule(ArrivalSchedule):
         for seg_start, seg_end, envelope in segments:
             if seg_start >= seg_end:
                 continue
-            yield from _thin_batched(self, rng, seg_start, seg_end, envelope)
+            yield from _thin_blocks(self, rng, seg_start, seg_end, envelope)
 
 
 @dataclass(frozen=True)
@@ -283,6 +343,30 @@ class TenantMix:
         sample = self._samplers[tenant.name].sample(1)[0]
         return tenant.name, sample
 
+    def draw_block(self, rng: np.random.Generator,
+                   count: int) -> list[tuple[str, SampledRequest]]:
+        """``count`` :meth:`draw` calls, batched, bit-identical streams.
+
+        The pick draws come from one vectorized ``rng.random(count)``
+        (numpy consumes the bit stream exactly as ``count`` scalar
+        calls would), and each tenant's length pairs come from one
+        :meth:`~repro.bench.sharegpt.ShareGptSampler.sample_pairs` call
+        on its own stream — tenant streams never interleave, so
+        grouping per tenant preserves every stream verbatim.
+        """
+        if count < 1:
+            raise ConfigurationError("need at least one draw")
+        picks = rng.random(count)
+        last = len(self.tenants) - 1
+        idxs = np.minimum(np.searchsorted(self._cumulative, picks), last)
+        names = [self.tenants[i].name for i in idxs]
+        wanted: dict[str, int] = {}
+        for name in names:
+            wanted[name] = wanted.get(name, 0) + 1
+        batches = {name: iter(self._samplers[name].sample_pairs(n))
+                   for name, n in wanted.items()}
+        return [(name, next(batches[name])) for name in names]
+
 
 class TrafficGenerator:
     """Drives an open-loop request stream into a submit callback.
@@ -295,26 +379,69 @@ class TrafficGenerator:
     def __init__(self, kernel: "SimKernel", schedule: ArrivalSchedule,
                  mix: TenantMix,
                  submit: Callable[[str, SampledRequest], None],
-                 stream: str = "fleet.arrivals"):
+                 stream: str = "fleet.arrivals", fast: bool = True):
         self.kernel = kernel
         self.schedule = schedule
         self.mix = mix
         self.submit = submit
         self.rng = kernel.rng.stream(stream)
         self.generated = 0
+        self.fast = fast
+        #: the next pending arrival time, published *before* the sleep
+        #: toward it — the fleet fast-forward governor's bound on how far
+        #: the periodic control loops may skip.  ``inf`` outside a run.
+        self.next_arrival = math.inf
+        self.active = False
 
     def run(self, horizon: float):
         """Generator process: emit arrivals for ``horizon`` seconds."""
+        if not self.fast:
+            yield from self._run_stepping(horizon)
+            return self.generated
         kernel = self.kernel
         start = kernel.now
-        for t in self.schedule.arrivals(self.rng, start, horizon):
-            if t > kernel.now:
-                yield kernel.timeout(t - kernel.now)
-            tenant, sample = self.mix.draw(self.rng)
-            self.submit(tenant, sample)
-            self.generated += 1
-            if self.generated % 1000 == 0:
-                kernel.trace.emit("fleet.traffic", generated=self.generated,
-                                  rate=round(self.schedule.rate(kernel.now),
-                                             3))
+        self.active = True
+        try:
+            for block in self.schedule.arrival_blocks(self.rng, start,
+                                                      horizon):
+                # One vectorized tenant/length batch per thinning block:
+                # RNG streams are consumed in exactly the per-arrival
+                # order (picks follow the block's candidate draws;
+                # tenant streams never interleave with anything else).
+                entries = self.mix.draw_block(self.rng, len(block))
+                for t, (tenant, sample) in zip(block, entries):
+                    self.next_arrival = t
+                    if t > kernel.now:
+                        yield kernel.timeout(t - kernel.now)
+                    self.submit(tenant, sample)
+                    self.generated += 1
+                    if self.generated % 1000 == 0:
+                        kernel.trace.emit(
+                            "fleet.traffic", generated=self.generated,
+                            rate=round(self.schedule.rate(kernel.now), 3))
+        finally:
+            self.active = False
+            self.next_arrival = math.inf
         return self.generated
+
+    def _run_stepping(self, horizon: float):
+        """The per-arrival reference path (``fast=False``): one scalar
+        tenant pick and one scalar length draw per arrival."""
+        kernel = self.kernel
+        start = kernel.now
+        self.active = True
+        try:
+            for t in self.schedule.arrivals(self.rng, start, horizon):
+                self.next_arrival = t
+                if t > kernel.now:
+                    yield kernel.timeout(t - kernel.now)
+                tenant, sample = self.mix.draw(self.rng)
+                self.submit(tenant, sample)
+                self.generated += 1
+                if self.generated % 1000 == 0:
+                    kernel.trace.emit(
+                        "fleet.traffic", generated=self.generated,
+                        rate=round(self.schedule.rate(kernel.now), 3))
+        finally:
+            self.active = False
+            self.next_arrival = math.inf

@@ -54,6 +54,14 @@ class Fabric:
         self.base_latency = 0.0002  # per hop, seconds
         self.latency_factor = 1.0   # chaos: site-wide latency multiplier
         self._down_hosts: set[str] = set()
+        # Resolved (src, dst) -> vertex path memo.  Every topology or
+        # routing mutation (new vertex/link, route override, partition,
+        # heal) flushes it, so a hit is always exactly what a fresh
+        # resolution would return — pure memoization, no staleness.
+        # The serving hot path resolves the same few router/backend
+        # pairs millions of times per scenario; this takes each off the
+        # per-request BFS.
+        self._path_cache: dict[tuple[str, str], list[str]] = {}
 
     # -- construction ----------------------------------------------------------
 
@@ -80,6 +88,7 @@ class Fabric:
         for v in (a, b):
             if v not in self._vertices:
                 raise NotFoundError(f"unknown vertex {v!r}")
+        self._path_cache.clear()
         base = name or f"{a}--{b}"
         fwd = Link(f"{base}:fwd", bandwidth)
         rev = Link(f"{base}:rev", bandwidth_ba
@@ -99,9 +108,11 @@ class Fabric:
         endpoints are substituted per-flow).
         """
         self._route_overrides[(src, dst)] = list(via)
+        self._path_cache.clear()
 
     def remove_route(self, src: str, dst: str) -> None:
         self._route_overrides.pop((src, dst), None)
+        self._path_cache.clear()
 
     # -- fault injection ---------------------------------------------------------
 
@@ -111,10 +122,12 @@ class Fabric:
         if name not in self.hosts:
             raise NotFoundError(f"unknown host {name!r}")
         self._down_hosts.add(name)
+        self._path_cache.clear()
         self.kernel.trace.emit("net.partition", host=name)
 
     def heal_host(self, name: str) -> None:
         self._down_hosts.discard(name)
+        self._path_cache.clear()
         self.kernel.trace.emit("net.heal", host=name)
 
     def partitioned(self, name: str) -> bool:
@@ -133,7 +146,20 @@ class Fabric:
         return [host.name, f"zone:{host.zone}"]
 
     def vertex_path(self, src: str, dst: str) -> list[str]:
-        """Resolve the vertex path from src host to dst host."""
+        """Resolve the vertex path from src host to dst host.
+
+        Memoized per (src, dst); the memo is flushed on every mutation,
+        so the result is always identical to a fresh resolution.  Treat
+        the returned list as read-only.
+        """
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        path = self._resolve_path(src, dst)
+        self._path_cache[(src, dst)] = path
+        return path
+
+    def _resolve_path(self, src: str, dst: str) -> list[str]:
         if src == dst:
             return [src]
         for endpoint in (src, dst):

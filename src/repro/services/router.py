@@ -194,6 +194,10 @@ class LlmRouter(ContainerApp):
         self._rr_idx: dict[str, int] = {}
         self._client: HttpClient | None = None
         self._kernel = None   # set at startup; None for bare (bench) use
+        #: fleet fast-forward governor (duck-typed: ``health_extra``);
+        #: installed by Fleet.run_scenario so provably-idle health passes
+        #: can be slept through in one timeout.  None = always tick live.
+        self.ff_governor = None
         # cache-affinity state: session key -> backend key, LRU-bounded.
         self._affinity: "OrderedDict[str, str]" = OrderedDict()
         self.affinity_reassignments = 0   # sticky target lost (evict/churn)
@@ -232,10 +236,19 @@ class LlmRouter(ContainerApp):
         yield ctx.kernel.timeout(3.0)
 
     def run(self, ctx: ContainerContext):
-        # Periodic health checks run alongside request serving.
+        # Periodic health checks run alongside request serving.  Under a
+        # fleet fast-forward governor, passes that would provably probe
+        # an all-healthy idle pool (no arrival, no autoscaler action
+        # before the next pass) are slept through in one timeout —
+        # healthy-pool passes write nothing observable, so skipping them
+        # cannot move a digest.
         while not ctx.stop_event.triggered:
+            sleep = self.HEALTH_INTERVAL
+            gov = self.ff_governor
+            if gov is not None:
+                sleep += gov.health_extra(self.HEALTH_INTERVAL)
             yield ctx.kernel.any_of(
-                [ctx.stop_event, ctx.kernel.timeout(self.HEALTH_INTERVAL)])
+                [ctx.stop_event, ctx.kernel.timeout(sleep)])
             if ctx.stop_event.triggered:
                 return
             yield from self._health_pass()

@@ -19,7 +19,7 @@ Example
 [2.0]
 """
 
-from .events import AllOf, AnyOf, Event, Interrupted, Timeout
+from .events import AllOf, AnyOf, Callback, Event, Interrupted, Timeout
 from .kernel import Process, SimKernel
 from .resources import Resource, Store
 from .rng import RngRegistry
@@ -28,6 +28,7 @@ from .tracing import TraceRecord, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Callback",
     "Event",
     "Interrupted",
     "Process",

@@ -101,6 +101,19 @@ class Event:
         else:
             self.callbacks.append(cb)
 
+    def detach(self, cb: Callable[["Event"], None]) -> None:
+        """Unregister ``cb`` if still pending; missing callbacks are a no-op.
+
+        Used by :meth:`Process.interrupt` to abandon a wait without the
+        event later double-resuming the process.  Composite events
+        override this to also release their child-event hooks.
+        """
+        if self.callbacks is not None:
+            try:
+                self.callbacks.remove(cb)
+            except ValueError:
+                pass
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "processed" if self._processed else (
             "triggered" if self._scheduled else "pending")
@@ -121,6 +134,37 @@ class Timeout(Event):
         self._value = value
         self._scheduled = True
         kernel._schedule(self, delay=delay)
+
+
+class Callback(Event):
+    """A pre-succeeded event that invokes one function when it fires.
+
+    The arena-style record for bulk scheduling: where a full process
+    costs a generator plus per-wait Event churn, a ``Callback`` is one
+    flat heap entry — ``fn(arg)`` runs when the clock reaches it, and
+    ordinary ``add_callback`` waiters still work afterwards.  Created
+    via :meth:`SimKernel.call_in` / :meth:`SimKernel.call_at`.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, kernel: "SimKernel", delay: float,
+                 fn: Callable[[Any], None], arg: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative callback delay: {delay}")
+        super().__init__(kernel)
+        self.fn = fn
+        self.arg = arg
+        self._ok = True
+        self._scheduled = True
+        kernel._schedule(self, delay=delay)
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        self.fn(self.arg)
+        for cb in callbacks or ():
+            cb(self)
 
 
 class Interrupted(Exception):
@@ -151,6 +195,20 @@ class _Condition(Event):
 
     def _on_child(self, ev: Event) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def detach(self, cb: Callable[[Event], None]) -> None:
+        """Remove ``cb`` and, once nobody is waiting on this composite,
+        release the ``_on_child`` hooks its children still hold.
+
+        Without the cascade, an interrupted ``yield any_of([a, b])``
+        leaves both children referencing the abandoned composite: the
+        composite leaks until the children fire, and a long-lived child
+        (a stop event, say) pins it for the rest of the simulation.
+        """
+        super().detach(cb)
+        if not self._scheduled and not self.callbacks:
+            for ev in self.events:
+                ev.detach(self._on_child)
 
     def _results(self) -> dict[Event, Any]:
         return {ev: ev._value for ev in self.events if ev.processed and ev.ok}

@@ -8,8 +8,8 @@ from typing import Any, Generator, Iterable, Optional
 from ..errors import StateError
 from ..obs.context import Observability
 from ..obs.profile import profiler
-from .events import (PRIORITY_NORMAL, PRIORITY_URGENT, AllOf, AnyOf, Event,
-                     Interrupted, Timeout)
+from .events import (PRIORITY_NORMAL, PRIORITY_URGENT, AllOf, AnyOf,
+                     Callback, Event, Interrupted, Timeout)
 from .rng import RngRegistry
 from .tracing import Tracer
 
@@ -49,18 +49,20 @@ class Process(Event):
         if self.triggered:
             return
         kernel = self.kernel
-        target = self._waiting_on
 
         def deliver(_ev: Event) -> None:
             if self.triggered:
                 return
-            # Detach from whatever we were waiting on so its later
-            # callback doesn't double-resume us.
-            if target is not None and target.callbacks is not None:
-                try:
-                    target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+            # Detach from whatever we are waiting on *now* — the process
+            # may have resumed and re-waited between interrupt() and this
+            # delivery tick, so the wait target must be re-read here, not
+            # captured at interrupt time.  Event.detach also releases a
+            # composite's child hooks, so an interrupted
+            # ``yield any_of([...])`` cannot double-resume us via a child
+            # that fires later.
+            target = self._waiting_on
+            if target is not None:
+                target.detach(self._resume)
             self._waiting_on = None
             self._step(throw=Interrupted(cause))
 
@@ -156,6 +158,19 @@ class SimKernel:
         """Start a new process from a generator."""
         return Process(self, generator, name=name)
 
+    def call_in(self, delay: float, fn, arg: Any = None) -> Callback:
+        """Schedule ``fn(arg)`` after ``delay`` seconds of simulated time.
+
+        The flat-callback counterpart to spawning a process: one heap
+        entry, no generator machinery — the bulk-scheduling primitive of
+        the fleet fast-forward path.
+        """
+        return Callback(self, delay, fn, arg)
+
+    def call_at(self, when: float, fn, arg: Any = None) -> Callback:
+        """Schedule ``fn(arg)`` at absolute time ``when`` (clamped to now)."""
+        return Callback(self, max(0.0, when - self.now), fn, arg)
+
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
@@ -205,16 +220,30 @@ class SimKernel:
                 return target._value
             raise target._value
         if until is not None:
-            horizon = float(until)
-            if horizon < self.now:
-                raise ValueError(f"until={horizon} is in the past (now={self.now})")
-            while self._heap and self._heap[0][0] <= horizon:
-                self.step()
-            self.now = horizon
+            self.advance_to(float(until))
             return None
         while self._heap:
             self.step()
         return None
+
+    def advance_to(self, horizon: float) -> None:
+        """Bulk-jump the clock: process every event at or before
+        ``horizon`` (including events scheduled *at* the horizon by
+        horizon-time callbacks), then set ``now = horizon``.
+
+        This is the kernel half of the fleet fast-forward contract — a
+        caller that has proven ``[now, horizon]`` free of its own events
+        can collapse the interval into one call.  After it returns,
+        ``peek()`` is strictly greater than ``now`` (or +inf), so the
+        ``peek()``/``now`` invariant survives the final clock assignment.
+        """
+        if horizon < self.now:
+            raise ValueError(
+                f"until={horizon} is in the past (now={self.now})")
+        heap = self._heap
+        while heap and heap[0][0] <= horizon:
+            self.step()
+        self.now = horizon
 
     def peek(self) -> float:
         """Time of the next pending event, or +inf if none."""

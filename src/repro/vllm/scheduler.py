@@ -218,18 +218,31 @@ class FcfsPolicy(SchedulingPolicy):
         if waiting and (len(running) < engine.args.max_num_seqs
                         and sched.can_admit(waiting[0])):
             return 0
-        j = min(r.max_new_tokens - r.tokens_generated for r in running) - 1
-        if j < 1:
-            return 0
+        # Single pass over the batch: the shortest remaining decode
+        # bounds the jump, and any pending prefill vetoes it.  This
+        # runs once per coalesced sleep, so it stays allocation-free
+        # until the KV-headroom check below actually needs per-offset
+        # accounting.
+        j = -1
         for request in running:
             if request.needs_prefill:   # first token pending
                 return 0
+            left = request.max_new_tokens - request.tokens_generated
+            if j < 0 or left < j:
+                j = left
+        j -= 1
+        if j < 1:
+            return 0
         blocks = engine.blocks
         free = blocks.free_blocks + blocks.evictable_blocks
         bs = blocks.block_size
         # Worst case every sequence crosses a block edge once per ``bs``
         # iterations; bound j so the crossings cannot exhaust the free
-        # blocks (which would mean a mid-jump preemption).
+        # blocks (which would mean a mid-jump preemption).  When even
+        # the worst case fits, skip the per-offset histogram — the hot
+        # case whenever KV headroom is plentiful.
+        if len(running) * (j // bs + 1) <= free:
+            return j
         counts = [0] * bs
         for request in running:
             counts[(request.total_tokens - 1) % bs] += 1

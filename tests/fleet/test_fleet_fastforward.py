@@ -1,0 +1,191 @@
+"""Fleet-level fast-forward: bit-identity vs stepping, and auto-off.
+
+The contract under test (docs/performance.md, "Fleet fast-forward"):
+with ``FleetConfig.fast_forward`` on, every digest-visible artifact —
+the serialized :class:`FleetReport` (tokens, TTFTs, finish times,
+snapshots), the kernel trace digest, the span/metrics/scrape digests,
+and the autoscaler's sample tape — must be *byte-identical* to a run
+with fast-forward off.  Not statistically close: identical.  And the
+lane must disarm itself, silently falling back to stepping, whenever a
+FaultPlan is armed, chaos is orchestrating, or disagg is enabled.
+"""
+
+import json
+
+import pytest
+
+from repro.core import build_sandia_site
+from repro.fleet import (AutoscalerConfig, Fleet, FleetConfig,
+                         FlashCrowdSchedule, PoissonSchedule, SloSpec)
+from repro.fleet.traffic import PulseSchedule
+
+QUANT = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
+
+
+def _build_fleet(seed: int, fast_forward: bool, platforms=("hops",),
+                 max_replicas: int = 3) -> tuple:
+    site = build_sandia_site(seed=seed, hops_nodes=6, eldorado_nodes=2,
+                             goodall_nodes=3, cee_nodes=1)
+    config = FleetConfig(
+        model=QUANT, tensor_parallel_size=2,
+        platforms=platforms,
+        policy="least-outstanding",
+        slo=SloSpec(ttft_target=10.0, e2e_target=120.0),
+        autoscaler=AutoscalerConfig(
+            min_replicas=1, max_replicas=max_replicas,
+            target_outstanding=8.0, up_cooldown=120.0,
+            down_cooldown=600.0, low_streak=4),
+        fast_forward=fast_forward)
+    return site, Fleet(site, config)
+
+
+def _play(site, fleet, schedule, horizon: float) -> dict:
+    """Run one scenario and capture every digest-visible artifact."""
+
+    def scenario(env):
+        yield from fleet.start(initial_replicas=1)
+        report = yield from fleet.run_scenario(
+            schedule, horizon=horizon, label="ff-equiv")
+        return report
+
+    report = site.kernel.run(until=site.kernel.spawn(scenario(site.kernel)))
+    return {
+        "report": json.dumps(report.to_json(), sort_keys=True),
+        "trace": site.kernel.trace.digest(),
+        "obs": json.dumps(report.obs, sort_keys=True),
+        "samples": tuple((s.time, s.replicas, s.outstanding, s.healthy)
+                         for s in fleet.autoscaler.samples),
+        "snapshots": json.dumps(report.snapshots),
+        "fast": fleet.ff.fast_requests,
+        "now": site.kernel.now,
+        "arrivals": report.arrivals,
+    }
+
+
+EQUIV_KEYS = ("report", "trace", "obs", "samples", "snapshots", "now")
+
+
+def test_flash_crowd_bit_identical_vs_stepping():
+    """Busy scenario: a 150x flash crowd scaling 1 -> 3 -> 1.
+
+    Thousands of requests, scale-outs, node boots, health passes, and
+    monitor tapes — all byte-identical across the two arms, and the on
+    arm must actually have used the lane for every request.
+    """
+    schedule = FlashCrowdSchedule(
+        PoissonSchedule(0.1), start=600.0, duration=900.0,
+        multiplier=150.0, ramp=120.0)
+    runs = {}
+    for ff in (True, False):
+        site, fleet = _build_fleet(seed=99, fast_forward=ff,
+                                   platforms=("hops", "goodall"))
+        runs[ff] = _play(site, fleet, schedule, horizon=5400.0)
+    on, off = runs[True], runs[False]
+    assert on["arrivals"] > 1000
+    assert on["fast"] == on["arrivals"]     # every request took the lane
+    assert off["fast"] == 0                 # config off forces stepping
+    for key in EQUIV_KEYS:
+        assert on[key] == off[key], f"fast-forward diverged on {key!r}"
+
+
+def test_pulse_gaps_bit_identical_vs_stepping():
+    """Gappy scenario: short bursts with hours-long dead air between.
+
+    This is the shape the fast-forward exists for — the idle gaps are
+    where the autoscaler/monitor/health fast-play skips ticks, and
+    where any phase or closed-form error would show up as a diverging
+    sample tape or snapshot row.
+    """
+    schedule = PulseSchedule(rate_rps=1.2, period=21600.0,
+                             duty=600.0 / 21600.0)
+    runs = {}
+    for ff in (True, False):
+        site, fleet = _build_fleet(seed=7, fast_forward=ff)
+        runs[ff] = _play(site, fleet, schedule, horizon=86400.0)
+    on, off = runs[True], runs[False]
+    assert on["arrivals"] > 1000
+    assert on["fast"] == on["arrivals"]
+    for key in EQUIV_KEYS:
+        assert on[key] == off[key], f"fast-forward diverged on {key!r}"
+
+
+def test_armed_fault_plan_disarms_the_lane():
+    """An armed FaultPlan — even one whose triggers never fire — must
+    push every request back onto the stepping path."""
+    from repro.vllm import faults
+
+    site, fleet = _build_fleet(seed=11, fast_forward=True)
+    schedule = PoissonSchedule(0.5)
+
+    def scenario(env):
+        yield from fleet.start(initial_replicas=1)
+        for engine in fleet.ff.engines().values():
+            faults.attach(engine, lambda eng: None)   # armed, never fires
+        assert not fleet.ff.lane_ok()
+        report = yield from fleet.run_scenario(
+            schedule, horizon=600.0, label="armed")
+        return report
+
+    report = site.kernel.run(until=site.kernel.spawn(scenario(site.kernel)))
+    assert report.arrivals > 100
+    assert fleet.ff.fast_requests == 0
+    assert report.slo.completed == report.arrivals
+
+
+def test_chaos_orchestrator_disarms_for_good():
+    from repro.chaos.orchestrator import ChaosOrchestrator
+
+    site, fleet = _build_fleet(seed=3, fast_forward=True)
+    assert fleet.ff.enabled
+    ChaosOrchestrator(fleet)
+    assert fleet.ff.chaos
+    assert not fleet.ff.enabled
+
+
+def test_disagg_config_disarms_the_lane():
+    from repro.fleet.fleet import DisaggSpec
+
+    site = build_sandia_site(seed=5, hops_nodes=6, eldorado_nodes=2,
+                             goodall_nodes=3, cee_nodes=1)
+    config = FleetConfig(model=QUANT, tensor_parallel_size=2,
+                         platforms=("hops",),
+                         disagg=DisaggSpec(enabled=True,
+                                           prefill_replicas=1))
+    fleet = Fleet(site, config)
+    assert not fleet.ff.enabled
+
+
+def test_spec_fast_forward_round_trips_and_gates_run_cell():
+    """The campaign knob reaches the fleet, and a tiny cell is
+    byte-identical across the two spec arms (trace + obs digests)."""
+    from repro.campaign.runner import run_cell
+    from repro.campaign.spec import ScenarioSpec, ScheduleSpec
+
+    base = dict(name="ff-cell", seed=21, horizon=900.0,
+                schedule=ScheduleSpec(kind="poisson", rate_rps=0.3))
+    on = ScenarioSpec(**base)
+    off = ScenarioSpec(**base, fast_forward=False)
+    assert on.fast_forward and not off.fast_forward
+    assert ScenarioSpec.from_dict(off.to_dict()) == off
+    assert on.spec_hash() != off.spec_hash()
+
+    row_on = run_cell(on)
+    row_off = run_cell(off)
+    for key in ("trace_digest", "obs", "completed", "errors", "arrivals",
+                "attainment", "goodput_rps"):
+        assert row_on[key] == row_off[key], key
+
+
+def test_pulse_schedule_spec_kind():
+    from repro.campaign.spec import ScheduleSpec
+    from repro.errors import ConfigurationError
+
+    spec = ScheduleSpec(kind="pulse", rate_rps=2.0, period=7200.0,
+                        duty=0.125)
+    schedule = spec.build()
+    assert isinstance(schedule, PulseSchedule)
+    assert schedule.rate_rps == 2.0
+    with pytest.raises(ConfigurationError):
+        ScheduleSpec(kind="pulse", duty=0.0)
+    with pytest.raises(ConfigurationError):
+        ScheduleSpec(kind="pulse", duty=1.5)
