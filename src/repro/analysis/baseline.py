@@ -1,0 +1,76 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline exists so the linter can land with teeth even when a
+sweep is too large to fix in one PR: known findings are recorded by
+*fingerprint* (rule code + path + source line, not line numbers) and
+stop failing the build, while anything new still does.  This repo's
+clean pass fixed everything, so the checked-in ``lint_baseline.json``
+is empty — keep it that way.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    path: pathlib.Path | None = None
+    fingerprints: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> Baseline:
+        p = pathlib.Path(path)
+        if not p.exists():
+            return cls(path=p)
+        data = json.loads(p.read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {p} (expected {_VERSION})")
+        entries = {e["fingerprint"]: e for e in data.get("findings", [])}
+        return cls(path=p, fingerprints=entries)
+
+    def filter(self, findings: list[Finding]) \
+            -> tuple[list[Finding], list[Finding]]:
+        """Split ``findings`` into (new, grandfathered)."""
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            if finding.fingerprint() in self.fingerprints:
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+    def update(self, findings: list[Finding]) -> None:
+        """Replace the baseline contents with ``findings``."""
+        self.fingerprints = {
+            f.fingerprint(): {
+                "fingerprint": f.fingerprint(),
+                "code": f.code,
+                "path": f.path,
+                "snippet": f.snippet,
+            }
+            for f in findings
+        }
+
+    def save(self, path: str | pathlib.Path | None = None) -> pathlib.Path:
+        target = pathlib.Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no baseline path to save to")
+        entries = sorted(self.fingerprints.values(),
+                         key=lambda e: (e["path"], e["code"],
+                                        e["fingerprint"]))
+        target.write_text(json.dumps(
+            {"version": _VERSION, "findings": entries},
+            indent=2, sort_keys=True) + "\n")
+        return target

@@ -1,0 +1,216 @@
+"""Per-module parse state shared by every lint rule.
+
+A :class:`ModuleContext` is built once per file and handed to each
+rule: the parsed AST, the raw source lines, an *import alias table*
+(so ``from time import perf_counter as pc`` still resolves ``pc()`` to
+``time.perf_counter``), and a module-local *set inference table* used
+by the set-iteration-order rule.
+
+The inference is deliberately module-local, syntactic, and
+scope-aware: a bare name counts as a set only in the scope that
+assigned or annotated it so, and a ``self.<attr>`` access only inside
+the class whose body declared the attribute a set.  Values that cross
+module boundaries untyped are out of scope — the rule trades recall
+for zero-noise precision (see ``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Annotation heads recognized as set types (``frozenset[str] | None``
+#: splits to ``frozenset`` at the first bracket).
+_SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet",
+     "MutableSet", "typing.Set", "typing.FrozenSet", "typing.AbstractSet"})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _is_set_annotation(annotation: ast.expr) -> bool:
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - malformed annotation
+        return False
+    # Strip quotes from string annotations ("set[Flow]") and subscripts.
+    text = text.strip("\"'")
+    return text.split("[", 1)[0].strip() in _SET_ANNOTATIONS
+
+
+def _is_set_value(value: ast.expr) -> bool:
+    """Is ``value`` syntactically a set (display, comp, or constructor)?"""
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        return value.func.id in ("set", "frozenset")
+    return False
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str                      # posix path as given to the linter
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: local name -> dotted module path ("np" -> "numpy",
+    #: "pc" -> "time.perf_counter").
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: bare name -> scope ids (id() of the enclosing function node, or
+    #: 0 for module scope) in which the name is known to be a set.
+    set_names: dict[str, set[int]] = field(default_factory=dict)
+    #: attribute name -> class names whose body/``self`` assignments
+    #: declare it a set.
+    set_attrs: dict[str, set[str]] = field(default_factory=dict)
+    #: local function names whose return annotation is a set type.
+    set_returning: set[str] = field(default_factory=set)
+    #: child node -> parent node, for scope lookups and exemptions.
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, path: str, source: str) -> ModuleContext:
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, source=source, tree=tree,
+                  lines=source.splitlines())
+        ctx._collect_parents()
+        ctx._collect_imports()
+        ctx._collect_sets()
+        return ctx
+
+    # -- construction passes -------------------------------------------------
+
+    def _collect_parents(self) -> None:
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    # ``import a.b`` binds ``a`` to package ``a``;
+                    # ``import a.b as c`` binds ``c`` to ``a.b``.
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".", 1)[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def _collect_sets(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Assign) and _is_set_value(node.value):
+                for target in node.targets:
+                    self._remember(target, node)
+            elif isinstance(node, ast.AnnAssign) \
+                    and _is_set_annotation(node.annotation):
+                self._remember(node.target, node)
+            elif isinstance(node, ast.arg) and node.annotation is not None \
+                    and _is_set_annotation(node.annotation):
+                self._remember_name(node.arg, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.returns is not None \
+                    and _is_set_annotation(node.returns):
+                self.set_returning.add(node.name)
+
+    def _remember(self, target: ast.expr, site: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            # A bare name in a class body is a field declaration: it is
+            # accessed later as ``self.<name>``, never as the bare name.
+            cls_name = self._enclosing_class(site)
+            scope = self._enclosing_scope(site)
+            if cls_name is not None and scope == 0:
+                self.set_attrs.setdefault(target.id, set()).add(cls_name)
+            else:
+                self._remember_name(target.id, site)
+        elif isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            cls_name = self._enclosing_class(site)
+            if cls_name is not None:
+                self.set_attrs.setdefault(target.attr, set()).add(cls_name)
+
+    def _remember_name(self, name: str, site: ast.AST) -> None:
+        self.set_names.setdefault(name, set()).add(
+            self._enclosing_scope(site))
+
+    def _enclosing_scope(self, node: ast.AST) -> int:
+        """id() of the innermost enclosing function node, 0 at module."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, _SCOPE_NODES):
+                return id(current)
+            current = self.parents.get(current)
+        return 0
+
+    def _enclosing_class(self, node: ast.AST) -> str | None:
+        """Name of the innermost enclosing class, if any."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current.name
+            current = self.parents.get(current)
+        return None
+
+    # -- queries -------------------------------------------------------------
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted name a call/attribute resolves to, or ``None``.
+
+        ``resolve`` follows the module's import aliases:
+        ``np.random.seed`` -> ``numpy.random.seed``;
+        ``pc`` (from ``from time import perf_counter as pc``) ->
+        ``time.perf_counter``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        """Does the module-local inference consider ``node`` a set?"""
+        if _is_set_value(node):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in self.set_returning:
+            return True
+        if isinstance(node, ast.Name):
+            scopes = self.set_names.get(node.id)
+            if not scopes:
+                return False
+            # Visible if declared in this function's scope or at module
+            # scope (a local shadowing a module-level set over-matches;
+            # acceptable for a hazard rule).
+            return self._enclosing_scope(node) in scopes or 0 in scopes
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            classes = self.set_attrs.get(node.attr)
+            if not classes:
+                return False
+            return self._enclosing_class(node) in classes
+        return False
+
+    def parent_call_name(self, node: ast.AST) -> str | None:
+        """Name of the call this node is a direct argument of, if any."""
+        parent = self.parents.get(node)
+        if isinstance(parent, ast.Call) and node in parent.args \
+                and isinstance(parent.func, ast.Name):
+            return parent.func.id
+        return None
+
+    def snippet(self, line: int) -> str:
+        """The stripped source line at 1-based ``line``."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""

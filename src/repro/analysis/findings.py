@@ -1,0 +1,46 @@
+"""The :class:`Finding` record every lint rule emits."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``fingerprint`` identifies the finding across line drift: it hashes
+    the rule code, the file path, and the offending source line (not the
+    line *number*), so reordering unrelated code neither hides a
+    baselined finding nor resurfaces it as new.
+    """
+
+    code: str
+    message: str
+    path: str          # posix-style, relative to the lint invocation
+    line: int          # 1-based
+    col: int           # 0-based, as reported by the ast module
+    snippet: str       # the stripped source line
+
+    def fingerprint(self) -> str:
+        text = f"{self.code}\x1f{self.path}\x1f{self.snippet}"
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"

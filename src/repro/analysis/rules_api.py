@@ -1,0 +1,67 @@
+"""Deprecated-surface rules: API001.
+
+PR 7 replaced the stringly-typed router environment
+(``ROUTER_POLICY``/``ROUTER_PORT``) with the frozen
+:class:`~repro.services.router.RouterConfig`, and the positional
+``LLMEngine.submit(prompt_tokens=..., max_new_tokens=...)`` form with
+:class:`~repro.vllm.spec.RequestSpec`.  Both legacy spellings are
+shimmed for one release with a DeprecationWarning; this rule keeps new
+code off them so the shims can actually be deleted.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .context import ModuleContext
+from .findings import Finding
+from .rules import LintRule, register
+
+#: The deprecated router env vars the RouterConfig shim still honors.
+_DEPRECATED_ENV_KEYS = frozenset({
+    "ROUTER_POLICY",  # repro: allow[API001] -- this IS the rule table
+    "ROUTER_PORT",    # repro: allow[API001] -- this IS the rule table
+})
+
+#: Keywords that identify the legacy submit() form.
+_LEGACY_SUBMIT_KEYWORDS = frozenset({"prompt_tokens", "max_new_tokens"})
+
+
+@register
+class DeprecatedSurfaceRule(LintRule):
+    code = "API001"
+    name = "deprecated-surface"
+    summary = "use of a deprecated API surface (legacy submit / env vars)"
+    rationale = (
+        "The legacy spellings parse with a DeprecationWarning and will "
+        "be removed; new code must construct RequestSpec / RouterConfig "
+        "so the one-release shims can be deleted on schedule.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_submit(ctx, node)
+            elif isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str) \
+                    and node.value in _DEPRECATED_ENV_KEYS:
+                yield self.finding(
+                    ctx, node,
+                    f"deprecated env var {node.value!r}; pass a typed "
+                    f"RouterConfig (ROUTER_CONFIG JSON) instead")
+
+    def _check_submit(self, ctx: ModuleContext,
+                      node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        is_submit = (isinstance(func, ast.Attribute)
+                     and func.attr == "submit") \
+            or (isinstance(func, ast.Name) and func.id == "submit")
+        if not is_submit:
+            return
+        legacy = sorted(_LEGACY_SUBMIT_KEYWORDS.intersection(
+            kw.arg for kw in node.keywords if kw.arg))
+        if legacy:
+            yield self.finding(
+                ctx, node,
+                f"legacy submit({', '.join(f'{k}=...' for k in legacy)}) "
+                f"form is deprecated; pass a RequestSpec")

@@ -1,0 +1,114 @@
+"""Inline suppressions: ``# repro: allow[CODE] -- reason``.
+
+A suppression silences matching findings on its own line, or — when
+the comment stands alone — on the next code line.  Two pieces of
+discipline are enforced by the linter itself:
+
+* a suppression **must** carry a reason after ``--`` (``LNT001``
+  otherwise), so every exemption in the tree documents *why* the
+  hazard is not one;
+* a suppression that matches no finding is dead weight and is reported
+  as ``LNT002`` — stale allows cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+#: Matches ``repro: allow[DET003] -- order feeds a commutative
+#: reduction`` and multi-code ``allow[DET001,SIM001] -- ...`` forms
+#: (placeholder spelling here so this comment is not itself parsed).
+_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?")
+
+
+@dataclass
+class Suppression:
+    """One parsed allow-comment."""
+
+    path: str
+    line: int                  # line the comment sits on (1-based)
+    codes: tuple[str, ...]
+    reason: str
+    standalone: bool           # comment-only line: applies to next line
+    used: bool = field(default=False)
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.code not in self.codes:
+            return False
+        if finding.line == self.line:
+            return True
+        return self.standalone and finding.line == self.line + 1
+
+
+def parse_suppressions(path: str, source: str) -> list[Suppression]:
+    """Parse allow-comments from real COMMENT tokens only.
+
+    Tokenizing (rather than regexing lines) keeps suppression examples
+    inside docstrings — like the ones in this module — from counting.
+    """
+    out: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(tok.string)
+        if not match:
+            continue
+        codes = tuple(c.strip() for c in match.group("codes").split(","))
+        reason = (match.group("reason") or "").strip()
+        standalone = tok.line.strip().startswith("#")
+        out.append(Suppression(path=path, line=tok.start[0], codes=codes,
+                               reason=reason, standalone=standalone))
+    return out
+
+
+def apply_suppressions(
+        findings: list[Finding],
+        suppressions: list[Suppression]) -> tuple[list[Finding], int]:
+    """Filter ``findings`` through ``suppressions``.
+
+    Returns ``(kept, suppressed_count)``.  ``kept`` additionally gains
+    LNT001 findings for reason-less suppressions and LNT002 findings
+    for suppressions that matched nothing.
+    """
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        match = next((s for s in suppressions if s.matches(finding)), None)
+        if match is None:
+            kept.append(finding)
+            continue
+        match.used = True
+        if match.reason:
+            suppressed += 1
+        else:
+            # Reason-less: the underlying finding stays suppressed, but
+            # the undocumented allow is itself an error.
+            suppressed += 1
+            kept.append(Finding(
+                code="LNT001",
+                message=f"suppression of {finding.code} has no reason; "
+                        f"write `# repro: allow[{finding.code}] -- why`",
+                path=match.path, line=match.line, col=0,
+                snippet=""))
+    for supp in suppressions:
+        if not supp.used:
+            kept.append(Finding(
+                code="LNT002",
+                message=f"unused suppression for "
+                        f"{', '.join(supp.codes)}: no matching finding "
+                        f"on this or the next line; delete it",
+                path=supp.path, line=supp.line, col=0,
+                snippet=""))
+    return kept, suppressed

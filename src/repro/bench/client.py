@@ -108,7 +108,7 @@ class BenchmarkResult:
 class BenchmarkClient:
     """Drives one benchmark run from a client host on the fabric."""
 
-    def __init__(self, kernel: "SimKernel", fabric: "Fabric",
+    def __init__(self, kernel: SimKernel, fabric: Fabric,
                  client_host: str, endpoint_host: str, endpoint_port: int,
                  model: str, api_path: str = "/v1/chat/completions"):
         self.kernel = kernel

@@ -77,7 +77,7 @@ class ShareGptSampler:
         prompts = np.clip(prompts.astype(int), MIN_TOKENS, None)
         outputs = np.clip(outputs.astype(int), MIN_TOKENS, None)
         out: list[SampledRequest] = []
-        for p, o in zip(prompts, outputs):
+        for p, o in zip(prompts, outputs, strict=True):
             total = p + o
             if total > self.max_total_tokens:
                 # Proportionally shrink (vLLM's bench filters/truncates).

@@ -9,7 +9,8 @@ the run (Fig. 12 run 1 stops at 512 with the crash annotated).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from .client import BenchmarkClient, BenchmarkResult
 from .sharegpt import ShareGptSampler
@@ -72,7 +73,7 @@ class SweepResult:
 class ConcurrencySweep:
     """Runs a client across concurrency levels with fresh request streams."""
 
-    def __init__(self, kernel: "SimKernel", client: BenchmarkClient,
+    def __init__(self, kernel: SimKernel, client: BenchmarkClient,
                  sampler: ShareGptSampler, n_requests: int = 1000,
                  levels: tuple[int, ...] = DEFAULT_LEVELS,
                  on_point: Callable[[SweepPoint], None] | None = None):

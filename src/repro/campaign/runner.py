@@ -62,7 +62,7 @@ class CampaignGrid:
     name: str = "campaign"
 
     @classmethod
-    def from_dict(cls, data: dict) -> "CampaignGrid":
+    def from_dict(cls, data: dict) -> CampaignGrid:
         known = {"name", "base", "axes", "cells"}
         unknown = set(data) - known
         if unknown:
@@ -76,7 +76,7 @@ class CampaignGrid:
                    name=str(data.get("name", "campaign")))
 
     @classmethod
-    def from_file(cls, path: str | pathlib.Path) -> "CampaignGrid":
+    def from_file(cls, path: str | pathlib.Path) -> CampaignGrid:
         return cls.from_dict(_load_text(pathlib.Path(path)))
 
     def expand(self) -> list[tuple[ScenarioSpec, dict[str, str]]]:
@@ -99,7 +99,7 @@ class CampaignGrid:
                 spec = self.base
                 axes_map: dict[str, str] = {}
                 parts = [self.base.name]
-                for (path, _), value in zip(axis_items, combo):
+                for (path, _), value in zip(axis_items, combo, strict=True):
                     spec = set_path(spec, path, value)
                     axes_map[path] = _render(value)
                     parts.append(

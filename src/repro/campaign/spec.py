@@ -21,7 +21,7 @@ import hashlib
 import json
 import pathlib
 from dataclasses import dataclass, field, fields
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, TypeVar
 
 from ..errors import ConfigurationError
 from ..fleet.autoscaler import AutoscalerConfig
@@ -37,6 +37,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..fleet.fleet import Fleet
     from ..simkernel import SimKernel
 
+_T = TypeVar("_T")
+
 #: The paper's quantized Scout checkpoint, the default serving target.
 DEFAULT_MODEL = "RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16"
 
@@ -50,7 +52,7 @@ class SiteSpec:
     goodall_nodes: int = 4
     cee_nodes: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for f in fields(self):
             if getattr(self, f.name) < 0:
                 raise ConfigurationError(f"{f.name} must be >= 0")
@@ -81,7 +83,7 @@ class ScheduleSpec:
 
     KINDS = ("poisson", "diurnal", "pulse")
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in self.KINDS:
             raise ConfigurationError(
                 f"schedule kind must be one of {list(self.KINDS)}: "
@@ -131,7 +133,7 @@ class ChaosEventSpec:
     inject_at: float = 600.0        # seconds after traffic start
     fault_duration: float = 300.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.inject_at < 0:
             raise ConfigurationError("inject_at must be >= 0")
         if self.fault_duration <= 0:
@@ -145,7 +147,7 @@ def _known_chaos_names() -> set[str]:
     return {s.name for s in CATALOG}
 
 
-def _make(cls, data: dict, where: str):
+def _make(cls: type[_T], data: dict[str, Any], where: str) -> _T:
     known = {f.name for f in fields(cls)}
     unknown = set(data) - known
     if unknown:
@@ -194,7 +196,7 @@ class ScenarioSpec:
     #: flip it off is an A/B arm in an equivalence or perf study.
     fast_forward: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # Forgiving construction: the ergonomic spellings accepted by
         # from_dict / grid axes also work on the constructor directly.
         if isinstance(self.platforms, str):
@@ -257,7 +259,7 @@ class ScenarioSpec:
         return out
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ScenarioSpec":
+    def from_dict(cls, data: dict) -> ScenarioSpec:
         data = dict(data)
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
@@ -298,7 +300,7 @@ class ScenarioSpec:
         path.write_text(_dump_text(self.to_dict(), path))
 
     @classmethod
-    def from_file(cls, path: str | pathlib.Path) -> "ScenarioSpec":
+    def from_file(cls, path: str | pathlib.Path) -> ScenarioSpec:
         return cls.from_dict(_load_text(pathlib.Path(path)))
 
     def spec_hash(self) -> str:
@@ -309,7 +311,7 @@ class ScenarioSpec:
 
     # -- builders ---------------------------------------------------------------
 
-    def build_site(self) -> "ConvergedSite":
+    def build_site(self) -> ConvergedSite:
         from ..core.site import build_sandia_site
         return build_sandia_site(
             seed=self.seed, hops_nodes=self.site.hops_nodes,
@@ -317,7 +319,7 @@ class ScenarioSpec:
             goodall_nodes=self.site.goodall_nodes,
             cee_nodes=self.site.cee_nodes)
 
-    def build_fleet(self, site: "ConvergedSite") -> "Fleet":
+    def build_fleet(self, site: ConvergedSite) -> Fleet:
         from ..fleet.fleet import Fleet, FleetConfig
         # Non-default engine knobs only: the rendered `vllm serve`
         # command (and so every deployment artifact) stays byte-stable
@@ -343,7 +345,7 @@ class ScenarioSpec:
             fast_forward=self.fast_forward)
         return Fleet(site, config)
 
-    def build_mix(self, kernel: "SimKernel") -> TenantMix | None:
+    def build_mix(self, kernel: SimKernel) -> TenantMix | None:
         """The declared tenant mix, or ``None`` for the fleet default."""
         if not self.tenants:
             return None
@@ -441,7 +443,7 @@ def _load_text(path: pathlib.Path) -> dict:
     return data
 
 
-def _yaml(path: pathlib.Path):
+def _yaml(path: pathlib.Path) -> Any:
     try:
         import yaml
     except ImportError as exc:  # pragma: no cover - env without pyyaml

@@ -98,7 +98,7 @@ class ResilienceReport:
 class ChaosOrchestrator:
     """Binds a fleet to the supervisor, a probe loop, and fault plans."""
 
-    def __init__(self, fleet: "Fleet",
+    def __init__(self, fleet: Fleet,
                  supervisor: SupervisorConfig | None = None,
                  probe_interval: float = 15.0):
         self.fleet = fleet
@@ -180,11 +180,11 @@ class ChaosOrchestrator:
     # -- one scenario -----------------------------------------------------------
 
     def run_case(self, scenario: ChaosScenario,
-                 schedule: "ArrivalSchedule", horizon: float,
+                 schedule: ArrivalSchedule, horizon: float,
                  inject_at: float, fault_duration: float = 600.0,
-                 mix: "TenantMix | None" = None,
+                 mix: TenantMix | None = None,
                  platform_name: str | None = None,
-                 sessions: "SessionSpec | None" = None):
+                 sessions: SessionSpec | None = None):
         """Generator: one scenario over one traffic run.
 
         ``inject_at`` is seconds after traffic start.  Returns
@@ -225,12 +225,12 @@ class ChaosOrchestrator:
 
     # -- gameday: several faults over one run -----------------------------------
 
-    def run_gameday(self, plan: "list[tuple[float, ChaosScenario]]",
-                    schedule: "ArrivalSchedule", horizon: float,
+    def run_gameday(self, plan: list[tuple[float, ChaosScenario]],
+                    schedule: ArrivalSchedule, horizon: float,
                     fault_duration: float = 600.0,
-                    mix: "TenantMix | None" = None,
+                    mix: TenantMix | None = None,
                     platform_name: str | None = None,
-                    sessions: "SessionSpec | None" = None):
+                    sessions: SessionSpec | None = None):
         """Generator: inject several faults over a single traffic run.
 
         ``plan`` is ``[(offset_seconds, scenario), ...]``; an optional
@@ -319,7 +319,7 @@ class ChaosOrchestrator:
         return bad[0].time, None
 
     def _resilience(self, scenario: ChaosScenario, platform_name: str,
-                    report: "FleetReport", state: dict) -> ResilienceReport:
+                    report: FleetReport, state: dict) -> ResilienceReport:
         injected_at = state.get("injected_at")
         out = ResilienceReport(
             scenario=scenario.name, layer=scenario.layer,

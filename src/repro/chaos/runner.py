@@ -10,7 +10,7 @@ simulation clock, so the same seed produces a byte-identical scorecard.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from ..experiments.common import canonical_json_text
 from ..fleet import AutoscalerConfig, SloSpec
@@ -39,11 +39,11 @@ class ChaosRunConfig:
     supervisor_interval: float = 30.0
 
     @classmethod
-    def quick(cls, seed: int = 42) -> "ChaosRunConfig":
+    def quick(cls, seed: int = 42) -> ChaosRunConfig:
         return cls(seed=seed)
 
     @classmethod
-    def long(cls, seed: int = 42) -> "ChaosRunConfig":
+    def long(cls, seed: int = 42) -> ChaosRunConfig:
         return cls(seed=seed, mode="long", rate_rps=0.25,
                    horizon=4 * 3600.0, inject_at=1800.0,
                    fault_duration=1200.0)

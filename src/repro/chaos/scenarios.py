@@ -11,7 +11,8 @@ stream (``chaos.<scenario>``), so a seed fully determines every run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,14 +32,14 @@ if TYPE_CHECKING:  # pragma: no cover
 class ChaosContext:
     """What an injector sees: the site, the fleet, and its RNG stream."""
 
-    site: "ConvergedSite"
-    fleet: "Fleet"
+    site: ConvergedSite
+    fleet: Fleet
     platform_name: str
     fault_duration: float
     rng: np.random.Generator
 
     @property
-    def kernel(self) -> "SimKernel":
+    def kernel(self) -> SimKernel:
         return self.site.kernel
 
     def platform(self):
@@ -48,7 +49,7 @@ class ChaosContext:
     def is_hpc(self) -> bool:
         return isinstance(self.platform(), HPCPlatform)
 
-    def victim(self) -> "Replica":
+    def victim(self) -> Replica:
         """Pick one replica deterministically from the scenario stream.
 
         Replicas on the context's platform are preferred — a mixed-fleet
@@ -64,7 +65,7 @@ class ChaosContext:
             raise StateError("chaos: fleet has no replicas to target")
         return candidates[int(self.rng.integers(len(candidates)))]
 
-    def node_of(self, hostname: str) -> "Node":
+    def node_of(self, hostname: str) -> Node:
         for node in self.platform().nodes:
             if node.hostname == hostname:
                 return node
@@ -87,7 +88,7 @@ class ChaosContext:
 # -- layer access helpers ---------------------------------------------------------
 
 
-def engine_of(fleet: "Fleet", replica: "Replica") -> "LLMEngine":
+def engine_of(fleet: Fleet, replica: Replica) -> LLMEngine:
     """The live vLLM engine backing a replica, on either platform kind."""
     deployment = replica.deployment
     if deployment.container is not None:          # HPC: podman container
@@ -104,7 +105,7 @@ def engine_of(fleet: "Fleet", replica: "Replica") -> "LLMEngine":
     raise StateError(f"chaos: no live engine for replica {replica.name!r}")
 
 
-def container_of(fleet: "Fleet", replica: "Replica"):
+def container_of(fleet: Fleet, replica: Replica):
     """The running main container backing a replica."""
     deployment = replica.deployment
     if deployment.container is not None:
@@ -118,7 +119,7 @@ def container_of(fleet: "Fleet", replica: "Replica"):
     raise StateError(f"chaos: no live container for {replica.name!r}")
 
 
-def _pod_of(platform, replica: "Replica"):
+def _pod_of(platform, replica: Replica):
     from ..k8s.objects import PodPhase
     for pod in platform.cluster.api.list("Pod"):
         if (pod.meta.labels.get("app") == replica.name and not pod.deleted

@@ -58,7 +58,7 @@ class RepairEvent:
 class ReplicaSupervisor:
     """Periodic health sweep over a fleet's replicas."""
 
-    def __init__(self, fleet: "Fleet",
+    def __init__(self, fleet: Fleet,
                  config: SupervisorConfig | None = None):
         self.fleet = fleet
         self.config = config or SupervisorConfig()
@@ -80,7 +80,7 @@ class ReplicaSupervisor:
 
     # -- control loop -----------------------------------------------------------
 
-    def run(self, stop_event: "Event"):
+    def run(self, stop_event: Event):
         """Generator process: sweep every ``interval`` until stopped."""
         kernel = self.kernel
         while not stop_event.triggered:

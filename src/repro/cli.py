@@ -31,6 +31,12 @@ Commands
                         and the registry/span/scrape digests; opt-in
                         wall-clock self-profile (``--profile``) and
                         Chrome-trace export (``--trace-out``).
+``lint``                determinism & sim-discipline static analysis:
+                        wall-clock reads, global RNG, unordered set
+                        iteration, env reads outside the typed-config
+                        layer, blocking sleeps, private kernel state,
+                        deprecated surfaces (see
+                        ``docs/static-analysis.md``).
 ``site``                print the converged-site inventory.
 """
 
@@ -462,6 +468,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if summary["recovered"] == summary["cases"] else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.runner import main as lint_main
+    return lint_main(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -637,6 +648,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the expanded cells and exit")
     campaign.add_argument("--out", default=None,
                           help="write campaign_scorecard.json here")
+
+    lint = sub.add_parser(
+        "lint", help="determinism & sim-discipline static analysis "
+                     "(wall-clock reads, global RNG, unordered set "
+                     "iteration, deprecated surfaces, ...)")
+    from .analysis.runner import add_lint_arguments
+    add_lint_arguments(lint)
     return parser
 
 
@@ -653,6 +671,7 @@ def main(argv: list[str] | None = None) -> int:
         "obs": _cmd_obs,
         "chaos": _cmd_chaos,
         "campaign": _cmd_campaign,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

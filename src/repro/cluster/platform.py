@@ -30,8 +30,8 @@ class HPCPlatform:
     """
 
     name: str
-    kernel: "SimKernel"
-    fabric: "Fabric"
+    kernel: SimKernel
+    fabric: Fabric
     nodes: list[Node]
     wlm: WorkloadManager
     filesystem: ParallelFilesystem
@@ -72,8 +72,8 @@ class K8sPlatform:
     """A Kubernetes platform (OpenShift-like) plus its site metadata."""
 
     name: str
-    kernel: "SimKernel"
-    fabric: "Fabric"
+    kernel: SimKernel
+    fabric: Fabric
     cluster: KubernetesCluster
     gpu_variant: str = "cuda"
 

@@ -38,7 +38,7 @@ class ApptainerRuntime(ContainerRuntime):
 
     name = "apptainer"
 
-    def __init__(self, kernel: "SimKernel", fabric: "Fabric",
+    def __init__(self, kernel: SimKernel, fabric: Fabric,
                  registry: Registry, filesystem: ParallelFilesystem):
         super().__init__(kernel, fabric)
         self.registry = registry

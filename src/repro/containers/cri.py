@@ -25,7 +25,7 @@ class CriRuntime(ContainerRuntime):
 
     name = "cri"
 
-    def __init__(self, kernel: "SimKernel", fabric: "Fabric",
+    def __init__(self, kernel: SimKernel, fabric: Fabric,
                  registry: Registry):
         super().__init__(kernel, fabric)
         self.registry = registry

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from collections.abc import Callable
 
 from ..errors import ConfigurationError, NotFoundError
 from ..hardware.gpu import GpuArch
@@ -27,7 +27,7 @@ class Layer:
     size: int
 
     @staticmethod
-    def make(seed: str, size: int) -> "Layer":
+    def make(seed: str, size: int) -> Layer:
         digest = "sha256:" + hashlib.sha256(seed.encode()).hexdigest()[:16]
         return Layer(digest=digest, size=size)
 
@@ -87,7 +87,7 @@ class ImageManifest:
         return "sha256:" + hashlib.sha256(joined.encode()).hexdigest()[:16]
 
     def retag(self, repository: str | None = None,
-              tag: str | None = None) -> "ImageManifest":
+              tag: str | None = None) -> ImageManifest:
         return replace(self, repository=repository or self.repository,
                        tag=tag or self.tag)
 

@@ -24,7 +24,7 @@ class PodmanRuntime(ContainerRuntime):
 
     name = "podman"
 
-    def __init__(self, kernel: "SimKernel", fabric: "Fabric",
+    def __init__(self, kernel: SimKernel, fabric: Fabric,
                  registry: Registry):
         super().__init__(kernel, fabric)
         self.registry = registry

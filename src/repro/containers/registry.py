@@ -71,7 +71,7 @@ class Registry:
     (Quay's cross-environment mirroring in the paper).
     """
 
-    def __init__(self, kernel: "SimKernel", fabric: Fabric, name: str,
+    def __init__(self, kernel: SimKernel, fabric: Fabric, name: str,
                  host: str, scan_on_push: bool = False,
                  scan_duration: float = 45.0):
         self.kernel = kernel
@@ -88,7 +88,7 @@ class Registry:
 
     # -- control plane ---------------------------------------------------------
 
-    def add_mirror(self, target: "Registry", lag: float = 60.0) -> None:
+    def add_mirror(self, target: Registry, lag: float = 60.0) -> None:
         self.mirrors_to.append((target, lag))
 
     def set_available(self, up: bool) -> None:
@@ -143,7 +143,7 @@ class Registry:
         self.images[manifest.ref] = manifest
         return manifest
 
-    def _mirror(self, manifest: ImageManifest, target: "Registry",
+    def _mirror(self, manifest: ImageManifest, target: Registry,
                 lag: float) -> None:
         def mirror_proc(env):
             yield env.timeout(lag)

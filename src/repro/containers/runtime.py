@@ -73,8 +73,8 @@ class EffectiveEnvironment:
 class ContainerContext:
     """Everything an app sees: node, env vars, GPUs, network identity."""
 
-    def __init__(self, kernel: "SimKernel", fabric: "Fabric", node: Node,
-                 container: "Container", effective: EffectiveEnvironment,
+    def __init__(self, kernel: SimKernel, fabric: Fabric, node: Node,
+                 container: Container, effective: EffectiveEnvironment,
                  opts: RunOpts):
         self.kernel = kernel
         self.fabric = fabric
@@ -173,8 +173,8 @@ class Container:
 
     _ids = itertools.count(1)
 
-    def __init__(self, kernel: "SimKernel", fabric: "Fabric", node: Node,
-                 image: ImageManifest, runtime: "ContainerRuntime",
+    def __init__(self, kernel: SimKernel, fabric: Fabric, node: Node,
+                 image: ImageManifest, runtime: ContainerRuntime,
                  opts: RunOpts, effective: EffectiveEnvironment):
         self.id = f"c{next(Container._ids):05d}"
         self.kernel = kernel
@@ -272,7 +272,7 @@ class ContainerRuntime:
 
     name = "abstract"
 
-    def __init__(self, kernel: "SimKernel", fabric: "Fabric"):
+    def __init__(self, kernel: SimKernel, fabric: Fabric):
         self.kernel = kernel
         self.fabric = fabric
         self.containers: list[Container] = []

@@ -162,7 +162,7 @@ class Deployer:
 
     def pick_node(self, platform: HPCPlatform, params: dict[str, Any],
                   service_port: int | None = None,
-                  exclude: "set[str] | None" = None) -> Node:
+                  exclude: set[str] | None = None) -> Node:
         """Prefer idle nodes with the service port free; fall back to any
         node with enough free GPUs.
 

@@ -18,7 +18,8 @@ The paper identifies four gaps and proposes metadata-driven tooling:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from ..errors import ConfigurationError, NotFoundError
 

@@ -17,8 +17,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from .site import ConvergedSite
 
 
-def helm_values_for(site: "ConvergedSite", package: "AppPackage",
-                    variant: "HardwareVariant", profile: "ConfigProfile",
+def helm_values_for(site: ConvergedSite, package: AppPackage,
+                    variant: HardwareVariant, profile: ConfigProfile,
                     params: dict[str, Any]) -> dict[str, Any]:
     """Build the vLLM chart values (paper Figure 6) from intent."""
     model = params.get("model")

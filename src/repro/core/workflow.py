@@ -42,7 +42,7 @@ class CaseStudyWorkflow:
 
     # -- helpers -----------------------------------------------------------------
 
-    def _free_node(self, platform: HPCPlatform, gpus: int = 0) -> "Node":
+    def _free_node(self, platform: HPCPlatform, gpus: int = 0) -> Node:
         for node in platform.nodes:
             if node.up and node.gpus_free >= gpus:
                 return node
@@ -154,7 +154,7 @@ class CaseStudyWorkflow:
                      tensor_parallel_size: int,
                      max_model_len: int | None = 65536,
                      runtime_name: str | None = None,
-                     node: "Node | None" = None,
+                     node: Node | None = None,
                      extra_params: dict[str, Any] | None = None):
         """Unified deploy via the Section 4 tool."""
         params: dict[str, Any] = {

@@ -10,7 +10,7 @@ paper's appendix describes.
 from __future__ import annotations
 
 import os
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..bench.sweep import SweepResult
 from .common import FigureResult

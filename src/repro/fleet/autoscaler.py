@@ -101,7 +101,7 @@ class LoadSample:
 class Autoscaler:
     """The control loop bound to one :class:`~repro.fleet.fleet.Fleet`."""
 
-    def __init__(self, fleet: "Fleet", config: AutoscalerConfig):
+    def __init__(self, fleet: Fleet, config: AutoscalerConfig):
         self.fleet = fleet
         self.config = config
         self.kernel = fleet.kernel
@@ -224,7 +224,7 @@ class Autoscaler:
             self._low_streak += k
         return k * cfg.interval
 
-    def run(self, stop_event: "Event"):
+    def run(self, stop_event: Event):
         """Generator process: sample, decide, and converge until stopped."""
         kernel = self.kernel
         cfg = self.config

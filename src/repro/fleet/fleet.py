@@ -153,7 +153,7 @@ class FleetReport:
     label: str
     duration: float
     arrivals: int
-    slo: "object"                      # SloReport
+    slo: object                      # SloReport
     scale_events: list[ScaleEvent]
     replica_timeline: list[tuple[float, int]]
     snapshots: list[dict] = field(default_factory=list)
@@ -254,7 +254,7 @@ class FleetFastForward:
     to plain stepping.
     """
 
-    def __init__(self, fleet: "Fleet"):
+    def __init__(self, fleet: Fleet):
         self.fleet = fleet
         self.kernel = fleet.kernel
         #: set by the chaos orchestrator before it drives scenarios;
@@ -267,7 +267,7 @@ class FleetFastForward:
 
     # -- scenario lifecycle ----------------------------------------------------
 
-    def begin(self, traffic: "TrafficGenerator | None") -> None:
+    def begin(self, traffic: TrafficGenerator | None) -> None:
         """Arm for one scenario (None = ineligible traffic kind)."""
         self._traffic = traffic
         self._engines_epoch = -1
@@ -374,7 +374,7 @@ class FleetFastForward:
 class Fleet:
     """Deployments + router + autoscaler + SLO tracker, one lifecycle."""
 
-    def __init__(self, site: "ConvergedSite", config: FleetConfig):
+    def __init__(self, site: ConvergedSite, config: FleetConfig):
         self.site = site
         self.config = config
         self.kernel = site.kernel
@@ -471,7 +471,7 @@ class Fleet:
         self.router_app = container.app
         self.router_host = node.hostname
 
-    def _router_node(self, platform: HPCPlatform) -> "Node":
+    def _router_node(self, platform: HPCPlatform) -> Node:
         # Walk from the back so the deployer's front-first node preference
         # keeps GPU nodes clear of the router.
         for node in reversed(platform.nodes):
@@ -525,7 +525,7 @@ class Fleet:
     # -- replica lifecycle ------------------------------------------------------
 
     def add_replicas(self, count: int,
-                     role: str | None = None) -> "list[Replica]":
+                     role: str | None = None) -> list[Replica]:
         """Generator: deploy ``count`` replicas concurrently; returns them.
 
         Placement for the whole batch is resolved against *remaining*
@@ -946,7 +946,7 @@ class Fleet:
 
     def run_scenario(self, schedule: ArrivalSchedule, horizon: float,
                      mix: TenantMix | None = None, label: str = "scenario",
-                     sessions: "SessionSpec | None" = None):
+                     sessions: SessionSpec | None = None):
         """Generator: play ``horizon`` seconds of open-loop traffic.
 
         Starts the autoscaler and a metrics monitor, waits for the arrival

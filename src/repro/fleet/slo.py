@@ -304,7 +304,7 @@ class SloTracker:
     aggregates; nothing ever iterates, copies, or sorts the window.
     """
 
-    def __init__(self, kernel: "SimKernel", spec: SloSpec):
+    def __init__(self, kernel: SimKernel, spec: SloSpec):
         self.kernel = kernel
         self.spec = spec
         self.started_at = kernel.now

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterator
+from collections.abc import Callable, Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,7 +34,7 @@ DAY = 86400.0
 THINNING_BATCH = 1024
 
 
-def _thin_blocks(schedule: "ArrivalSchedule", rng: np.random.Generator,
+def _thin_blocks(schedule: ArrivalSchedule, rng: np.random.Generator,
                  start: float, end: float, envelope: float,
                  batch: int = THINNING_BATCH) -> Iterator[list[float]]:
     """Lewis-Shedler thinning over ``[start, end)``, yielding *blocks*.
@@ -64,7 +65,7 @@ def _thin_blocks(schedule: "ArrivalSchedule", rng: np.random.Generator,
             yield accepted.tolist()
 
 
-def _thin_batched(schedule: "ArrivalSchedule", rng: np.random.Generator,
+def _thin_batched(schedule: ArrivalSchedule, rng: np.random.Generator,
                   start: float, end: float, envelope: float,
                   batch: int = THINNING_BATCH) -> Iterator[float]:
     """Per-value view of :func:`_thin_blocks` (ascending floats)."""
@@ -310,7 +311,7 @@ class TenantMix:
     a tenant never perturbs another tenant's request sequence.
     """
 
-    def __init__(self, kernel: "SimKernel", tenants: list[Tenant],
+    def __init__(self, kernel: SimKernel, tenants: list[Tenant],
                  stream_prefix: str = "fleet.tenant"):
         if not tenants:
             raise ConfigurationError("need at least one tenant")
@@ -327,8 +328,8 @@ class TenantMix:
             for t in tenants}
 
     @classmethod
-    def single(cls, kernel: "SimKernel", name: str = "default",
-               **sampler_kw) -> "TenantMix":
+    def single(cls, kernel: SimKernel, name: str = "default",
+               **sampler_kw) -> TenantMix:
         return cls(kernel, [Tenant(name, 1.0, sampler_kw)])
 
     def pick(self, rng: np.random.Generator) -> Tenant:
@@ -376,7 +377,7 @@ class TrafficGenerator:
     for completions, only for the next arrival.
     """
 
-    def __init__(self, kernel: "SimKernel", schedule: ArrivalSchedule,
+    def __init__(self, kernel: SimKernel, schedule: ArrivalSchedule,
                  mix: TenantMix,
                  submit: Callable[[str, SampledRequest], None],
                  stream: str = "fleet.arrivals", fast: bool = True):
@@ -409,7 +410,7 @@ class TrafficGenerator:
                 # order (picks follow the block's candidate draws;
                 # tenant streams never interleave with anything else).
                 entries = self.mix.draw_block(self.rng, len(block))
-                for t, (tenant, sample) in zip(block, entries):
+                for t, (tenant, sample) in zip(block, entries, strict=True):
                     self.next_arrival = t
                     if t > kernel.now:
                         yield kernel.timeout(t - kernel.now)

@@ -9,7 +9,8 @@ self-healing behavior.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 from ..errors import NotFoundError, StateError
 from .objects import KObject
@@ -27,7 +28,7 @@ class WatchEvent:
 class ApiServer:
     """Object store keyed by (kind, namespace, name)."""
 
-    def __init__(self, kernel: "SimKernel"):
+    def __init__(self, kernel: SimKernel):
         self.kernel = kernel
         self._objects: dict[tuple[str, str, str], KObject] = {}
         self._watchers: dict[str, list[Callable[[WatchEvent], None]]] = {}

@@ -42,7 +42,7 @@ class KubernetesCluster:
         Fabric host backing persistent volumes (ODF/Ceph service).
     """
 
-    def __init__(self, kernel: "SimKernel", fabric: Fabric, name: str,
+    def __init__(self, kernel: SimKernel, fabric: Fabric, name: str,
                  nodes: list[Node], registry: Registry,
                  frontend_host: str, storage_backend_host: str,
                  node_labels: dict[str, dict[str, str]] | None = None):

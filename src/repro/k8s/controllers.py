@@ -17,7 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class DeploymentController:
     """Keeps |live pods| == replicas for every Deployment."""
 
-    def __init__(self, cluster: "KubernetesCluster"):
+    def __init__(self, cluster: KubernetesCluster):
         self.cluster = cluster
         self.api = cluster.api
         self._suffix = itertools.count(1)
@@ -56,7 +56,7 @@ class DeploymentController:
 class PvcBinder:
     """Binds PersistentVolumeClaims to volumes on the storage backend."""
 
-    def __init__(self, cluster: "KubernetesCluster"):
+    def __init__(self, cluster: KubernetesCluster):
         self.cluster = cluster
         self.api = cluster.api
         self._vol_ids = itertools.count(1)

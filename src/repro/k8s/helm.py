@@ -130,9 +130,9 @@ class HelmRelease:
     objects: list[KObject] = field(default_factory=list)
 
     @classmethod
-    def install(cls, cluster: "KubernetesCluster", name: str,
+    def install(cls, cluster: KubernetesCluster, name: str,
                 values: dict[str, Any],
-                namespace: str = "default") -> "HelmRelease":
+                namespace: str = "default") -> HelmRelease:
         """``helm install <name> vllm/vllm -f values.yaml`` equivalent."""
         rendered = render_vllm_chart(name, values, namespace)
         release = cls(name=name, namespace=namespace)
@@ -143,7 +143,7 @@ class HelmRelease:
                                   objects=[o.kind for o in rendered])
         return release
 
-    def uninstall(self, cluster: "KubernetesCluster") -> None:
+    def uninstall(self, cluster: KubernetesCluster) -> None:
         # Delete dependents first (pods go away via Deployment deletion).
         for obj in reversed(self.objects):
             try:

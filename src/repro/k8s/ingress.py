@@ -21,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class IngressController:
     """One HTTP frontend on the cluster's externally reachable host."""
 
-    def __init__(self, cluster: "KubernetesCluster", frontend_host: str,
+    def __init__(self, cluster: KubernetesCluster, frontend_host: str,
                  port: int = 443):
         self.cluster = cluster
         self.api = cluster.api

@@ -14,9 +14,11 @@ from .objects import Pod
 def _table(headers: list[str], rows: list[list[str]]) -> str:
     widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
               for i, h in enumerate(headers)]
-    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out = ["  ".join(h.ljust(w)
+                 for h, w in zip(headers, widths, strict=True))]
     for row in rows:
-        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        out.append("  ".join(c.ljust(w)
+                     for c, w in zip(row, widths, strict=True)))
     return "\n".join(out)
 
 

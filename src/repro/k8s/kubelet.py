@@ -26,7 +26,7 @@ BACKOFF_CAP = 300.0
 class Kubelet:
     """One per node; starts/stops containers for pods bound to the node."""
 
-    def __init__(self, cluster: "KubernetesCluster", knode: "KNode"):
+    def __init__(self, cluster: KubernetesCluster, knode: KNode):
         self.cluster = cluster
         self.kernel = cluster.kernel
         self.knode = knode

@@ -20,7 +20,7 @@ class PodScheduler:
     limits are enforced before placement.
     """
 
-    def __init__(self, cluster: "KubernetesCluster"):
+    def __init__(self, cluster: KubernetesCluster):
         self.cluster = cluster
         self.api = cluster.api
         self.api.watch("Pod", self._on_pod_event)
@@ -75,8 +75,8 @@ class PodScheduler:
                 continue
             candidates.append((committed, knode))
         if not candidates:
-            pod.message = ("FailedScheduling: 0/%d nodes have enough free "
-                           "GPUs" % len(self.cluster.nodes))
+            pod.message = (f"FailedScheduling: 0/{len(self.cluster.nodes)} "
+                           "nodes have enough free GPUs")
             return
         candidates.sort(key=lambda pair: (pair[0], pair[1].node.hostname))
         chosen = candidates[0][1]

@@ -24,7 +24,7 @@ GIT_OVERHEAD = 1.02
 class ModelHub:
     """The upstream hub, reachable over the site's internet uplink."""
 
-    def __init__(self, kernel: "SimKernel", fabric: Fabric,
+    def __init__(self, kernel: SimKernel, fabric: Fabric,
                  host: str = "huggingface.co"):
         self.kernel = kernel
         self.fabric = fabric

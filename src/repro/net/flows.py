@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError
 from ..simkernel import Event
@@ -93,7 +94,7 @@ def max_min_fair_rates(flows: Sequence["Flow"]) -> dict["Flow", float]:
         if best_link is None:
             # Remaining flows traverse no shared link and have no cap:
             # they are unconstrained (e.g. loopback); give them infinity.
-            for flow in unfixed:
+            for flow in sorted(unfixed, key=lambda f: f.id):
                 rates[flow] = math.inf
             break
         for flow in sorted(members[best_link] & unfixed,
@@ -113,7 +114,7 @@ class Flow:
 
     _ids = itertools.count(1)
 
-    def __init__(self, network: "FlowNetwork", path: Sequence[Link],
+    def __init__(self, network: FlowNetwork, path: Sequence[Link],
                  nbytes: float, name: str = "",
                  rate_cap: float | None = None):
         if nbytes < 0:
@@ -153,7 +154,7 @@ class Flow:
 class FlowNetwork:
     """Tracks active flows and keeps their max-min rates current."""
 
-    def __init__(self, kernel: "SimKernel"):
+    def __init__(self, kernel: SimKernel):
         self.kernel = kernel
         self.active: set[Flow] = set()
         self._last_settle = kernel.now
@@ -217,7 +218,7 @@ class FlowNetwork:
         now = self.kernel.now
         dt = now - self._last_settle
         if dt > 0:
-            for flow in self.active:
+            for flow in self._ordered():
                 if math.isinf(flow.rate):
                     flow.bytes_done = flow.total_bytes
                 else:
@@ -248,7 +249,7 @@ class FlowNetwork:
         # and completes whatever finished.  Stale timers (older generation)
         # are ignored.
         next_eta = math.inf
-        for flow in self.active:
+        for flow in self._ordered():
             if flow.rate > 0:
                 next_eta = min(next_eta, flow.remaining / flow.rate)
         if math.isfinite(next_eta):
@@ -294,6 +295,8 @@ class FlowNetwork:
 
     def utilization(self, link: Link) -> float:
         """Current fraction of ``link`` capacity in use."""
-        used = sum(f.rate for f in self.active if link in f.path
+        # _ordered() (not the raw set): float accumulation order must
+        # not vary with object addresses.
+        used = sum(f.rate for f in self._ordered() if link in f.path
                    and not math.isinf(f.rate))
         return used / link.capacity

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Generator
+from collections.abc import Callable, Generator
+from typing import TYPE_CHECKING, Any
 
 from ..errors import APIError, ConfigurationError, NetworkUnreachable
 from .topology import Fabric
@@ -151,7 +152,7 @@ class HttpClient:
         return self.request("POST", host, port, path, **kw)
 
 
-def _invoke(kernel: "SimKernel", service: HttpService,
+def _invoke(kernel: SimKernel, service: HttpService,
             request: HttpRequest) -> Generator[Any, Any, HttpResponse]:
     """Run a handler, which may be sync or a generator process."""
     try:

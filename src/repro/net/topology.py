@@ -9,7 +9,8 @@ onto a slow campus path), falling back to fewest-hops shortest path.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError, NetworkUnreachable, NotFoundError
 from .flows import Flow, FlowNetwork, Link
@@ -40,7 +41,7 @@ class Host:
 class Fabric:
     """The site network: vertices, directed links, routes, and flows."""
 
-    def __init__(self, kernel: "SimKernel"):
+    def __init__(self, kernel: SimKernel):
         self.kernel = kernel
         self.flows = FlowNetwork(kernel)
         self.hosts: dict[str, Host] = {}
@@ -186,7 +187,7 @@ class Fabric:
         return self._shortest_path(src, dst)
 
     def _validate_path(self, path: list[str]) -> None:
-        for a, b in zip(path, path[1:]):
+        for a, b in zip(path, path[1:], strict=False):
             if b not in self._adj.get(a, {}):
                 raise ConfigurationError(
                     f"route override uses missing link {a!r}->{b!r}")
@@ -216,7 +217,8 @@ class Fabric:
     def link_path(self, src: str, dst: str) -> list[Link]:
         """The directed links along the resolved vertex path."""
         vpath = self.vertex_path(src, dst)
-        return [self._adj[a][b] for a, b in zip(vpath, vpath[1:])]
+        return [self._adj[a][b]
+                for a, b in zip(vpath, vpath[1:], strict=False)]
 
     def latency(self, src: str, dst: str) -> float:
         """One-way latency along the resolved path."""

@@ -32,7 +32,7 @@ class Observability:
 
     __slots__ = ("kernel", "registry", "spans")
 
-    def __init__(self, kernel: "SimKernel"):
+    def __init__(self, kernel: SimKernel):
         self.kernel = kernel
         self.registry = MetricsRegistry()
         self.spans = SpanRecorder(kernel)

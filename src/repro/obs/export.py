@@ -23,7 +23,8 @@ and load it in either viewer unchanged.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
     from .profile import Profiler
@@ -60,7 +61,7 @@ def span_events(spans: Iterable["Span"]) -> list[dict[str, Any]]:
     return events
 
 
-def profile_events(prof: "Profiler") -> list[dict[str, Any]]:
+def profile_events(prof: Profiler) -> list[dict[str, Any]]:
     """Summary events for profiler paths (wall-clock totals).
 
     Sections from many distinct real-time intervals are merged into one
@@ -93,8 +94,8 @@ def profile_events(prof: "Profiler") -> list[dict[str, Any]]:
     return events
 
 
-def chrome_trace(recorder: "SpanRecorder | None" = None,
-                 prof: "Profiler | None" = None) -> dict[str, Any]:
+def chrome_trace(recorder: SpanRecorder | None = None,
+                 prof: Profiler | None = None) -> dict[str, Any]:
     """A complete Trace Event Format document for either/both sources."""
     events: list[dict[str, Any]] = []
     if recorder is not None:

@@ -32,7 +32,8 @@ matter how many worker processes the campaign used.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from collections.abc import Callable, Iterator
+from typing import Any
 
 from ..errors import ConfigurationError
 from .stats import LogHistogram
@@ -61,7 +62,8 @@ def render_label_set(names: tuple[str, ...],
     """``{a="x",b="y"}`` — empty string for the unlabeled child."""
     if not names:
         return ""
-    inner = ",".join(f'{n}="{_escape(v)}"' for n, v in zip(names, values))
+    inner = ",".join(f'{n}="{_escape(v)}"'
+                      for n, v in zip(names, values, strict=True))
     return "{" + inner + "}"
 
 
@@ -101,7 +103,7 @@ class _Child:
 
     __slots__ = ("_family", "_values")
 
-    def __init__(self, family: "_Family", values: tuple[str, ...]):
+    def __init__(self, family: _Family, values: tuple[str, ...]):
         self._family = family
         self._values = values
 
@@ -111,7 +113,7 @@ class Counter(_Child):
 
     __slots__ = ("value",)
 
-    def __init__(self, family: "_Family", values: tuple[str, ...]):
+    def __init__(self, family: _Family, values: tuple[str, ...]):
         super().__init__(family, values)
         self.value = 0.0
 
@@ -126,7 +128,7 @@ class Gauge(_Child):
 
     __slots__ = ("_value", "_fn")
 
-    def __init__(self, family: "_Family", values: tuple[str, ...]):
+    def __init__(self, family: _Family, values: tuple[str, ...]):
         super().__init__(family, values)
         self._value = 0.0
         self._fn: Callable[[], float] | None = None
@@ -166,7 +168,7 @@ class Histogram(_Child):
 
     __slots__ = ("hist", "count", "sum")
 
-    def __init__(self, family: "_Family", values: tuple[str, ...]):
+    def __init__(self, family: _Family, values: tuple[str, ...]):
         super().__init__(family, values)
         self.hist = LogHistogram()
         self.count = 0
@@ -187,7 +189,7 @@ class _Family:
     __slots__ = ("name", "kind", "help", "label_names", "_children",
                  "_registry")
 
-    def __init__(self, registry: "MetricsRegistry", name: str, kind: str,
+    def __init__(self, registry: MetricsRegistry, name: str, kind: str,
                  help: str, label_names: tuple[str, ...]):
         self.name = name
         self.kind = kind
@@ -213,14 +215,14 @@ class _Family:
         """Deterministic (label-value sorted) samples of every child."""
         for values in sorted(self._children):
             child = self._children[values]
-            labels = tuple(zip(self.label_names, values))
+            labels = tuple(zip(self.label_names, values, strict=True))
             if self.kind == "histogram":
                 yield Sample(self.name + "_count", labels,
                              float(child.count))
                 yield Sample(self.name + "_sum", labels, child.sum)
                 qs = child.hist.quantiles(
                     tuple(q * 100.0 for q in HISTOGRAM_QUANTILES))
-                for q, v in zip(HISTOGRAM_QUANTILES, qs):
+                for q, v in zip(HISTOGRAM_QUANTILES, qs, strict=True):
                     yield Sample(self.name, labels + (("quantile",
                                                        _fmt(q)),), v)
             else:

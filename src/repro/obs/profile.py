@@ -78,7 +78,7 @@ class Profiler:
     class _Section:
         __slots__ = ("_profiler", "_name")
 
-        def __init__(self, profiler: "Profiler", name: str):
+        def __init__(self, profiler: Profiler, name: str):
             self._profiler = profiler
             self._name = name
 
@@ -91,7 +91,7 @@ class Profiler:
             if self._profiler.enabled and self._profiler._stack:
                 self._profiler.pop()
 
-    def section(self, name: str) -> "Profiler._Section":
+    def section(self, name: str) -> Profiler._Section:
         """Context-manager form for cool paths (CLI, exporters)."""
         return Profiler._Section(self, name)
 

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import TYPE_CHECKING, Any, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simkernel.kernel import SimKernel
@@ -49,7 +50,7 @@ class MetricsScraper:
     on); or call :meth:`scrape_once` manually at chosen instants.
     """
 
-    def __init__(self, kernel: "SimKernel", registry: "MetricsRegistry",
+    def __init__(self, kernel: SimKernel, registry: MetricsRegistry,
                  interval: float = 60.0):
         if interval <= 0:
             raise ValueError("scrape interval must be positive")

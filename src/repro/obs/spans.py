@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import TYPE_CHECKING, Any, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simkernel.kernel import SimKernel
@@ -47,7 +48,7 @@ class Span:
     __slots__ = ("recorder", "name", "trace_id", "span_id", "parent_id",
                  "start", "end", "attrs")
 
-    def __init__(self, recorder: "SpanRecorder | None", name: str,
+    def __init__(self, recorder: SpanRecorder | None, name: str,
                  trace_id: int, span_id: int, parent_id: int | None,
                  start: float):
         self.recorder = recorder
@@ -61,18 +62,18 @@ class Span:
 
     # -- lifecycle ----------------------------------------------------------------
 
-    def annotate(self, **attrs: Any) -> "Span":
+    def annotate(self, **attrs: Any) -> Span:
         if self.recorder is not None:
             self.attrs.update(attrs)
         return self
 
-    def child(self, name: str, start: float | None = None) -> "Span":
+    def child(self, name: str, start: float | None = None) -> Span:
         """Open a child span (same trace, this span as parent)."""
         if self.recorder is None:
             return NULL_SPAN
         return self.recorder._open(name, self.trace_id, self.span_id, start)
 
-    def finish(self, end: float | None = None, **attrs: Any) -> "Span":
+    def finish(self, end: float | None = None, **attrs: Any) -> Span:
         """Close the span at ``end`` (default: kernel now)."""
         if self.recorder is None:
             return self
@@ -82,7 +83,7 @@ class Span:
         self.recorder._close(self)
         return self
 
-    def record(self, start: float, end: float, **attrs: Any) -> "Span":
+    def record(self, start: float, end: float, **attrs: Any) -> Span:
         """Close a span whose bounds are already known (derived phases)."""
         if self.recorder is None:
             return self
@@ -130,7 +131,7 @@ class SpanRecorder:
     closing happens at simulated-time milestones.
     """
 
-    def __init__(self, kernel: "SimKernel"):
+    def __init__(self, kernel: SimKernel):
         self.kernel = kernel
         self.enabled = False
         #: Close-ordered storage.  ``emit`` appends bare tuples instead of

@@ -52,7 +52,7 @@ class LogHistogram:
                  "_inv_log_growth", "_buckets")
 
     def __init__(self, min_value: float = 1e-3, max_value: float = 1e5,
-                 growth: float = 1.02):
+                 growth: float = 1.02) -> None:
         if not (0 < min_value < max_value):
             raise ConfigurationError("need 0 < min_value < max_value")
         if growth <= 1.0:

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Generator
+from collections.abc import Callable, Generator
+from typing import TYPE_CHECKING, Any
 
 from ..errors import CapacityError, ConfigurationError, StateError
 from ..hardware.node import Node
@@ -55,7 +56,7 @@ class RayActor:
 
     _ids = itertools.count(1)
 
-    def __init__(self, cluster: "RayCluster", ray_node: RayNode,
+    def __init__(self, cluster: RayCluster, ray_node: RayNode,
                  name: str = ""):
         self.id = next(RayActor._ids)
         self.cluster = cluster
@@ -80,7 +81,7 @@ class RayActor:
 class RayCluster:
     """A Ray cluster over a set of hardware nodes."""
 
-    def __init__(self, kernel: "SimKernel", rpc_latency: float = 0.0005):
+    def __init__(self, kernel: SimKernel, rpc_latency: float = 0.0005):
         self.kernel = kernel
         self.rpc_latency = rpc_latency
         self.head: RayNode | None = None

@@ -47,7 +47,7 @@ class RouterPolicy(str, Enum):
     CACHE_AFFINITY = "cache-affinity"
 
     @classmethod
-    def coerce(cls, value: "RouterPolicy | str") -> "RouterPolicy":
+    def coerce(cls, value: RouterPolicy | str) -> RouterPolicy:
         if isinstance(value, cls):
             return value
         try:
@@ -89,7 +89,7 @@ class RouterConfig:
              "disagg": self.disagg}, sort_keys=True)}
 
     @classmethod
-    def from_env(cls, env: dict[str, str]) -> "RouterConfig":
+    def from_env(cls, env: dict[str, str]) -> RouterConfig:
         """Parse container env; legacy vars warn but keep working."""
         raw = env.get("ROUTER_CONFIG")
         if raw:
@@ -103,14 +103,15 @@ class RouterConfig:
                 port=int(data.get("port", 4000)),
                 disagg=bool(data.get("disagg", False)))
         kwargs: dict = {}
+        # repro: allow[API001] -- this *is* the legacy-env shim that warns
         if "ROUTER_POLICY" in env:
             warnings.warn(
                 "the ROUTER_POLICY env var is deprecated; pass a "
                 "RouterConfig (ROUTER_CONFIG) instead",
                 DeprecationWarning, stacklevel=2)
-            kwargs["policy"] = RouterPolicy.coerce(env["ROUTER_POLICY"])
-        if "ROUTER_PORT" in env:
-            kwargs["port"] = int(env["ROUTER_PORT"])
+            kwargs["policy"] = RouterPolicy.coerce(env["ROUTER_POLICY"])  # repro: allow[API001] -- shim
+        if "ROUTER_PORT" in env:  # repro: allow[API001] -- shim body
+            kwargs["port"] = int(env["ROUTER_PORT"])  # repro: allow[API001] -- shim body
         return cls(**kwargs)
 
 
@@ -199,7 +200,7 @@ class LlmRouter(ContainerApp):
         #: can be slept through in one timeout.  None = always tick live.
         self.ff_governor = None
         # cache-affinity state: session key -> backend key, LRU-bounded.
-        self._affinity: "OrderedDict[str, str]" = OrderedDict()
+        self._affinity: OrderedDict[str, str] = OrderedDict()
         self.affinity_reassignments = 0   # sticky target lost (evict/churn)
 
     @property
@@ -226,7 +227,7 @@ class LlmRouter(ContainerApp):
             self.config = RouterConfig.from_env(ctx.env)
         except ConfigurationError as exc:
             source = ("ROUTER_CONFIG" if "ROUTER_CONFIG" in ctx.env
-                      else "ROUTER_POLICY")
+                      else "ROUTER_POLICY")  # repro: allow[API001] -- crash-message text only
             raise ContainerCrash(f"router: bad {source}: {exc}",
                                  sim_time=ctx.kernel.now) from exc
         self._client = HttpClient(ctx.fabric, ctx.hostname)

@@ -112,7 +112,7 @@ class ChatWebUi(ContainerApp):
         dim = int(self._env.get("RAG_DIM", "8"))
         # Toy embedding: character histogram folded into `dim` buckets.
         vec = [0.0] * dim
-        for i, ch in enumerate(message.encode()):
+        for ch in message.encode():
             vec[ch % dim] += 1.0
         try:
             response = yield from self._client.post(

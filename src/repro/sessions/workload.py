@@ -19,7 +19,8 @@ the router's affinity key) is ``s<i>`` — unique per scenario run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError
 from .spec import SessionSpec
@@ -75,9 +76,9 @@ class SessionTraffic:
     so the wait is bounded by one in-flight turn per session).
     """
 
-    def __init__(self, kernel: "SimKernel", schedule: "ArrivalSchedule",
+    def __init__(self, kernel: SimKernel, schedule: ArrivalSchedule,
                  spec: SessionSpec, request_fn: RequestFn,
-                 mix: "TenantMix | None" = None,
+                 mix: TenantMix | None = None,
                  stream_prefix: str = "sessions"):
         if not spec.enabled:
             raise ConfigurationError(

@@ -7,7 +7,8 @@ exception.  Processes wait on events by yielding them.  Combinators
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING, Any
 
 from ..errors import StateError
 
@@ -29,7 +30,7 @@ class Event:
 
     __slots__ = ("kernel", "callbacks", "_value", "_ok", "_scheduled", "_processed")
 
-    def __init__(self, kernel: "SimKernel"):
+    def __init__(self, kernel: SimKernel) -> None:
         self.kernel = kernel
         self.callbacks: list[Callable[[Event], None]] | None = []
         self._value: Any = None
@@ -60,7 +61,7 @@ class Event:
 
     # -- triggering --------------------------------------------------------
 
-    def succeed(self, value: Any = None, *, delay: float = 0.0) -> "Event":
+    def succeed(self, value: Any = None, *, delay: float = 0.0) -> Event:
         """Mark the event successful, scheduling callbacks after ``delay``."""
         if self._scheduled:
             raise StateError("event already triggered")
@@ -70,7 +71,7 @@ class Event:
         self.kernel._schedule(self, delay=delay)
         return self
 
-    def fail(self, exception: BaseException, *, delay: float = 0.0) -> "Event":
+    def fail(self, exception: BaseException, *, delay: float = 0.0) -> Event:
         """Mark the event failed; waiting processes receive ``exception``."""
         if self._scheduled:
             raise StateError("event already triggered")
@@ -125,7 +126,8 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, kernel: "SimKernel", delay: float, value: Any = None):
+    def __init__(self, kernel: SimKernel, delay: float,
+                 value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(kernel)
@@ -148,8 +150,8 @@ class Callback(Event):
 
     __slots__ = ("fn", "arg")
 
-    def __init__(self, kernel: "SimKernel", delay: float,
-                 fn: Callable[[Any], None], arg: Any = None):
+    def __init__(self, kernel: SimKernel, delay: float,
+                 fn: Callable[[Any], None], arg: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative callback delay: {delay}")
         super().__init__(kernel)
@@ -173,7 +175,7 @@ class Interrupted(Exception):
     The ``cause`` attribute carries the interrupter-supplied reason.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(f"process interrupted: {cause!r}")
         self.cause = cause
 
@@ -183,7 +185,8 @@ class _Condition(Event):
 
     __slots__ = ("events", "_remaining")
 
-    def __init__(self, kernel: "SimKernel", events: Iterable[Event]):
+    def __init__(self, kernel: SimKernel,
+                 events: Iterable[Event]) -> None:
         super().__init__(kernel)
         self.events = tuple(events)
         self._remaining = len(self.events)

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, Optional
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
 
 from ..errors import StateError
 from ..obs.context import Observability
@@ -26,7 +27,8 @@ class Process(Event):
 
     __slots__ = ("generator", "name", "_waiting_on")
 
-    def __init__(self, kernel: "SimKernel", generator: ProcGen, name: str = ""):
+    def __init__(self, kernel: SimKernel, generator: ProcGen,
+                 name: str = "") -> None:
         super().__init__(kernel)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
@@ -119,7 +121,7 @@ class SimKernel:
     ``env``.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
@@ -158,7 +160,8 @@ class SimKernel:
         """Start a new process from a generator."""
         return Process(self, generator, name=name)
 
-    def call_in(self, delay: float, fn, arg: Any = None) -> Callback:
+    def call_in(self, delay: float, fn: Callable[[Any], None],
+                arg: Any = None) -> Callback:
         """Schedule ``fn(arg)`` after ``delay`` seconds of simulated time.
 
         The flat-callback counterpart to spawning a process: one heap
@@ -167,7 +170,8 @@ class SimKernel:
         """
         return Callback(self, delay, fn, arg)
 
-    def call_at(self, when: float, fn, arg: Any = None) -> Callback:
+    def call_at(self, when: float, fn: Callable[[Any], None],
+                arg: Any = None) -> Callback:
         """Schedule ``fn(arg)`` at absolute time ``when`` (clamped to now)."""
         return Callback(self, max(0.0, when - self.now), fn, arg)
 
@@ -178,7 +182,7 @@ class SimKernel:
         return AllOf(self, events)
 
     @property
-    def active_process(self) -> Optional[Process]:
+    def active_process(self) -> Process | None:
         return self._active_process
 
     # -- execution -------------------------------------------------------------

@@ -30,7 +30,8 @@ class Resource:
             resource.release()
     """
 
-    def __init__(self, kernel: "SimKernel", capacity: int = 1, name: str = ""):
+    def __init__(self, kernel: SimKernel, capacity: int = 1,
+                 name: str = "") -> None:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.kernel = kernel
@@ -84,8 +85,8 @@ class Store:
     ``get`` blocks until an item is available.
     """
 
-    def __init__(self, kernel: "SimKernel", capacity: int | None = None,
-                 name: str = ""):
+    def __init__(self, kernel: SimKernel, capacity: int | None = None,
+                 name: str = "") -> None:
         if capacity is not None and capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.kernel = kernel

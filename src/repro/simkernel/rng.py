@@ -19,7 +19,7 @@ class RngRegistry:
     mapping is stable across runs and machines.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.root_seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}
 
@@ -39,7 +39,7 @@ class RngRegistry:
         self.root_seed = int(seed)
         self._streams.clear()
 
-    def spawn_registry(self, name: str) -> "RngRegistry":
+    def spawn_registry(self, name: str) -> RngRegistry:
         """Derive an independent child registry (for nested simulations)."""
         digest = hashlib.sha256(
             f"{self.root_seed}/registry:{name}".encode()).digest()

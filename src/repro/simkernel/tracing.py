@@ -11,7 +11,8 @@ import hashlib
 import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterator, MutableSequence
+from collections.abc import Callable, Iterator, MutableSequence
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import SimKernel
@@ -54,7 +55,7 @@ class Tracer:
     (:attr:`dropped` counts the evictions).
     """
 
-    def __init__(self, kernel: "SimKernel"):
+    def __init__(self, kernel: SimKernel) -> None:
         self.kernel = kernel
         self.records: MutableSequence[TraceRecord] = []
         self.enabled = True

@@ -12,7 +12,8 @@ Key properties from the paper:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError, NotFoundError, SimulatedFailure
 from ..net.topology import Fabric
@@ -33,7 +34,7 @@ class ParallelFilesystem:
     platform's high-speed network.
     """
 
-    def __init__(self, kernel: "SimKernel", fabric: Fabric, name: str,
+    def __init__(self, kernel: SimKernel, fabric: Fabric, name: str,
                  host: str, mounted_platforms: Iterable[str]):
         if host not in fabric.hosts:
             raise ConfigurationError(f"filesystem host {host!r} not on fabric")

@@ -9,7 +9,8 @@ bytes to the node" so apps are written once.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from collections.abc import Generator
+from typing import TYPE_CHECKING
 
 from ..errors import NotFoundError
 from ..net.topology import Fabric
@@ -116,7 +117,7 @@ class VolumeMount(MountHandle):
 class LocalDirMount(MountHandle):
     """A node-local directory (NVMe); reads cost size/rate seconds."""
 
-    def __init__(self, kernel: "SimKernel", files: dict[str, int] | None = None,
+    def __init__(self, kernel: SimKernel, files: dict[str, int] | None = None,
                  read_rate: float = 3e9):
         self.kernel = kernel
         self.files: dict[str, int] = files if files is not None else {}

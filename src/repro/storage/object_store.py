@@ -109,7 +109,7 @@ class ObjectStore:
     the exact nuance the paper highlights as hard for users.
     """
 
-    def __init__(self, kernel: "SimKernel", fabric: Fabric,
+    def __init__(self, kernel: SimKernel, fabric: Fabric,
                  endpoint: str = "s3.site.example",
                  replication_lag: float = 30.0,
                  supports_new_checksums: bool = False):

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fnmatch import fnmatch
-from typing import TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from ..errors import APIError
 from .object_store import ObjectStore
@@ -37,7 +38,7 @@ class S3ClientConfig:
 
     @classmethod
     def from_env(cls, env: dict[str, str],
-                 client_version: tuple[int, int] = (2, 27)) -> "S3ClientConfig":
+                 client_version: tuple[int, int] = (2, 27)) -> S3ClientConfig:
         return cls(
             access_key_id=env.get("AWS_ACCESS_KEY_ID"),
             secret_access_key=env.get("AWS_SECRET_ACCESS_KEY"),
@@ -52,7 +53,7 @@ class S3ClientConfig:
 class S3Client:
     """A client bound to a host, talking to a (simulated) ObjectStore."""
 
-    def __init__(self, kernel: "SimKernel", store: ObjectStore, host: str,
+    def __init__(self, kernel: SimKernel, store: ObjectStore, host: str,
                  config: S3ClientConfig):
         self.kernel = kernel
         self.store = store

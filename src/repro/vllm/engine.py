@@ -67,7 +67,7 @@ class Request:
 
     _ids = itertools.count(1)
 
-    def __init__(self, kernel: "SimKernel", spec: RequestSpec):
+    def __init__(self, kernel: SimKernel, spec: RequestSpec):
         self.id = next(Request._ids)
         self.spec = spec
         self.prompt_tokens = spec.prompt_tokens
@@ -123,10 +123,10 @@ class Request:
 class LLMEngine:
     """Continuous-batching engine bound to a KV budget and a cost model."""
 
-    def __init__(self, kernel: "SimKernel", card: ModelCard,
+    def __init__(self, kernel: SimKernel, card: ModelCard,
                  perf: PerfModel, args: EngineArgs,
                  kv_capacity_tokens: int,
-                 fault_plan: "FaultPlan | None" = None,
+                 fault_plan: FaultPlan | None = None,
                  name: str = "vllm"):
         self.kernel = kernel
         self.card = card
@@ -207,7 +207,7 @@ class LLMEngine:
     def max_model_len(self) -> int:
         return self.args.max_model_len or self.card.max_context
 
-    def submit(self, spec: "RequestSpec | int | None" = None,
+    def submit(self, spec: RequestSpec | int | None = None,
                max_new_tokens: int | None = None,
                session_key: str | None = None,
                trace_id: int = 0, trace_parent: int = 0, *,

@@ -8,7 +8,8 @@ under Kubernetes get restarted automatically.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from .engine import EngineCrash
 
@@ -26,7 +27,7 @@ class FaultPlan:
     def add(self, trigger: Callable[["LLMEngine"], str | None]) -> None:
         self.triggers.append(trigger)
 
-    def check(self, engine: "LLMEngine") -> None:
+    def check(self, engine: LLMEngine) -> None:
         for trigger in self.triggers:
             reason = trigger(engine)
             if reason:
@@ -34,7 +35,7 @@ class FaultPlan:
                 raise EngineCrash(reason, sim_time=engine.kernel.now)
 
 
-def attach(engine: "LLMEngine",
+def attach(engine: LLMEngine,
            *triggers: Callable[["LLMEngine"], str | None]) -> FaultPlan:
     """Arm triggers on a *live* engine (chaos runtime injection).
 
@@ -57,7 +58,7 @@ def CrashAfterRequests(n: int, reason: str = "memory leak: engine OOM"
                        ) -> Callable[["LLMEngine"], str | None]:
     """Crash once ``n`` requests have been accepted (cumulative load
     trigger — how run 1's crash at the batch-512 sweep point manifests)."""
-    def trigger(engine: "LLMEngine") -> str | None:
+    def trigger(engine: LLMEngine) -> str | None:
         if engine.total_requests >= n:
             return f"{reason} (after {engine.total_requests} requests)"
         return None
@@ -67,7 +68,7 @@ def CrashAfterRequests(n: int, reason: str = "memory leak: engine OOM"
 def CrashAtTime(t: float, reason: str = "injected failure"
                 ) -> Callable[["LLMEngine"], str | None]:
     """Crash at the first iteration after simulated time ``t``."""
-    def trigger(engine: "LLMEngine") -> str | None:
+    def trigger(engine: LLMEngine) -> str | None:
         if engine.kernel.now >= t:
             return f"{reason} (at t={engine.kernel.now:.0f}s)"
         return None
@@ -78,7 +79,7 @@ def CrashOnConcurrency(threshold: int,
                        reason: str = "NCCL collective timeout"
                        ) -> Callable[["LLMEngine"], str | None]:
     """Crash when the running batch first reaches ``threshold``."""
-    def trigger(engine: "LLMEngine") -> str | None:
+    def trigger(engine: LLMEngine) -> str | None:
         if len(engine.running) >= threshold:
             return (f"{reason} (running batch {len(engine.running)} >= "
                     f"{threshold})")

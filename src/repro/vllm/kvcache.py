@@ -72,7 +72,7 @@ class BlockManager:
         self._shared: dict[int, tuple[str, ...]] = {}
         # block hash -> refcount; refcount-0 entries are also in _lru.
         self._refs: dict[str, int] = {}
-        self._lru: "OrderedDict[str, None]" = OrderedDict()
+        self._lru: OrderedDict[str, None] = OrderedDict()
         # Cache-content epoch (bumped on register/evict, the only events
         # that change _refs *membership*) + a one-entry memo for the
         # prefix-hit walk: admission asks the same (key, tokens)

@@ -80,9 +80,9 @@ class MultiNodeDeployment:
 class MultiNodeEngineLauncher:
     """Brings up Ray + a TP x PP engine over a node allocation."""
 
-    def __init__(self, kernel: "SimKernel", fabric, runtime: ContainerRuntime,
+    def __init__(self, kernel: SimKernel, fabric, runtime: ContainerRuntime,
                  image: ImageManifest | str, card: ModelCard,
-                 args: EngineArgs, model_mount: "MountHandle",
+                 args: EngineArgs, model_mount: MountHandle,
                  profile: PerfProfile | None = None,
                  fault_plan=None):
         if args.pipeline_parallel_size < 2:

@@ -55,24 +55,24 @@ class SchedulingPolicy:
     #: admission order being frozen while the engine sleeps.
     supports_coalescing = False
 
-    def enqueue(self, sched: "Scheduler", request: "Request") -> None:
+    def enqueue(self, sched: Scheduler, request: Request) -> None:
         raise NotImplementedError
 
-    def requeue(self, sched: "Scheduler", victim: "Request") -> None:
+    def requeue(self, sched: Scheduler, victim: Request) -> None:
         """Return a preempted request to the waiting queue."""
         raise NotImplementedError
 
-    def schedule(self, sched: "Scheduler") -> int:
+    def schedule(self, sched: Scheduler) -> int:
         """Admit work for one iteration; returns prefill tokens to
         charge this step."""
         raise NotImplementedError
 
-    def plan_jump(self, sched: "Scheduler") -> int:
+    def plan_jump(self, sched: Scheduler) -> int:
         """Iterations provably free of scheduling events (0 = none)."""
         return 0
 
-    def victim(self, sched: "Scheduler",
-               protect: "Request") -> "Request | None":
+    def victim(self, sched: Scheduler,
+               protect: Request) -> Request | None:
         """Choose a preemption victim so ``protect`` can grow."""
         for candidate in reversed(sched.running):
             if candidate is not protect:
@@ -89,20 +89,20 @@ class Scheduler:
     storage — ``LLMEngine.waiting``/``running`` are views onto them.
     """
 
-    def __init__(self, engine: "LLMEngine", policy: SchedulingPolicy):
+    def __init__(self, engine: LLMEngine, policy: SchedulingPolicy):
         self.engine = engine
         self.policy = policy
         self.waiting: deque[Request] = deque()
-        self.running: "list[Request]" = []
+        self.running: list[Request] = []
 
     @property
     def supports_coalescing(self) -> bool:
         return self.policy.supports_coalescing
 
-    def enqueue(self, request: "Request") -> None:
+    def enqueue(self, request: Request) -> None:
         self.policy.enqueue(self, request)
 
-    def requeue(self, victim: "Request") -> None:
+    def requeue(self, victim: Request) -> None:
         self.policy.requeue(self, victim)
 
     def schedule(self) -> int:
@@ -111,12 +111,12 @@ class Scheduler:
     def plan_jump(self) -> int:
         return self.policy.plan_jump(self)
 
-    def victim(self, protect: "Request") -> "Request | None":
+    def victim(self, protect: Request) -> Request | None:
         return self.policy.victim(self, protect)
 
     # -- shared admission machinery ----------------------------------------------
 
-    def can_admit(self, request: "Request") -> bool:
+    def can_admit(self, request: Request) -> bool:
         """The one admission predicate, shared by admission and
         :meth:`plan_jump`.
 
@@ -131,7 +131,7 @@ class Scheduler:
         return blocks.can_allocate(request.total_tokens,
                                    prefix_key=request.session_key)
 
-    def admit_head(self) -> "Request":
+    def admit_head(self) -> Request:
         """Pop the waiting head into the running batch; returns it with
         ``cached_tokens``/``needs_prefill`` updated (prefill cost is
         the caller's to account — policies differ on when to pay it).
@@ -156,10 +156,10 @@ class FcfsPolicy(SchedulingPolicy):
     name = "fcfs"
     supports_coalescing = True
 
-    def enqueue(self, sched: Scheduler, request: "Request") -> None:
+    def enqueue(self, sched: Scheduler, request: Request) -> None:
         sched.waiting.append(request)
 
-    def requeue(self, sched: Scheduler, victim: "Request") -> None:
+    def requeue(self, sched: Scheduler, victim: Request) -> None:
         # Recompute-preemption readmits LIFO: the youngest victim goes
         # back first, ahead of never-admitted arrivals.
         sched.waiting.appendleft(victim)
@@ -279,13 +279,13 @@ class PriorityPolicy(SchedulingPolicy):
     name = "priority"
 
     @staticmethod
-    def _key(request: "Request") -> tuple:
+    def _key(request: Request) -> tuple:
         # ``id`` is monotone within one engine (process-global counter),
         # so it is the arrival tie-break; a preempted request keeps its
         # original id and re-sorts ahead of younger peers of its class.
         return (-request.priority, request.id)
 
-    def _insert(self, sched: Scheduler, request: "Request") -> None:
+    def _insert(self, sched: Scheduler, request: Request) -> None:
         waiting = sched.waiting
         key = self._key(request)
         # Linear scan from the tail: arrivals are usually lowest-rank.
@@ -294,14 +294,14 @@ class PriorityPolicy(SchedulingPolicy):
             idx -= 1
         waiting.insert(idx, request)
 
-    def enqueue(self, sched: Scheduler, request: "Request") -> None:
+    def enqueue(self, sched: Scheduler, request: Request) -> None:
         self._insert(sched, request)
 
-    def requeue(self, sched: Scheduler, victim: "Request") -> None:
+    def requeue(self, sched: Scheduler, victim: Request) -> None:
         self._insert(sched, victim)
 
     def victim(self, sched: Scheduler,
-               protect: "Request") -> "Request | None":
+               protect: Request) -> Request | None:
         # Lowest priority first; LIFO (latest id) within the class.
         best = None
         for candidate in sched.running:
@@ -358,10 +358,10 @@ class ChunkedPrefillPolicy(SchedulingPolicy):
                 f"chunk_tokens must be positive, got {chunk_tokens}")
         self.chunk_tokens = chunk_tokens
 
-    def enqueue(self, sched: Scheduler, request: "Request") -> None:
+    def enqueue(self, sched: Scheduler, request: Request) -> None:
         sched.waiting.append(request)
 
-    def requeue(self, sched: Scheduler, victim: "Request") -> None:
+    def requeue(self, sched: Scheduler, victim: Request) -> None:
         victim.prefill_remaining = 0   # recompute restarts the slices
         sched.waiting.appendleft(victim)
 

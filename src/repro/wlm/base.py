@@ -5,7 +5,8 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
+from collections.abc import Callable, Generator, Iterable
+from typing import TYPE_CHECKING, Any
 
 from ..errors import ConfigurationError, JobKilled, SchedulingError
 from ..hardware.node import Node
@@ -81,7 +82,7 @@ class Job:
 
     _ids = itertools.count(1000)
 
-    def __init__(self, kernel: "SimKernel", spec: JobSpec):
+    def __init__(self, kernel: SimKernel, spec: JobSpec):
         self.id = next(Job._ids)
         self.kernel = kernel
         self.spec = spec
@@ -94,7 +95,7 @@ class Job:
         self.kill_reason: str | None = None
         self.started: Event = kernel.event()
         self.finished: Event = kernel.event()
-        self._proc: "Process | None" = None
+        self._proc: Process | None = None
 
     @property
     def hostnames(self) -> list[str]:
@@ -111,8 +112,8 @@ class Job:
 class JobContext:
     """What a job script sees: its allocation plus srun-like helpers."""
 
-    def __init__(self, kernel: "SimKernel", job: Job,
-                 manager: "WorkloadManager"):
+    def __init__(self, kernel: SimKernel, job: Job,
+                 manager: WorkloadManager):
         self.kernel = kernel
         self.job = job
         self.manager = manager
@@ -163,7 +164,7 @@ class WorkloadManager:
 
     name = "wlm"
 
-    def __init__(self, kernel: "SimKernel", nodes: list[Node],
+    def __init__(self, kernel: SimKernel, nodes: list[Node],
                  platform: str = ""):
         if not nodes:
             raise ConfigurationError("workload manager needs nodes")

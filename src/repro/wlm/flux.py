@@ -9,7 +9,8 @@ similarly."
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator
+from collections.abc import Callable, Generator
+from typing import Any
 
 from ..errors import ConfigurationError
 from .base import Job, JobContext, JobSpec, WorkloadManager

@@ -7,7 +7,7 @@ Ray cluster with ``srun --nodes=1 -w $head_node ...`` plus a worker sweep).
 
 from __future__ import annotations
 
-from typing import Callable, Generator
+from collections.abc import Callable, Generator
 
 from .base import Job, JobContext, JobSpec, WorkloadManager
 

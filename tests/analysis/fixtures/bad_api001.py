@@ -1,0 +1,8 @@
+"""API001 golden fixture: deprecated surfaces."""
+
+
+def legacy(engine, env):
+    policy = env.get("ROUTER_POLICY")   # API001: removed env key
+    port = env.get("ROUTER_PORT")       # API001: removed env key
+    handle = engine.submit(prompt_tokens=128, max_new_tokens=64)  # API001
+    return policy, port, handle

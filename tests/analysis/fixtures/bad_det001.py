@@ -1,0 +1,18 @@
+"""DET001 golden fixture: wall-clock reads on a sim path.
+
+Not collected by pytest (no ``test_`` prefix); linted by
+``tests/analysis/test_lint_rules.py`` which asserts each marked line
+fires.
+"""
+
+import datetime
+import time
+from time import perf_counter as pc
+
+
+def stamp():
+    t0 = time.time()            # DET001
+    t1 = time.monotonic()       # DET001
+    t2 = pc()                   # DET001 (through the import alias)
+    today = datetime.datetime.now()  # DET001
+    return t0, t1, t2, today

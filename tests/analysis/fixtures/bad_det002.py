@@ -1,0 +1,15 @@
+"""DET002 golden fixture: global RNG instead of named streams."""
+
+import random
+
+import numpy as np
+from random import randint
+
+
+def roll():
+    a = random.random()          # DET002: global stream
+    b = np.random.rand()         # DET002: numpy global stream
+    c = randint(1, 6)            # DET002: via import alias
+    bad = random.Random()        # DET002: unseeded constructor
+    ok = random.Random(1234)     # fine: seeded local stream
+    return a, b, c, bad, ok

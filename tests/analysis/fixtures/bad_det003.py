@@ -1,0 +1,36 @@
+"""DET003 golden fixture: iteration over identity-hashed sets."""
+
+
+class Pool:
+    waiting: set = set()
+
+    def __init__(self):
+        self.members = set()
+
+    def drain(self):
+        for item in self.members:        # DET003: self-attr set
+            item.close()
+
+    def field_scan(self):
+        return [w for w in self.waiting]  # DET003: class-field set
+
+
+def totals(flows: set) -> float:
+    return sum(f.rate for f in flows)    # DET003: genexp over set arg
+
+
+def snapshot(flows: set) -> list:
+    return list(flows)                   # DET003: list() over a set
+
+
+def ordered(flows: set) -> list:
+    return sorted(flows, key=lambda f: f.id)   # fine: explicit order
+
+
+def exists(flows: set) -> bool:
+    return any(f.rate > 0 for f in flows)      # fine: order-free sink
+
+
+def local_list(items: list) -> None:
+    for item in items:                   # fine: list, not a set
+        print(item)

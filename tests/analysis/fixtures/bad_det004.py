@@ -1,0 +1,10 @@
+"""DET004 golden fixture: env reads outside the typed-config layer."""
+
+import os
+
+
+def configure():
+    policy = os.environ.get("POLICY", "rr")   # DET004: environ read
+    port = os.getenv("PORT", "4000")          # DET004: os.getenv
+    raw = os.environ["CONFIG"]                # DET004: environ read
+    return policy, port, raw

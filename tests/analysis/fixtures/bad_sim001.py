@@ -1,0 +1,9 @@
+"""SIM001 golden fixture: blocking sleeps on a sim path."""
+
+import time
+from time import sleep
+
+
+def wait_for_gpu():
+    time.sleep(0.5)   # SIM001: blocks the host, not the simulation
+    sleep(1)          # SIM001: via import alias

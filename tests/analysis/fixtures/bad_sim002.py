@@ -1,0 +1,8 @@
+"""SIM002 golden fixture: private kernel state pokes from outside."""
+
+
+def peek(kernel):
+    now = kernel._now            # SIM002
+    depth = len(kernel._queue)   # SIM002
+    kernel._schedule(None)       # SIM002
+    return now, depth

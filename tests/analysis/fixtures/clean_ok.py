@@ -1,0 +1,15 @@
+"""Negative fixture: idiomatic sim-path code; no rule should fire."""
+
+from __future__ import annotations
+
+
+def tick(kernel):
+    return kernel.now
+
+
+def ordered_rates(flows: set) -> list:
+    return sorted(flows, key=lambda f: f.id)
+
+
+def draw(kernel):
+    return kernel.rng.stream("arrivals").random()

@@ -46,7 +46,8 @@ def test_write_figure_artifacts(tmp_path):
     paths = write_figure_artifacts(result, str(tmp_path))
     assert len(paths) == 3  # two .dat + plot.gp
     assert all(os.path.exists(p) for p in paths)
-    script = open(os.path.join(str(tmp_path), "plot.gp")).read()
+    with open(os.path.join(str(tmp_path), "plot.gp")) as fh:
+        script = fh.read()
     assert "set logscale x 2" in script
     assert "Output Token Throughput" in script
     assert script.count(".dat") == 2
