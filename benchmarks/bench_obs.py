@@ -46,6 +46,8 @@ import statistics
 import time
 
 from repro.campaign.runner import demo_grid, run_cell
+from repro.obs.alerts import AlertEvaluator
+from repro.obs.critical_path import CriticalPathAnalyzer
 
 #: Paired (enabled, dark) rounds; order alternates round to round.
 ROUNDS = 6
@@ -179,3 +181,104 @@ def test_obs_overhead_campaign_cell_10x(benchmark):
     assert overhead_pct <= OVERHEAD_BUDGET_PCT or delta <= ABS_FLOOR_S, (
         f"observability overhead {overhead_pct:.1f}% "
         f"({delta * 1e3:.0f}ms) exceeds the {OVERHEAD_BUDGET_PCT}% budget")
+
+
+def _full_obs_day():
+    """One hot-cell day with the full surface on (scraper + alerts),
+    reporting off; returns (wall_s, kernel, fleet)."""
+    spec = _cell_spec()
+    site = spec.build_site()
+    kernel = site.kernel
+    fleet = spec.build_fleet(site)
+    fleet.config = dataclasses.replace(fleet.config, obs_report=False)
+    schedule = spec.schedule.build()
+    mix = spec.build_mix(kernel)
+
+    def cell(env):
+        yield from fleet.start(initial_replicas=spec.initial_replicas)
+        report = yield from fleet.run_scenario(
+            schedule, spec.horizon, mix=mix, label=spec.name)
+        return report
+
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        report = kernel.run(until=kernel.spawn(cell(kernel)))
+        elapsed = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    assert report.arrivals > 3000
+    return elapsed, kernel, fleet
+
+
+def test_analysis_plane_one_shot_cost(benchmark):
+    """Alert evaluation + critical-path attribution on the 10x cell.
+
+    The alert evaluator runs *inside* the day at scrape cadence; its
+    in-day cost is a handful of ``value_at`` bisects per tick and is
+    covered by the overall run_cell trajectory.  What this test budgets
+    is the **one-shot analysis pass** the report block pays at the end:
+    a from-scratch re-evaluation of the whole rule set over every
+    scrape instant, plus the full critical-path decomposition of every
+    span tree — together they must cost no more than the same 5% (with
+    the same absolute floor) of the dark serving day.
+
+    The re-evaluation doubles as an end-to-end determinism check: a
+    fresh evaluator replayed over the scrape history must reproduce the
+    in-day evaluator's digest byte-for-byte.
+    """
+    day_s, kernel, fleet = _full_obs_day()
+    evaluator = fleet.alerts
+    assert evaluator is not None and evaluator.evaluations > 0
+    scraper = evaluator.scraper
+    spans = kernel.obs.spans
+    spans.finished        # materialize outside the timed window
+
+    digests = []
+
+    def analysis():
+        replay = AlertEvaluator(kernel, scraper, evaluator.rules,
+                                interval=evaluator.interval)
+        for sample in scraper.samples:
+            replay.evaluate_at(sample.time)
+        report = CriticalPathAnalyzer(spans).report()
+        digests.append((replay.digest(), report.digest()))
+        return report
+
+    gc.collect()
+    gc.disable()
+    try:
+        costs = []
+        for _ in range(5):
+            t0 = time.perf_counter()
+            report = analysis()
+            costs.append(time.perf_counter() - t0)
+    finally:
+        gc.enable()
+    analysis_s = min(costs)
+
+    # Determinism: every pass identical, and the replayed alert digest
+    # matches what the in-day evaluator recorded.
+    assert len(set(digests)) == 1
+    assert digests[0][0] == evaluator.digest()
+
+    benchmark.pedantic(analysis, rounds=2, iterations=1)
+    benchmark.extra_info.update({
+        "requests": report.requests,
+        "alert_rules": len(evaluator.rules),
+        "alert_events": len(evaluator.events),
+        "alerts_digest": evaluator.digest(),
+        "attribution_digest": report.digest(),
+        "attribution_top_e2e_p99": report.top_phase("e2e", "p99"),
+    })
+    budget_s = max(ABS_FLOOR_S, OVERHEAD_BUDGET_PCT / 100.0 * day_s)
+    print(f"\nanalysis plane: day={day_s:.3f}s "
+          f"one-shot={analysis_s * 1e3:.1f}ms "
+          f"(budget {budget_s * 1e3:.0f}ms, "
+          f"{report.requests} requests, "
+          f"{len(evaluator.events)} alert events)")
+    assert analysis_s <= budget_s, (
+        f"analysis plane one-shot pass {analysis_s * 1e3:.0f}ms exceeds "
+        f"max({ABS_FLOOR_S}s, {OVERHEAD_BUDGET_PCT}% of the "
+        f"{day_s:.2f}s day)")

@@ -178,6 +178,11 @@ class ScenarioSpec:
     chaos: tuple[ChaosEventSpec, ...] = ()
     probe_interval: float = 15.0
     supervisor_interval: float = 30.0
+    #: simulated seconds between metrics scrapes — also the alert
+    #: evaluation cadence (0 disables scraping *and* alerting).  Chaos
+    #: matrix cells tighten this so telemetry-driven detection delay is
+    #: resolved finer than the fault duration.
+    scrape_interval: float = 300.0
     #: Multi-turn conversational workload; when ``sessions.enabled`` the
     #: schedule emits session *starts* and replicas serve with prefix
     #: caching per ``sessions.prefix_caching``.
@@ -235,6 +240,8 @@ class ScenarioSpec:
         if self.probe_interval <= 0 or self.supervisor_interval <= 0:
             raise ConfigurationError(
                 "probe_interval and supervisor_interval must be positive")
+        if self.scrape_interval < 0:
+            raise ConfigurationError("scrape_interval must be >= 0")
         names = [t.name for t in self.tenants]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate tenant names: {names}")
@@ -341,6 +348,7 @@ class ScenarioSpec:
             slo=self.slo,
             autoscaler=self.autoscaler,
             engine_params=engine_params,
+            scrape_interval=self.scrape_interval,
             disagg=self.disagg,
             fast_forward=self.fast_forward)
         return Fleet(site, config)

@@ -15,6 +15,14 @@ resilience report derives from that probe timeline:
   that succeeded only after a failover;
 * **first response** — the first supervisor repair or autoscaler action
   after injection.
+
+Since PR 10 the probe ground truth is scored *next to* the telemetry
+path an operator would actually have: when the fleet ran with its alert
+evaluator on, ``detection_delay_alert_s`` measures injection to first
+firing alert (``None`` = the rule set never noticed), false-positive
+firings are counted, and the firing timeline merges with injections,
+supervisor repairs, and scale actions into a deterministic
+:class:`~repro.obs.incident.IncidentLog` on the report.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..errors import StateError
+from ..obs.incident import IncidentLog
 from .scenarios import ChaosContext, ChaosScenario
 from .supervisor import ReplicaSupervisor, SupervisorConfig
 
@@ -62,6 +71,14 @@ class ResilienceReport:
     repair_events: list[dict] = field(default_factory=list)
     recovery_ok: bool = False
     error: str | None = None
+    #: telemetry-driven detection: injection to the first *firing*
+    #: alert (None = no alert evaluator, or the rules never noticed —
+    #: the rule-quality gap the probe ground truth exposes).
+    detection_delay_alert_s: float | None = None
+    alerts_fired: int = 0
+    false_alerts: int = 0
+    #: merged alert/injection/repair/scale timeline (IncidentLog JSON).
+    incidents: dict | None = None
 
     def summary(self) -> str:
         state = "RECOVERED" if self.recovery_ok else "NOT RECOVERED"
@@ -69,9 +86,13 @@ class ResilienceReport:
                 else f"{self.mttr_s:7.1f}s")
         detect = ("not detected" if self.detected_at is None
                   else f"detected +{self.detected_at - self.injected_at:.0f}s")
+        alert = ("alert n/a" if self.incidents is None
+                 else "alert silent" if self.detection_delay_alert_s is None
+                 else f"alert +{self.detection_delay_alert_s:.0f}s")
         return (f"{self.scenario:18s} [{self.layer:9s}] on "
-                f"{self.platform:8s}: {state} mttr={mttr} ({detect}), "
-                f"lost={self.requests_lost} retried={self.requests_retried}")
+                f"{self.platform:8s}: {state} mttr={mttr} ({detect}, "
+                f"{alert}), lost={self.requests_lost} "
+                f"retried={self.requests_retried}")
 
     def to_json(self) -> dict:
         def r(value):
@@ -86,12 +107,17 @@ class ResilienceReport:
             "recovered_at_s": r(self.recovered_at),
             "mttr_s": r(self.mttr_s),
             "first_response_s": r(self.first_response_s),
+            "detection_delay_alert_s": r(self.detection_delay_alert_s),
+            "alerts_fired": self.alerts_fired,
+            "false_alerts": self.false_alerts,
             "requests_lost": self.requests_lost,
             "requests_retried": self.requests_retried,
             "failed_forwards": self.failed_forwards,
             "repair_events": self.repair_events,
             "recovery_ok": self.recovery_ok,
             "error": self.error,
+            **({"incidents": self.incidents}
+               if self.incidents is not None else {}),
         }
 
 
@@ -267,6 +293,7 @@ class ChaosOrchestrator:
         self._probe_once()
         stop.succeed()
         final_stats = fleet.router_app.stats()
+        alerts = fleet.alerts
         segments = []
         for i, record in enumerate(injections):
             t0 = record["injected_at"]
@@ -277,6 +304,8 @@ class ChaosOrchestrator:
                           else report.slo.errors)
             retried_end = (nxt["retried_before"] if nxt
                            else final_stats["retried_ok"])
+            first_alert = (alerts.first_firing(t0, t1)
+                           if alerts is not None else None)
             segments.append({
                 "scenario": record["scenario"],
                 "layer": record["layer"],
@@ -288,6 +317,9 @@ class ChaosOrchestrator:
                                    else round(recovered, 1)),
                 "mttr_s": (None if recovered is None
                            else round(recovered - t0, 1)),
+                "detection_delay_alert_s": (None if first_alert is None
+                                            else round(first_alert - t0,
+                                                       1)),
                 "requests_lost": errors_end - record["errors_before"],
                 "requests_retried": (retried_end
                                      - record["retried_before"]),
@@ -296,6 +328,9 @@ class ChaosOrchestrator:
         report.resilience = {"gameday": segments,
                              "repair_events": [e.row() for e in
                                                self.supervisor.events]}
+        if alerts is not None:
+            report.resilience["incidents"] = \
+                self._incident_log(injections).to_json()
         return report, segments
 
     # -- scoring ----------------------------------------------------------------
@@ -317,6 +352,20 @@ class ChaosOrchestrator:
         if good_after:
             return bad[0].time, good_after[0].time
         return bad[0].time, None
+
+    def _incident_log(self, injections: list[dict]) -> IncidentLog:
+        """Merge this run's event streams into one incident timeline."""
+        alerts = self.fleet.alerts
+        return IncidentLog.build(
+            alerts=alerts.events if alerts is not None else (),
+            injections=[(rec["injected_at"], rec["scenario"],
+                         rec["layer"]) for rec in injections
+                        if rec.get("injected_at") is not None],
+            repairs=[(e.time, e.action, e.replica)
+                     for e in self.supervisor.events],
+            scales=[(e.time, e.action,
+                     f"{e.replicas_before}->{e.replicas_after}")
+                    for e in self.fleet.autoscaler.events])
 
     def _resilience(self, scenario: ChaosScenario, platform_name: str,
                     report: FleetReport, state: dict) -> ResilienceReport:
@@ -353,4 +402,13 @@ class ChaosOrchestrator:
         out.first_response_s = (min(responses) - injected_at
                                 if responses else None)
         out.repair_events = [e.row() for e in self.supervisor.events]
+        alerts = self.fleet.alerts
+        if alerts is not None:
+            first = alerts.first_firing(injected_at)
+            out.detection_delay_alert_s = (None if first is None
+                                           else first - injected_at)
+            out.alerts_fired = alerts.fired_count(injected_at)
+            log = self._incident_log([state])
+            out.false_alerts = log.false_alerts()
+            out.incidents = log.to_json()
         return out

@@ -73,7 +73,11 @@ def case_spec(config: ChaosRunConfig, fleet_platform: str):
             min_replicas=config.initial_replicas, max_replicas=3,
             target_outstanding=8.0),
         probe_interval=config.probe_interval,
-        supervisor_interval=config.supervisor_interval)
+        supervisor_interval=config.supervisor_interval,
+        # Tighter than the fleet default: the alert evaluator runs at
+        # the scrape cadence, and telemetry-driven detection delay is
+        # only meaningful when resolved finer than the fault duration.
+        scrape_interval=60.0)
 
 
 def run_case(scenario: ChaosScenario | str, platform_kind: str,
@@ -148,6 +152,10 @@ def run_matrix(platform_kinds=("hpc", "k8s"), seed: int = 42,
     mttrs = [c["resilience"]["mttr_s"] for c in cases
              if c["resilience"]["mttr_s"] is not None]
     recovered = sum(c["resilience"]["recovery_ok"] for c in cases)
+    alert_delays = [c["resilience"]["detection_delay_alert_s"]
+                    for c in cases
+                    if c["resilience"]["detection_delay_alert_s"]
+                    is not None]
     return {
         "schema": "chaos_scorecard/v1",
         "seed": seed,
@@ -164,6 +172,15 @@ def run_matrix(platform_kinds=("hpc", "k8s"), seed: int = 42,
                 c["resilience"]["requests_lost"] for c in cases),
             "requests_retried_total": sum(
                 c["resilience"]["requests_retried"] for c in cases),
+            # Telemetry-driven detection, next to the probe ground
+            # truth above: how many faults the rule set noticed at all,
+            # how fast, and how often it paged without cause.
+            "alert_detected": len(alert_delays),
+            "alert_delay_mean_s": (round(sum(alert_delays)
+                                         / len(alert_delays), 1)
+                                   if alert_delays else None),
+            "false_alerts_total": sum(
+                c["resilience"]["false_alerts"] for c in cases),
         },
     }
 

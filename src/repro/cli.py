@@ -343,7 +343,7 @@ def _percentile(values: list[float], q: float) -> float:
 def _cmd_obs(args: argparse.Namespace) -> int:
     from .campaign import ScenarioSpec, ScheduleSpec, SiteSpec
     from .fleet import AutoscalerConfig, SloSpec
-    from .obs import chrome_trace, profiler
+    from .obs import CriticalPathAnalyzer, IncidentLog, chrome_trace, profiler
 
     spec = ScenarioSpec(
         name="cli-obs", seed=args.seed,
@@ -408,6 +408,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(f"  trace {root.trace_id}: {root.duration:.3f}s "
               f"(tenant={root.attrs.get('tenant')}, {parts})")
 
+    # Critical-path attribution: which phase dominates each latency
+    # cohort, computed from the same span trees as the tables above.
+    cp = CriticalPathAnalyzer(spans).report()
+    print()
+    print(cp.table("e2e"))
+
     if report.obs is not None:
         print("\ndigests:")
         for key, value in sorted(report.obs["digests"].items()):
@@ -417,6 +423,33 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             print(f"  scrape: {scrape['digest']} "
                   f"({scrape['scrapes']} scrapes "
                   f"@ {scrape['interval']:.0f}s)")
+
+    if args.alerts:
+        print("\nalert timeline:")
+        if fleet.alerts is None:
+            print("  (alert evaluation disabled)")
+        else:
+            for event in fleet.alerts.events:
+                print(f"  {fmt_duration(event.time):>10s} "
+                      f"{event.state:9s} {event.rule} "
+                      f"(value={event.value:.4g})")
+            if not fleet.alerts.events:
+                print("  (no alert transitions: every rule stayed green)")
+            print(f"  rules={len(fleet.alerts.rules)} "
+                  f"fired={fleet.alerts.fired_count()} "
+                  f"digest={fleet.alerts.digest()}")
+
+    if args.incidents:
+        print()
+        if fleet.alerts is None:
+            print("incident timeline: (alert evaluation disabled)")
+        else:
+            log = IncidentLog.build(
+                alerts=fleet.alerts.events,
+                scales=[(e.time, e.action,
+                         f"{e.replicas_before}->{e.replicas_after}")
+                        for e in report.scale_events])
+            print(log.summary())
 
     if args.profile:
         print("\nwall-clock self-profile:")
@@ -459,7 +492,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"recovered; mttr mean={summary['mttr_mean_s']}s "
           f"max={summary['mttr_max_s']}s; "
           f"lost={summary['requests_lost_total']} "
-          f"retried={summary['requests_retried_total']}")
+          f"retried={summary['requests_retried_total']}; "
+          f"alerts detected {summary['alert_detected']}/"
+          f"{summary['cases']} "
+          f"(mean +{summary['alert_delay_mean_s']}s, "
+          f"false={summary['false_alerts_total']})")
     if args.out:
         import pathlib
         path = pathlib.Path(args.out)
@@ -597,6 +634,12 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--profile", action="store_true",
                      help="enable the wall-clock self-profiler and print "
                           "the per-subsystem report + text flamegraph")
+    obs.add_argument("--alerts", action="store_true",
+                     help="print the SLO alert timeline (pending/firing/"
+                          "resolved transitions) and the rule-set digest")
+    obs.add_argument("--incidents", action="store_true",
+                     help="print the merged incident timeline (alerts + "
+                          "autoscaler actions)")
     obs.add_argument("--trace-out", default=None,
                      help="write a Chrome-trace/Perfetto JSON file here")
     obs.add_argument("--out", default=None,

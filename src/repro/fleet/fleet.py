@@ -33,6 +33,8 @@ from ..errors import (APIError, ConfigurationError, ContainerCrash,
                       NetworkUnreachable, ReproError, StateError)
 from ..k8s.objects import PodPhase
 from ..net.http import HttpClient, lookup
+from ..obs.alerts import AlertEvaluator, AlertRule, default_slo_rules
+from ..obs.critical_path import CriticalPathAnalyzer
 from ..obs.profile import profiler
 from ..services.router import (LlmRouter, RouterConfig, RouterPolicy,
                                router_image)
@@ -93,6 +95,14 @@ class FleetConfig:
     obs_spans: bool = True
     #: simulated seconds between metrics scrapes (0 disables the scraper).
     scrape_interval: float = 300.0
+    #: evaluate SLO alert rules against the scraped series during
+    #: scenarios (requires the scraper, i.e. ``scrape_interval > 0``);
+    #: the firing timeline and its digest land in ``FleetReport.obs``.
+    alerts: bool = True
+    #: explicit rule set; empty means the stock
+    #: :func:`~repro.obs.alerts.default_slo_rules` derived from ``slo``
+    #: and ``scrape_interval``.
+    alert_rules: tuple[AlertRule, ...] = ()
     #: build the end-of-run ``FleetReport.obs`` block (series counts,
     #: span/metrics/scrape digests).  Off, recording still happens but
     #: the one-shot reporting pass is skipped — overhead benches use
@@ -396,6 +406,9 @@ class Fleet:
         self._client: HttpClient | None = None
         self._seeded = False
         self._scenario_ran = False
+        #: alert evaluator of the current/last scenario (None when the
+        #: scraper or alerting is off); chaos scoring reads its events.
+        self.alerts: AlertEvaluator | None = None
         reg = self.kernel.obs.registry
         requests_total = reg.counter(
             "fleet_requests_total", "Requests issued through the router",
@@ -408,6 +421,36 @@ class Fleet:
             .labels().set_function(lambda: self.inflight)
         reg.gauge("fleet_replicas", "Live vLLM replicas") \
             .labels().set_function(lambda: len(self.replicas))
+        # Rolling-window SLO series, the raw material for the alert
+        # rules.  All six share one snapshot per collection instant (a
+        # scrape reads every gauge at the same kernel.now); snapshot()
+        # itself only trims the window, which the next live observation
+        # would do anyway, so scraping does not perturb the simulation.
+        self._snap_cache: tuple[float, SloTracker, object] | None = None
+        for name, help_text, fn in (
+            ("fleet_slo_attainment", "Windowed fraction of good requests",
+             lambda: self._slo_window().attainment),
+            ("fleet_slo_error_rate", "Windowed error fraction",
+             lambda: self._slo_window().error_rate),
+            ("fleet_slo_ttft_p95_seconds", "Windowed p95 TTFT",
+             lambda: self._slo_window().ttft_p95),
+            ("fleet_slo_e2e_p95_seconds", "Windowed p95 E2E latency",
+             lambda: self._slo_window().e2e_p95),
+            ("fleet_slo_window_samples", "Requests in the SLO window",
+             lambda: self._slo_window().samples),
+            ("fleet_slo_met", "1 when the windowed SLO gate holds",
+             lambda: float(self._slo_window().slo_met)),
+        ):
+            reg.gauge(name, help_text).labels().set_function(fn)
+
+    def _slo_window(self):
+        """The SLO snapshot at the current instant, computed once."""
+        cache = self._snap_cache
+        if (cache is None or cache[0] != self.kernel.now
+                or cache[1] is not self.slo):
+            cache = (self.kernel.now, self.slo, self.slo.snapshot())
+            self._snap_cache = cache
+        return cache[2]
 
     # -- bring-up ---------------------------------------------------------------
 
@@ -992,11 +1035,26 @@ class Fleet:
             from ..obs import MetricsScraper
             scraper = MetricsScraper(kernel, kernel.obs.registry,
                                      self.config.scrape_interval)
+        self.alerts = None
+        if scraper is not None and self.config.alerts:
+            rules = self.config.alert_rules or default_slo_rules(
+                ttft_target=self.config.slo.ttft_target,
+                e2e_target=self.config.slo.e2e_target,
+                max_error_rate=self.config.slo.max_error_rate,
+                percentile=self.config.slo.percentile,
+                interval=self.config.scrape_interval,
+                min_replicas=self.config.autoscaler.min_replicas)
+            self.alerts = AlertEvaluator(kernel, scraper, rules)
         stop = kernel.event()
         kernel.spawn(self.autoscaler.run(stop), name="fleet:autoscaler")
         kernel.spawn(self._monitor(stop), name="fleet:monitor")
         if scraper is not None:
             kernel.spawn(scraper.run(stop), name="fleet:scraper")
+        if self.alerts is not None:
+            # Spawned after the scraper: same-instant wakeups then run
+            # scrape-before-evaluate, so every evaluation reads the
+            # freshest sample.
+            kernel.spawn(self.alerts.run(stop), name="fleet:alerts")
         started = kernel.now
         self.replica_timeline.append((started, len(self.replicas)))
         try:
@@ -1014,6 +1072,10 @@ class Fleet:
                                        or kernel.obs.spans.enabled):
             if scraper is not None:
                 scraper.scrape_once()   # pin the end-of-run state
+            if self.alerts is not None:
+                # Close the loop on the pin scrape: breaches still live
+                # at the horizon fire/resolve deterministically.
+                self.alerts.evaluate_at(kernel.now)
             obs = kernel.obs.summary()
             if scraper is not None:
                 obs["scrape"] = {
@@ -1021,6 +1083,11 @@ class Fleet:
                     "scrapes": len(scraper.samples),
                     "digest": scraper.digest(),
                 }
+            if self.alerts is not None:
+                obs["alerts"] = self.alerts.to_json()
+            if kernel.obs.spans.enabled:
+                obs["attribution"] = \
+                    CriticalPathAnalyzer(kernel.obs.spans).report().to_json()
         return FleetReport(
             label=label, duration=kernel.now - started, arrivals=arrivals,
             slo=self.slo.report(),

@@ -15,11 +15,23 @@ through the same four primitives:
 * :mod:`~repro.obs.profile` / :mod:`~repro.obs.export` — wall-clock
   self-profiler and Chrome-trace/Perfetto JSON export.
 
+On top of that data plane sits the *analysis plane* (PR 10):
+
+* :mod:`~repro.obs.alerts` — declarative threshold / absence /
+  burn-rate rules with a pending→firing→resolved lifecycle;
+* :mod:`~repro.obs.critical_path` — per-request phase attribution
+  aggregated into percentile cohorts;
+* :mod:`~repro.obs.incident` — alert + injection + repair events merged
+  into deterministic incident timelines.
+
 See ``docs/observability.md`` for the guided tour and overhead numbers.
 """
 
+from .alerts import AlertEvaluator, AlertEvent, AlertRule, default_slo_rules
 from .context import Observability
+from .critical_path import CriticalPathAnalyzer, CriticalPathReport
 from .export import chrome_trace
+from .incident import IncidentEvent, IncidentLog
 from .metrics import MetricsRegistry, parse_exposition
 from .profile import Profiler, profiler
 from .scrape import MetricsScraper
@@ -27,6 +39,13 @@ from .spans import NULL_SPAN, Span, SpanRecorder
 from .stats import QUANTILE_KEYS, LogHistogram
 
 __all__ = [
+    "AlertEvaluator",
+    "AlertEvent",
+    "AlertRule",
+    "CriticalPathAnalyzer",
+    "CriticalPathReport",
+    "IncidentEvent",
+    "IncidentLog",
     "LogHistogram",
     "MetricsRegistry",
     "MetricsScraper",
@@ -37,6 +56,7 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "chrome_trace",
+    "default_slo_rules",
     "parse_exposition",
     "profiler",
 ]

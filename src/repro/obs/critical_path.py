@@ -1,0 +1,274 @@
+"""Critical-path attribution over per-request span trees.
+
+Answers the question the raw span store cannot: *where did the p99 TTFT
+go?*  Each finished ``request`` trace is decomposed into the serving
+phases its child spans cover —
+
+* ``queue`` — admission wait inside the engine;
+* ``prefill`` — prompt processing (both legs under disaggregation);
+* ``kv_transfer`` — the disagg KV handoff over the fabric;
+* ``decode`` — token generation;
+* ``retry`` — failed forward attempts the router paid before failover
+  succeeded (``attempt`` spans);
+* ``other`` — whatever the instrumented phases do not cover (fabric
+  hops, router pick, client legs): the root's duration minus the union
+  of phase intervals, so double-counted overlap can never make shares
+  exceed 1.
+
+Per-request decompositions aggregate into rank-based percentile cohorts
+(p50 / p50–p90 / p90–p99 / ≥p99, by TTFT and by E2E separately), the
+shape critical-path analyses of production RPC fleets report: the tail
+cohorts show which phase grew, not just that the tail is long.
+
+Deterministic by construction — spans carry only simulated-time
+quantities and recorder-local ids, ties rank by trace id — so
+:meth:`CriticalPathReport.digest` is byte-identical across campaign
+worker counts and lands in the scorecard ``cmp`` set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .spans import Span, SpanRecorder
+
+__all__ = ["CriticalPathAnalyzer", "CriticalPathReport", "PHASES"]
+
+#: Instrumented phases, in pipeline order; ``other`` is derived.
+PHASES = ("queue", "prefill", "kv_transfer", "decode", "retry")
+
+#: Cohorts by rank fraction: [0, .5) -> p50, [.5, .9) -> p50_p90, etc.
+_COHORTS = (("p50", 0.50), ("p50_p90", 0.90), ("p90_p99", 0.99),
+            ("p99", 1.01))
+
+_PHASE_NAMES = frozenset(PHASES) - {"retry"}
+
+
+class _Request:
+    """One decomposed request: phase seconds over E2E and over TTFT."""
+
+    __slots__ = ("trace_id", "e2e", "ttft", "phases", "ttft_phases")
+
+    def __init__(self, trace_id: int, e2e: float, ttft: float,
+                 phases: dict[str, float],
+                 ttft_phases: dict[str, float]):
+        self.trace_id = trace_id
+        self.e2e = e2e
+        self.ttft = ttft
+        self.phases = phases
+        self.ttft_phases = ttft_phases
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by possibly-overlapping intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        elif end > cur_end:
+            cur_end = end
+    return total + (cur_end - cur_start)
+
+
+class CriticalPathReport:
+    """Aggregated attribution: per-cohort phase breakdowns."""
+
+    def __init__(self, requests: int, skipped: int,
+                 cohorts: dict[str, dict[str, dict[str, Any]]]):
+        #: ok requests decomposed / traces skipped (errored, incomplete)
+        self.requests = requests
+        self.skipped = skipped
+        #: ``{"ttft" | "e2e": {cohort: {n, mean_s, phase_s, share,
+        #: top_phase}}}``
+        self.cohorts = cohorts
+
+    def top_phase(self, metric: str = "e2e",
+                  cohort: str = "p99") -> str:
+        """The dominant phase of one cohort ('' when it is empty)."""
+        entry = self.cohorts.get(metric, {}).get(cohort)
+        if not entry or not entry["n"]:
+            return ""
+        return str(entry["top_phase"])
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "skipped": self.skipped,
+            "cohorts": self.cohorts,
+            "digest": self.digest(),
+        }
+
+    def digest(self) -> str:
+        """Canonical SHA-256 over the aggregated breakdowns."""
+        body = {"requests": self.requests, "skipped": self.skipped,
+                "cohorts": self.cohorts}
+        return hashlib.sha256(
+            json.dumps(body, sort_keys=True).encode()).hexdigest()
+
+    def table(self, metric: str = "e2e") -> str:
+        """Fixed-width text rendering for the CLI."""
+        names = PHASES + ("other",)
+        lines = [f"critical-path attribution by {metric} cohort "
+                 f"({self.requests} requests, {self.skipped} skipped):",
+                 "  " + f"{'cohort':8s} {'n':>6s} {'mean_s':>8s} "
+                 + " ".join(f"{n:>11s}" for n in names)
+                 + "  top"]
+        for cohort in ("all",) + tuple(key for key, _ in _COHORTS):
+            entry = self.cohorts.get(metric, {}).get(cohort)
+            if entry is None:
+                continue
+            if not entry["n"]:
+                lines.append(f"  {cohort:8s} {0:6d}        -")
+                continue
+            cells = " ".join(
+                f"{entry['share'].get(name, 0.0):10.1%} "
+                for name in names)
+            lines.append(
+                f"  {cohort:8s} {entry['n']:6d} "
+                f"{entry['mean_s']:8.3f} {cells} {entry['top_phase']}")
+        return "\n".join(lines)
+
+
+class CriticalPathAnalyzer:
+    """One-shot analysis pass over a :class:`SpanRecorder`.
+
+    Iterates the finished-span store once (it is close-ordered, so
+    grouping by trace id is a dict walk, not a sort), decomposes every
+    ok ``request`` root, and aggregates cohorts.  Cost is paid only at
+    reporting time — nothing here touches the serving hot path — and
+    the overhead bench budgets the whole pass.
+    """
+
+    def __init__(self, recorder: SpanRecorder):
+        self.recorder = recorder
+
+    # -- per-request decomposition ------------------------------------------------
+
+    def _decompose(self, spans: list[Span]) -> _Request | None:
+        root = None
+        for span in spans:
+            if span.name == "request" and span.parent_id is None:
+                root = span
+                break
+        if root is None or root.end is None:
+            return None
+        if not bool(root.attrs.get("ok", True)):
+            return None
+        r_start, r_end = root.start, root.end
+        e2e = r_end - r_start
+        phases = dict.fromkeys(PHASES, 0.0)
+        ttft_phases = dict.fromkeys(PHASES, 0.0)
+        covered: list[tuple[float, float]] = []
+        ttft_end = r_start
+        for span in spans:
+            name = span.name if span.name in _PHASE_NAMES else (
+                "retry" if span.name == "attempt" else None)
+            if name is None or span.end is None:
+                continue
+            start = max(span.start, r_start)
+            end = min(span.end, r_end)
+            if end <= start:
+                continue
+            phases[name] += end - start
+            covered.append((start, end))
+            if span.name in ("prefill", "kv_transfer") and end > ttft_end:
+                ttft_end = end
+        ttft = ttft_end - r_start
+        for span in spans:
+            name = span.name if span.name in _PHASE_NAMES else (
+                "retry" if span.name == "attempt" else None)
+            if name is None or span.end is None:
+                continue
+            start = max(span.start, r_start)
+            end = min(span.end, ttft_end)
+            if end > start:
+                ttft_phases[name] += end - start
+        phases["other"] = max(0.0, e2e - _union_length(covered))
+        return _Request(root.trace_id, e2e, ttft, phases, ttft_phases)
+
+    # -- aggregation --------------------------------------------------------------
+
+    @staticmethod
+    def _aggregate(requests: list[_Request],
+                   metric: str) -> dict[str, dict[str, Any]]:
+        key = (lambda r: (r.ttft, r.trace_id)) if metric == "ttft" \
+            else (lambda r: (r.e2e, r.trace_id))
+        ranked = sorted(requests, key=key)
+        n = len(ranked)
+        out: dict[str, dict[str, Any]] = {}
+        groups: dict[str, list[_Request]] = {name: []
+                                             for name, _ in _COHORTS}
+        for i, request in enumerate(ranked):
+            frac = (i + 1) / n
+            for name, ceiling in _COHORTS:
+                if frac <= ceiling or name == "p99":
+                    groups[name].append(request)
+                    break
+        for name, members in [("all", ranked)] + list(groups.items()):
+            out[name] = CriticalPathAnalyzer._cohort(members, metric)
+        return out
+
+    @staticmethod
+    def _cohort(members: list[_Request],
+                metric: str) -> dict[str, Any]:
+        names = PHASES + ("other",)
+        n = len(members)
+        if not n:
+            return {"n": 0, "mean_s": 0.0, "phase_s": {}, "share": {},
+                    "top_phase": ""}
+        phase_sums = dict.fromkeys(names, 0.0)
+        total = 0.0
+        for request in members:
+            if metric == "ttft":
+                total += request.ttft
+                for name in PHASES:
+                    phase_sums[name] += request.ttft_phases[name]
+            else:
+                total += request.e2e
+                for name in PHASES:
+                    phase_sums[name] += request.phases[name]
+        if metric == "ttft":
+            covered = sum(phase_sums[name] for name in PHASES)
+            phase_sums["other"] = max(0.0, total - covered)
+        else:
+            for request in members:
+                phase_sums["other"] += request.phases["other"]
+        top = max(names, key=lambda name: (phase_sums[name], name))
+        return {
+            "n": n,
+            "mean_s": round(total / n, 6),
+            "phase_s": {name: round(phase_sums[name] / n, 6)
+                        for name in names},
+            "share": {name: (round(phase_sums[name] / total, 6)
+                             if total > 0 else 0.0)
+                      for name in names},
+            "top_phase": top,
+        }
+
+    # -- entry point --------------------------------------------------------------
+
+    def report(self) -> CriticalPathReport:
+        by_trace: dict[int, list[Span]] = {}
+        for span in self.recorder.finished:
+            by_trace.setdefault(span.trace_id, []).append(span)
+        requests: list[_Request] = []
+        skipped = 0
+        for trace_id in by_trace:
+            decomposed = self._decompose(by_trace[trace_id])
+            if decomposed is None:
+                skipped += 1
+            else:
+                requests.append(decomposed)
+        cohorts: dict[str, dict[str, dict[str, Any]]] = {}
+        if requests:
+            cohorts = {"ttft": self._aggregate(requests, "ttft"),
+                       "e2e": self._aggregate(requests, "e2e")}
+        return CriticalPathReport(len(requests), skipped, cohorts)

@@ -1,0 +1,181 @@
+"""Deterministic incident timelines from telemetry and control events.
+
+An *incident* is what an operator reconstructs after a bad night: when
+did the fault land, when did an alert first page, what did the
+supervisor and autoscaler do about it, and when did the alerts resolve.
+:class:`IncidentLog` builds that reconstruction mechanically from four
+event streams that already exist in the stack —
+
+* alert lifecycle transitions (:class:`~repro.obs.alerts.AlertEvent`);
+* chaos injections (the ground truth, when a chaos run provides it);
+* supervisor repair actions;
+* autoscaler scale actions —
+
+merged into one time-sorted timeline and grouped into incidents: an
+incident *opens* at an injection or at the first firing alert
+(whichever comes first), collects every event while any alert is
+firing, and *closes* when the firing set empties.  An injection that
+never fires an alert stays open ("undetected") — that gap, and the
+count of alerts firing with no injection in flight ("false positives"),
+are exactly the alert-quality axes the chaos scorecard reports.
+
+Everything sorts on ``(time, kind, label)`` with simulated-time inputs,
+so the timeline — and :meth:`IncidentLog.digest` — is byte-identical
+across campaign worker counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .alerts import AlertEvent
+
+__all__ = ["IncidentEvent", "IncidentLog"]
+
+#: Event kinds in tie-break order: at one instant, the injection sorts
+#: before the alert it triggers, repairs/scales after both.
+_KIND_ORDER = {"injection": 0, "alert": 1, "repair": 2, "scale": 3}
+
+
+@dataclass(frozen=True)
+class IncidentEvent:
+    """One timeline entry: ``kind`` is injection | alert | repair | scale."""
+
+    time: float
+    kind: str
+    label: str        # rule name / scenario name / action
+    detail: str = ""  # alert state, repair target, replica delta
+
+    def row(self) -> dict[str, Any]:
+        return {"t": round(self.time, 3), "kind": self.kind,
+                "label": self.label, "detail": self.detail}
+
+
+class IncidentLog:
+    """A merged, grouped view over one run's operational events."""
+
+    def __init__(self, events: Sequence[IncidentEvent]):
+        self.events = sorted(
+            events, key=lambda e: (e.time, _KIND_ORDER.get(e.kind, 9),
+                                   e.label, e.detail))
+
+    @classmethod
+    def build(cls, alerts: Iterable[AlertEvent] = (),
+              injections: Iterable[tuple[float, str, str]] = (),
+              repairs: Iterable[tuple[float, str, str]] = (),
+              scales: Iterable[tuple[float, str, str]] = ()
+              ) -> IncidentLog:
+        """Assemble a log from the stack's native event shapes.
+
+        ``injections`` / ``repairs`` / ``scales`` are plain
+        ``(time, label, detail)`` triples so this package needs no
+        imports from the fleet or chaos layers; callers adapt their
+        event dataclasses in one line.
+        """
+        events: list[IncidentEvent] = [
+            IncidentEvent(e.time, "alert", e.rule, e.state)
+            for e in alerts]
+        for kind, stream in (("injection", injections),
+                             ("repair", repairs), ("scale", scales)):
+            for time, label, detail in stream:
+                events.append(IncidentEvent(time, kind, label, detail))
+        return cls(events)
+
+    # -- grouping -----------------------------------------------------------------
+
+    def incidents(self) -> list[dict[str, Any]]:
+        """Group the timeline into incident records.
+
+        Walks the sorted timeline once with a firing-rule set: an
+        incident opens on an injection or a first firing alert, absorbs
+        events until no rule is firing, then closes at the resolving
+        event's time.  ``detected_at`` is the first firing alert inside
+        the incident (``None`` = undetected).
+        """
+        incidents: list[dict[str, Any]] = []
+        current: dict[str, Any] | None = None
+        firing: set[str] = set()
+        for event in self.events:
+            opens = (event.kind == "injection"
+                     or (event.kind == "alert"
+                         and event.detail == "firing"))
+            if current is None and opens:
+                current = {"opened_at": round(event.time, 3),
+                           "cause": f"{event.kind}:{event.label}",
+                           "detected_at": None, "closed_at": None,
+                           "alerts": [], "events": 0}
+                incidents.append(current)
+            if current is None:
+                continue
+            current["events"] += 1
+            if event.kind == "alert":
+                if event.detail == "firing":
+                    firing.add(event.label)
+                    if current["detected_at"] is None:
+                        current["detected_at"] = round(event.time, 3)
+                    if event.label not in current["alerts"]:
+                        current["alerts"].append(event.label)
+                elif event.detail == "resolved":
+                    firing.discard(event.label)
+                    if not firing and current["detected_at"] is not None:
+                        current["closed_at"] = round(event.time, 3)
+                        current = None
+        return incidents
+
+    def false_alerts(self) -> int:
+        """Firing transitions with no injection at or before them.
+
+        In a chaos run every firing after the (first) injection is
+        chargeable to it; firings *before* any injection are pages with
+        no cause — the false-positive count the scorecard tracks.  A
+        run with no injections charges every firing here.
+        """
+        first_injection = min(
+            (e.time for e in self.events if e.kind == "injection"),
+            default=float("inf"))
+        return sum(1 for e in self.events
+                   if e.kind == "alert" and e.detail == "firing"
+                   and e.time < first_injection)
+
+    # -- serialization ------------------------------------------------------------
+
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        for event in self.events:
+            h.update(json.dumps(event.row(), sort_keys=True).encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "events": [e.row() for e in self.events],
+            "incidents": self.incidents(),
+            "false_alerts": self.false_alerts(),
+            "digest": self.digest(),
+        }
+
+    def summary(self) -> str:
+        lines = [f"incident timeline ({len(self.events)} events):"]
+        for event in self.events:
+            detail = f" {event.detail}" if event.detail else ""
+            lines.append(f"  [{event.time:10.1f}s] {event.kind:9s} "
+                         f"{event.label}{detail}")
+        records = self.incidents()
+        if not records:
+            lines.append("  (no incidents)")
+        for record in records:
+            closed = (f"closed at {record['closed_at']}s"
+                      if record["closed_at"] is not None else "OPEN")
+            detected = (f"detected at {record['detected_at']}s"
+                        if record["detected_at"] is not None
+                        else "UNDETECTED")
+            lines.append(
+                f"  incident from {record['cause']} at "
+                f"{record['opened_at']}s: {detected}, {closed}, "
+                f"alerts={record['alerts']}")
+        return "\n".join(lines)

@@ -13,12 +13,20 @@ series whose value changed since the previous scrape (plus every series
 on the first scrape), so a 90-day soak with thousands of mostly-idle
 series stays small without losing any information — the full state at
 any scrape is the fold of all deltas up to it.
+
+Readers get two point-in-time views back without re-folding by hand:
+:meth:`MetricsScraper.value_at` answers "what did this series read at
+simulated time ``t``" via a per-series change index maintained as
+scrapes land (one bisect per query), and :meth:`MetricsScraper.fold`
+reconstructs the whole registry state as of a time.  The alert
+evaluator (:mod:`repro.obs.alerts`) is built entirely on these reads.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+from bisect import bisect_right
 from collections.abc import Iterator
 from typing import TYPE_CHECKING, Any
 
@@ -59,6 +67,10 @@ class MetricsScraper:
         self.interval = interval
         self.samples: list[ScrapeSample] = []
         self._last: dict[str, float] = {}
+        # Per-series change index: key -> (change times, values), both
+        # append-only and time-sorted because scrapes only move forward.
+        # value_at() is one dict hit plus one bisect against this.
+        self._points: dict[str, tuple[list[float], list[float]]] = {}
 
     # -- scraping -----------------------------------------------------------------
 
@@ -68,8 +80,17 @@ class MetricsScraper:
         changed = {k: v for k, v in current.items()
                    if self._last.get(k) != v}
         self._last = current
-        sample = ScrapeSample(self.kernel.now, changed)
+        now = self.kernel.now
+        sample = ScrapeSample(now, changed)
         self.samples.append(sample)
+        points = self._points
+        for key, value in changed.items():
+            entry = points.get(key)
+            if entry is None:
+                points[key] = ([now], [value])
+            else:
+                entry[0].append(now)
+                entry[1].append(value)
         return sample
 
     def run(self, stop: Any = None):
@@ -85,8 +106,56 @@ class MetricsScraper:
 
     def series(self, key: str) -> list[tuple[float, float]]:
         """Reconstruct one series as (time, value) points at its changes."""
-        return [(s.time, s.values[key]) for s in self.samples
-                if key in s.values]
+        entry = self._points.get(key)
+        if entry is None:
+            return []
+        return list(zip(entry[0], entry[1], strict=True))
+
+    def value_at(self, key: str, t: float,
+                 default: float | None = None) -> float | None:
+        """The value series ``key`` read at simulated time ``t``.
+
+        A delta-encoded series holds its value between changes, so this
+        is the last recorded change at or before ``t`` — exactly what a
+        dashboard (or the alert evaluator) would have seen had it looked
+        at that instant.  ``default`` answers for a series that had not
+        yet appeared (or never existed) by time ``t``.
+        """
+        entry = self._points.get(key)
+        if entry is None:
+            return default
+        idx = bisect_right(entry[0], t)
+        if idx == 0:
+            return default
+        return entry[1][idx - 1]
+
+    def last_change(self, key: str, t: float) -> float | None:
+        """When series ``key`` last *changed* at or before ``t``.
+
+        ``None`` when it had not yet appeared — the absence-rule primitive
+        ("no ok-completions recorded for N seconds").
+        """
+        entry = self._points.get(key)
+        if entry is None:
+            return None
+        idx = bisect_right(entry[0], t)
+        if idx == 0:
+            return None
+        return entry[0][idx - 1]
+
+    def fold(self, at: float | None = None) -> dict[str, float]:
+        """Full registry state as of time ``at`` (fold of all deltas).
+
+        ``None`` folds everything — the state pinned by the latest
+        scrape.  The brute-force counterpart of :meth:`value_at`;
+        property tests hold the two views equal on random series.
+        """
+        state: dict[str, float] = {}
+        for sample in self.samples:
+            if at is not None and sample.time > at:
+                break
+            state.update(sample.values)
+        return state
 
     def state_at(self, index: int) -> dict[str, float]:
         """Full registry state at scrape ``index`` (fold of deltas)."""

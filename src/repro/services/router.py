@@ -268,6 +268,13 @@ class LlmRouter(ContainerApp):
                   "Healthy backends in the pool") \
             .labels().set_function(
                 lambda: sum(b.healthy for b in self.backends))
+        # The alerting-friendly complement: a nonzero value is a page
+        # (a dead backend is operator-actionable regardless of whether
+        # retries are still hiding it from the SLO window).
+        reg.gauge("router_backends_unhealthy",
+                  "Registered backends currently failing health checks") \
+            .labels().set_function(
+                lambda: sum(not b.healthy for b in self.backends))
         reg.gauge("router_outstanding",
                   "In-flight forwards across all backends") \
             .labels().set_function(

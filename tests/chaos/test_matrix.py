@@ -53,6 +53,19 @@ def test_scenarios_recover(name, kind):
     assert row["resilience"]["mttr_s"] == pytest.approx(res.mttr_s)
     # Post-fault SLO re-attained: the case's last window probe was good.
     assert res.recovered_at is not None
+    # Telemetry caught it too: an alert fired after the injection, no
+    # rule paged before it, and the incident log groups the whole arc.
+    assert res.detection_delay_alert_s is not None
+    assert res.detection_delay_alert_s >= 0.0
+    assert res.alerts_fired >= 1 and res.false_alerts == 0
+    assert res.incidents is not None
+    kinds = {e["kind"] for e in res.incidents["events"]}
+    assert "injection" in kinds and "alert" in kinds
+    (incident,) = [i for i in res.incidents["incidents"]
+                   if i["cause"].startswith("injection:")]
+    assert incident["detected_at"] is not None
+    assert row["resilience"]["detection_delay_alert_s"] == \
+        pytest.approx(res.detection_delay_alert_s)
 
 
 def test_wlm_preemption_goes_through_flux_too():

@@ -1,0 +1,85 @@
+"""Property tests: point-in-time reads and burn rates vs brute force.
+
+The alert evaluator is built entirely on :meth:`MetricsScraper.value_at`
+(one bisect against the per-series change index).  These properties pin
+that fast path — and the burn-rate arithmetic on top of it — against
+the brute-force fold of the delta-encoded samples, on arbitrary
+increment schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.alerts import AlertEvaluator, AlertRule
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.scrape import MetricsScraper
+from repro.simkernel import SimKernel
+
+_KEYS = ("c0", "c1", "c2")
+
+
+def _scraped(ticks):
+    """Run an increment schedule: one scrape per 10 s tick."""
+    kernel = SimKernel(seed=1)
+    reg = MetricsRegistry()
+    scraper = MetricsScraper(kernel, reg, interval=10.0)
+    counters = {key: reg.counter(key).labels() for key in _KEYS}
+    for tick in ticks:
+        for key, amount in zip(_KEYS, tick, strict=True):
+            counters[key].inc(amount)
+        kernel.run(until=kernel.now + 10.0)
+        scraper.scrape_once()
+    return kernel, scraper
+
+
+_TICKS = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(0, 9)),
+    min_size=1, max_size=25)
+
+
+@given(ticks=_TICKS, query=st.floats(min_value=-15.0, max_value=300.0,
+                                     allow_nan=False))
+@settings(max_examples=150, deadline=None)
+def test_value_at_matches_the_folded_state(ticks, query):
+    _, scraper = _scraped(ticks)
+    folded = scraper.fold(query)
+    for key in _KEYS:
+        assert scraper.value_at(key, query) == folded.get(key)
+        assert scraper.value_at(key, query, default=-1.0) == \
+            folded.get(key, -1.0)
+
+
+@given(ticks=_TICKS)
+@settings(max_examples=100, deadline=None)
+def test_last_change_is_the_latest_time_the_fold_moved(ticks):
+    _, scraper = _scraped(ticks)
+    times = [s.time for s in scraper.samples]
+    for key in _KEYS:
+        for t in times + [times[-1] + 5.0]:
+            got = scraper.last_change(key, t)
+            changed = [s.time for s in scraper.samples
+                       if key in s.values and s.time <= t]
+            assert got == (max(changed) if changed else None)
+
+
+@given(ticks=_TICKS,
+       window=st.sampled_from([10.0, 25.0, 40.0, 1000.0]),
+       now_tick=st.integers(min_value=1, max_value=25))
+@settings(max_examples=150, deadline=None)
+def test_burn_over_matches_recompute_from_fold(ticks, window, now_tick):
+    kernel, scraper = _scraped(ticks)
+    rule = AlertRule(name="burn", kind="burn_rate", bad_series=("c0",),
+                     total_series=("c1", "c2"), budget=0.05,
+                     long_s=1000.0, short_s=10.0, factor=1.0)
+    ev = AlertEvaluator(kernel, scraper, [rule])
+    now = min(now_tick, len(ticks)) * 10.0
+    got = ev.burn_over(rule, now, window)
+    hi, lo = scraper.fold(now), scraper.fold(now - window)
+    bad = hi.get("c0", 0.0) - lo.get("c0", 0.0)
+    total = sum(hi.get(k, 0.0) - lo.get(k, 0.0) for k in ("c1", "c2"))
+    expected = 0.0 if total <= 0 else (bad / total) / rule.budget
+    assert got == pytest.approx(expected)
+    assert got >= 0.0

@@ -59,6 +59,35 @@ def test_report_carries_the_obs_block(obs_run):
     assert report.to_json()["obs"] == obs
 
 
+def test_obs_block_carries_alerts_and_attribution(obs_run):
+    site, fleet, report = obs_run
+    alerts = report.obs["alerts"]
+    # The stock rule set derived from the SloSpec, evaluated each scrape.
+    names = {r["name"] for r in alerts["rules"]}
+    assert {"error-budget-fast-burn", "slo-ttft-breach",
+            "backend-unhealthy", "traffic-absent",
+            "fleet-capacity-low"} <= names
+    assert alerts["evaluations"] >= 3
+    assert alerts["firing"] == [] and alerts["fired_total"] == 0
+    assert len(alerts["digest"]) == 64
+    assert fleet.alerts is not None
+    assert alerts["digest"] == fleet.alerts.digest()
+    attribution = report.obs["attribution"]
+    assert attribution["requests"] == report.slo.completed
+    assert attribution["skipped"] == 0
+    assert attribution["cohorts"]["e2e"]["p99"]["top_phase"] != ""
+    assert len(attribution["digest"]) == 64
+
+
+def test_slo_window_gauges_land_in_the_scrape(obs_run):
+    site, fleet, report = obs_run
+    state = fleet.alerts.scraper.fold()
+    assert 0.0 <= state["fleet_slo_attainment"] <= 1.0
+    assert state["fleet_slo_window_samples"] >= 0
+    assert "fleet_slo_ttft_p95_seconds" in state
+    assert state["router_backends_unhealthy"] == 0.0
+
+
 def test_request_span_trees_have_all_phases(obs_run):
     site, fleet, report = obs_run
     spans = site.kernel.obs.spans
@@ -157,6 +186,29 @@ def test_obs_digests_reproduce_across_runs():
     _, _, b = _run_day(seed=11, horizon=420.0)
     assert a.obs["digests"] == b.obs["digests"]
     assert a.obs["scrape"]["digest"] == b.obs["scrape"]["digest"]
+    assert a.obs["alerts"]["digest"] == b.obs["alerts"]["digest"]
+    assert a.obs["attribution"]["digest"] == b.obs["attribution"]["digest"]
+
+
+def test_alerts_can_be_disabled_independently():
+    site = build_sandia_site(seed=5, hops_nodes=4, eldorado_nodes=2,
+                             goodall_nodes=2, cee_nodes=1)
+    config = FleetConfig(
+        model=QUANT, tensor_parallel_size=2, platforms=("hops",),
+        autoscaler=AutoscalerConfig(min_replicas=1, max_replicas=1),
+        alerts=False)
+    fleet = Fleet(site, config)
+
+    def scenario(env):
+        yield from fleet.start(initial_replicas=1)
+        report = yield from fleet.run_scenario(
+            PoissonSchedule(0.05), horizon=300.0, label="no-alerts")
+        return report
+
+    report = site.kernel.run(until=site.kernel.spawn(scenario(site.kernel)))
+    assert fleet.alerts is None
+    assert "alerts" not in report.obs
+    assert "scrape" in report.obs      # the data plane still runs
 
 
 def test_disabled_observability_yields_no_obs_block():

@@ -1,0 +1,105 @@
+"""Unit tests for deterministic incident timelines."""
+
+from __future__ import annotations
+
+from repro.obs.alerts import AlertEvent
+from repro.obs.incident import IncidentEvent, IncidentLog
+
+
+def _log():
+    return IncidentLog.build(
+        alerts=[AlertEvent(130.0, "backend-unhealthy", "firing", 1.0),
+                AlertEvent(300.0, "backend-unhealthy", "resolved", 0.0)],
+        injections=[(100.0, "node_crash", "hardware")],
+        repairs=[(150.0, "restart", "replica-1")],
+        scales=[(210.0, "scale-up", "1->2")])
+
+
+def test_timeline_sorts_by_time_with_kind_tiebreak():
+    log = IncidentLog([
+        IncidentEvent(50.0, "scale", "scale-up", "1->2"),
+        IncidentEvent(50.0, "alert", "rule", "firing"),
+        IncidentEvent(50.0, "injection", "node_crash", "hardware"),
+        IncidentEvent(50.0, "repair", "restart", "replica-0"),
+        IncidentEvent(10.0, "alert", "late", "firing"),
+    ])
+    assert [(e.time, e.kind) for e in log.events] == [
+        (10.0, "alert"), (50.0, "injection"), (50.0, "alert"),
+        (50.0, "repair"), (50.0, "scale")]
+
+
+def test_incident_groups_from_injection_to_all_clear():
+    log = _log()
+    (incident,) = log.incidents()
+    assert incident["opened_at"] == 100.0
+    assert incident["cause"] == "injection:node_crash"
+    assert incident["detected_at"] == 130.0
+    assert incident["closed_at"] == 300.0
+    assert incident["alerts"] == ["backend-unhealthy"]
+    assert incident["events"] == 5
+    assert log.false_alerts() == 0
+
+
+def test_undetected_injection_stays_open():
+    log = IncidentLog.build(injections=[(100.0, "silent_fault", "net")])
+    (incident,) = log.incidents()
+    assert incident["detected_at"] is None
+    assert incident["closed_at"] is None
+    assert "UNDETECTED" in log.summary()
+
+
+def test_incident_closes_only_when_the_firing_set_empties():
+    log = IncidentLog.build(alerts=[
+        AlertEvent(10.0, "a", "firing", 1.0),
+        AlertEvent(20.0, "b", "firing", 1.0),
+        AlertEvent(30.0, "a", "resolved", 0.0),
+        AlertEvent(40.0, "b", "resolved", 0.0),
+        AlertEvent(90.0, "a", "firing", 1.0),
+        AlertEvent(95.0, "a", "resolved", 0.0),
+    ])
+    first, second = log.incidents()
+    assert (first["opened_at"], first["closed_at"]) == (10.0, 40.0)
+    assert first["alerts"] == ["a", "b"]
+    assert (second["opened_at"], second["closed_at"]) == (90.0, 95.0)
+
+
+def test_firings_before_any_injection_count_as_false_alerts():
+    log = IncidentLog.build(
+        alerts=[AlertEvent(50.0, "jumpy", "firing", 1.0),
+                AlertEvent(60.0, "jumpy", "resolved", 0.0),
+                AlertEvent(130.0, "real", "firing", 1.0)],
+        injections=[(100.0, "node_crash", "hardware")])
+    assert log.false_alerts() == 1
+    # With no injections at all, every firing is a false positive.
+    no_cause = IncidentLog.build(
+        alerts=[AlertEvent(50.0, "jumpy", "firing", 1.0)])
+    assert no_cause.false_alerts() == 1
+
+
+def test_pending_alerts_do_not_open_incidents():
+    log = IncidentLog.build(alerts=[
+        AlertEvent(10.0, "slow", "pending", 1.0)])
+    assert log.incidents() == []
+    assert log.false_alerts() == 0
+
+
+def test_digest_and_to_json_are_deterministic():
+    a, b = _log(), _log()
+    assert a.digest() == b.digest() and len(a.digest()) == 64
+    doc = a.to_json()
+    assert doc["digest"] == a.digest()
+    assert doc["false_alerts"] == 0
+    assert len(doc["events"]) == 5
+    assert doc["incidents"] == a.incidents()
+    extra = IncidentLog.build(
+        injections=[(100.0, "node_crash", "hardware"),
+                    (400.0, "second", "net")])
+    assert extra.digest() != a.digest()
+
+
+def test_summary_renders_the_timeline():
+    text = _log().summary()
+    assert text.startswith("incident timeline (5 events):")
+    assert "injection" in text and "node_crash" in text
+    assert "detected at 130.0s" in text
+    assert "closed at 300.0s" in text

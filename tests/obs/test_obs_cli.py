@@ -11,14 +11,19 @@ def test_obs_command_full_surface(tmp_path, capsys):
     trace_path = tmp_path / "trace.json"
     out_path = tmp_path / "scorecard.json"
     assert main(["obs", "--minutes", "6", "--rate", "0.3", "--top", "3",
-                 "--profile", "--trace-out", str(trace_path),
+                 "--profile", "--alerts", "--incidents",
+                 "--trace-out", str(trace_path),
                  "--out", str(out_path)]) == 0
     out = capsys.readouterr().out
     assert "per-phase latency breakdown" in out
     assert "decode" in out and "prefill" in out
     assert "slowest requests" in out
+    assert "critical-path attribution by e2e cohort" in out
     assert "digests:" in out
     assert "scrape:" in out
+    assert "alert timeline:" in out
+    assert "rules=" in out and "fired=" in out
+    assert "incident timeline" in out
     assert "wall-clock self-profile" in out
     assert "kernel.dispatch" in out
     assert "flamegraph" in out
@@ -32,10 +37,18 @@ def test_obs_command_full_surface(tmp_path, capsys):
     scorecard = json.loads(out_path.read_text())
     assert scorecard["obs"]["finished_spans"] > 0
     assert len(scorecard["obs"]["digests"]["spans"]) == 64
+    # The analysis plane rides along in the same scorecard.
+    assert len(scorecard["obs"]["alerts"]["digest"]) == 64
+    assert scorecard["obs"]["alerts"]["rules"]
+    assert scorecard["obs"]["attribution"]["requests"] > 0
+    assert len(scorecard["obs"]["attribution"]["digest"]) == 64
 
 
 def test_obs_command_minimal_run_is_quiet_about_profile(capsys):
     assert main(["obs", "--minutes", "4", "--rate", "0.2"]) == 0
     out = capsys.readouterr().out
     assert "per-phase latency breakdown" in out
+    assert "critical-path attribution" in out
     assert "wall-clock self-profile" not in out
+    assert "alert timeline:" not in out
+    assert "incident timeline" not in out

@@ -54,6 +54,54 @@ def test_state_at_folds_deltas_and_series_reconstructs():
     assert scraper.series("requests_total") == [(10.0, 1.0), (30.0, 3.0)]
 
 
+def test_value_at_reads_the_last_change_at_or_before_t():
+    kernel, reg, scraper = _setup()
+    c = reg.counter("requests_total").labels()
+    for n in [1, 0, 2]:
+        c.inc(n)
+        kernel.run(until=kernel.now + 10.0)
+        scraper.scrape_once()
+    # Changes landed at t=10 (1) and t=30 (3); t=20 scraped no delta.
+    assert scraper.value_at("requests_total", 5.0) is None
+    assert scraper.value_at("requests_total", 5.0, default=0.0) == 0.0
+    assert scraper.value_at("requests_total", 10.0) == 1.0
+    assert scraper.value_at("requests_total", 29.9) == 1.0
+    assert scraper.value_at("requests_total", 30.0) == 3.0
+    assert scraper.value_at("requests_total", 1e9) == 3.0
+    assert scraper.value_at("no_such_series", 30.0, default=7.0) == 7.0
+
+
+def test_last_change_tracks_changes_not_scrapes():
+    kernel, reg, scraper = _setup()
+    c = reg.counter("requests_total").labels()
+    for n in [1, 0, 2]:
+        c.inc(n)
+        kernel.run(until=kernel.now + 10.0)
+        scraper.scrape_once()
+    assert scraper.last_change("requests_total", 5.0) is None
+    assert scraper.last_change("requests_total", 10.0) == 10.0
+    # The t=20 scrape recorded no delta: the series did not "change".
+    assert scraper.last_change("requests_total", 25.0) == 10.0
+    assert scraper.last_change("requests_total", 40.0) == 30.0
+    assert scraper.last_change("absent", 40.0) is None
+
+
+def test_fold_reconstructs_state_as_of_a_time():
+    kernel, reg, scraper = _setup()
+    c = reg.counter("requests_total").labels()
+    g = reg.gauge("inflight").labels()
+    for n in [1, 0, 2]:
+        c.inc(n)
+        g.set(n)
+        kernel.run(until=kernel.now + 10.0)
+        scraper.scrape_once()
+    assert scraper.fold(5.0) == {}
+    assert scraper.fold(10.0) == {"requests_total": 1, "inflight": 1}
+    assert scraper.fold(20.0) == {"requests_total": 1, "inflight": 0}
+    assert scraper.fold() == {"requests_total": 3, "inflight": 2}
+    assert scraper.fold() == scraper.state_at(len(scraper.samples) - 1)
+
+
 def test_run_scrapes_on_the_simulated_clock_until_stop():
     kernel, reg, scraper = _setup(interval=60.0)
     reg.gauge("clock").labels().set_function(lambda: kernel.now)
